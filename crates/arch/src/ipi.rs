@@ -1,0 +1,191 @@
+//! Inter-processor-interrupt latency model.
+//!
+//! x86 IPIs are delivered through the APIC, which "does not support
+//! flexible multicast delivery" (§2.1) — the sender programs the ICR once
+//! per destination, so sends *serialize at the sender*, and each message
+//! then propagates over the QPI fabric. This is the mechanism behind the
+//! paper's 6 µs (16-core) and 80 µs (120-core) shootdowns.
+//!
+//! [`IpiFabric::multicast`] converts (initiator, target set, start time)
+//! into a deterministic per-target delivery schedule the kernel turns into
+//! events.
+
+use crate::costs::CostModel;
+use crate::cpumask::{CpuId, CpuMask};
+use crate::topology::Topology;
+use latr_sim::{Nanos, Time};
+
+/// The delivery schedule of one multicast IPI, produced by
+/// [`IpiFabric::multicast`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IpiSchedule {
+    /// When each target receives its interrupt, in target order
+    /// (ascending CPU id, the order Linux iterates the cpumask).
+    pub deliveries: Vec<(CpuId, Time)>,
+    /// When the sender finishes programming the last ICR write and can
+    /// proceed to wait for ACKs.
+    pub sender_free: Time,
+}
+
+impl IpiSchedule {
+    /// The latest delivery instant, or `sender_free` if there were no
+    /// targets.
+    pub fn last_delivery(&self) -> Time {
+        self.deliveries
+            .iter()
+            .map(|&(_, t)| t)
+            .max()
+            .unwrap_or(self.sender_free)
+    }
+}
+
+/// The IPI delivery fabric for one machine.
+#[derive(Debug, Clone)]
+pub struct IpiFabric {
+    topology: Topology,
+    costs: CostModel,
+}
+
+impl IpiFabric {
+    /// Creates a fabric over the given topology and cost model.
+    pub fn new(topology: Topology, costs: CostModel) -> Self {
+        IpiFabric { topology, costs }
+    }
+
+    /// The topology this fabric routes over.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The cost model in use.
+    pub fn costs(&self) -> &CostModel {
+        &self.costs
+    }
+
+    /// Computes the delivery schedule for a multicast from `initiator` to
+    /// every CPU in `targets` (the initiator itself is skipped if present),
+    /// starting at `start`.
+    pub fn multicast(&self, initiator: CpuId, targets: &CpuMask, start: Time) -> IpiSchedule {
+        let mut deliveries = Vec::with_capacity(targets.count());
+        let mut send_clock = start;
+        for target in targets.iter() {
+            if target == initiator {
+                continue;
+            }
+            let hops = self.topology.cpu_hops(initiator, target);
+            send_clock += self.costs.ipi_send(hops);
+            let delivered = send_clock + self.costs.ipi_wire(hops);
+            deliveries.push((target, delivered));
+        }
+        IpiSchedule {
+            deliveries,
+            sender_free: send_clock,
+        }
+    }
+
+    /// ACK latency from `responder` back to `initiator` (a cache-line
+    /// transfer via the coherence protocol).
+    pub fn ack_latency(&self, initiator: CpuId, responder: CpuId) -> Nanos {
+        self.costs.ack(self.topology.cpu_hops(initiator, responder))
+    }
+
+    /// Latency for a plain cache-line write by `writer` to become visible
+    /// to `reader` — how Latr states propagate (§4.1: "the state updates
+    /// are available to all other cores using the cache-coherence
+    /// protocol").
+    pub fn coherence_latency(&self, writer: CpuId, reader: CpuId) -> Nanos {
+        self.costs.ack(self.topology.cpu_hops(writer, reader))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::MachinePreset;
+
+    fn fabric(preset: MachinePreset) -> IpiFabric {
+        IpiFabric::new(Topology::preset(preset), CostModel::calibrated())
+    }
+
+    #[test]
+    fn empty_multicast_is_free() {
+        let f = fabric(MachinePreset::Commodity2S16C);
+        let s = f.multicast(CpuId(0), &CpuMask::empty(), Time::from_ns(100));
+        assert!(s.deliveries.is_empty());
+        assert_eq!(s.sender_free, Time::from_ns(100));
+        assert_eq!(s.last_delivery(), Time::from_ns(100));
+    }
+
+    #[test]
+    fn initiator_is_skipped() {
+        let f = fabric(MachinePreset::Commodity2S16C);
+        let mut m = CpuMask::empty();
+        m.set(CpuId(0));
+        m.set(CpuId(1));
+        let s = f.multicast(CpuId(0), &m, Time::ZERO);
+        assert_eq!(s.deliveries.len(), 1);
+        assert_eq!(s.deliveries[0].0, CpuId(1));
+    }
+
+    #[test]
+    fn sends_serialize_at_sender() {
+        let f = fabric(MachinePreset::Commodity2S16C);
+        let m = CpuMask::first_n(16);
+        let s = f.multicast(CpuId(0), &m, Time::ZERO);
+        assert_eq!(s.deliveries.len(), 15);
+        // Deliveries to successive same-socket targets are spaced by at
+        // least the send serialization cost.
+        let d1 = s.deliveries[0].1;
+        let d2 = s.deliveries[1].1;
+        assert!(d2 - d1 >= f.costs().ipi_send_same_socket);
+        // Sender stays busy for the whole send train.
+        assert!(s.sender_free.as_ns() >= 15 * f.costs().ipi_send_same_socket);
+    }
+
+    #[test]
+    fn cross_socket_delivery_is_slower() {
+        let f = fabric(MachinePreset::Commodity2S16C);
+        let mut near = CpuMask::empty();
+        near.set(CpuId(1));
+        let mut far = CpuMask::empty();
+        far.set(CpuId(9)); // other socket
+        let sn = f.multicast(CpuId(0), &near, Time::ZERO);
+        let sf = f.multicast(CpuId(0), &far, Time::ZERO);
+        assert!(sf.deliveries[0].1 > sn.deliveries[0].1);
+    }
+
+    #[test]
+    fn sixteen_core_schedule_is_about_6us() {
+        let f = fabric(MachinePreset::Commodity2S16C);
+        let s = f.multicast(CpuId(0), &CpuMask::first_n(16), Time::ZERO);
+        let last = s.last_delivery().as_ns();
+        // Delivery alone (without handler + ACK) is a bit under the paper's
+        // 6 µs end-to-end number.
+        assert!((4_000..6_500).contains(&last), "last delivery {last}");
+    }
+
+    #[test]
+    fn hundred_twenty_core_schedule_is_about_80us() {
+        let f = fabric(MachinePreset::LargeNuma8S120C);
+        let s = f.multicast(CpuId(0), &CpuMask::first_n(120), Time::ZERO);
+        let last = s.last_delivery().as_ns();
+        assert!((65_000..90_000).contains(&last), "last delivery {last}");
+    }
+
+    #[test]
+    fn ack_and_coherence_latencies() {
+        let f = fabric(MachinePreset::Commodity2S16C);
+        assert_eq!(
+            f.ack_latency(CpuId(0), CpuId(1)),
+            f.costs().ack_same_socket
+        );
+        assert_eq!(
+            f.ack_latency(CpuId(0), CpuId(9)),
+            f.costs().ack_cross_socket
+        );
+        assert_eq!(
+            f.coherence_latency(CpuId(0), CpuId(9)),
+            f.costs().ack_cross_socket
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Criterion benches of the lock-free Latr runtime — the real-hardware
+//! counterpart of Table 5: saving a Latr state (paper: 132.3 ns), a state
+//! sweep (paper: 158.0 ns), and a synchronous cross-thread "shootdown"
+//! baseline (paper: 1594.2 ns for Linux's IPI round).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use latr_core::rt::{RtInvalidation, RtRegistry, RtReclaimer, SoftTlb, SoftTlbTable};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+fn inv() -> RtInvalidation {
+    RtInvalidation {
+        mm: 1,
+        start: 0x4_0000,
+        end: 0x4_1000,
+    }
+}
+
+fn bench_publish(c: &mut Criterion) {
+    let registry = RtRegistry::new(4, 64);
+    c.bench_function("rt_publish_state (Table 5: save ~132ns)", |b| {
+        b.iter(|| {
+            let idx = registry.publish(0, black_box(inv()), 0b1110).unwrap();
+            // Drain immediately so the queue never fills.
+            registry.sweep(1);
+            registry.sweep(2);
+            registry.sweep(3);
+            black_box(idx);
+        })
+    });
+}
+
+fn bench_sweep_hit(c: &mut Criterion) {
+    let registry = RtRegistry::new(2, 64);
+    c.bench_function("rt_sweep_one_hit (Table 5: sweep ~158ns)", |b| {
+        b.iter(|| {
+            registry.publish(0, inv(), 0b10).unwrap();
+            black_box(registry.sweep(1));
+        })
+    });
+}
+
+fn bench_sweep_empty(c: &mut Criterion) {
+    let registry = RtRegistry::new(16, 64);
+    c.bench_function("rt_sweep_empty_16_queues", |b| {
+        b.iter(|| black_box(registry.sweep(5)))
+    });
+}
+
+fn bench_reclaimer(c: &mut Criterion) {
+    let registry = RtRegistry::new(2, 64);
+    let reclaimer: RtReclaimer<u64> = RtReclaimer::new(2);
+    c.bench_function("rt_reclaim_defer_collect", |b| {
+        b.iter(|| {
+            reclaimer.defer(&registry, black_box(7));
+            registry.sweep(0);
+            registry.sweep(1);
+            registry.sweep(0);
+            registry.sweep(1);
+            black_box(reclaimer.collect(&registry));
+        })
+    });
+}
+
+fn bench_soft_tlb(c: &mut Criterion) {
+    let registry = Arc::new(RtRegistry::new(2, 64));
+    let table = Arc::new(SoftTlbTable::new(registry));
+    for k in 0..256 {
+        table.map_key(k, k + 1000);
+    }
+    let mut tlb = SoftTlb::new(1, Arc::clone(&table));
+    for k in 0..256 {
+        tlb.lookup(k);
+    }
+    let mut k = 0u64;
+    c.bench_function("soft_tlb_cached_lookup", |b| {
+        b.iter(|| {
+            k = (k + 1) % 256;
+            black_box(tlb.lookup(black_box(k)))
+        })
+    });
+}
+
+/// The synchronous baseline: wake a remote thread and wait for its ACK —
+/// the user-space analogue of an IPI + ACK round (the cost Latr removes
+/// from the critical path).
+fn bench_sync_shootdown_baseline(c: &mut Criterion) {
+    let state = Arc::new((Mutex::new(0u32), Condvar::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let acks = Arc::new(AtomicU64::new(0));
+    let remote = {
+        let state = Arc::clone(&state);
+        let stop = Arc::clone(&stop);
+        let acks = Arc::clone(&acks);
+        std::thread::spawn(move || {
+            let (lock, cv) = &*state;
+            let mut guard = lock.lock().unwrap();
+            loop {
+                while *guard != 1 {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let (g, _) = cv
+                        .wait_timeout(guard, std::time::Duration::from_millis(50))
+                        .unwrap();
+                    guard = g;
+                }
+                // "Invalidate" and ACK.
+                *guard = 0;
+                acks.fetch_add(1, Ordering::Release);
+                cv.notify_all();
+            }
+        })
+    };
+    c.bench_function("sync_shootdown_baseline (Table 5: linux ~1594ns)", |b| {
+        b.iter(|| {
+            let (lock, cv) = &*state;
+            let before = acks.load(Ordering::Acquire);
+            {
+                let mut guard = lock.lock().unwrap();
+                *guard = 1;
+                cv.notify_all();
+            }
+            while acks.load(Ordering::Acquire) == before {
+                std::hint::spin_loop();
+            }
+        })
+    });
+    stop.store(true, Ordering::Relaxed);
+    state.1.notify_all();
+    let _ = remote.join();
+}
+
+criterion_group!(
+    benches,
+    bench_publish,
+    bench_sweep_hit,
+    bench_sweep_empty,
+    bench_reclaimer,
+    bench_soft_tlb,
+    bench_sync_shootdown_baseline
+);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig. 10: normalized runtime and shootdown rate for the PARSEC suite at
+//! 16 cores.
+//!
+//! Paper result: up to 9.6% improvement (dedup), at most 1.7% overhead
+//! (canneal), 1.5% average improvement.
+
+use latr_bench::{fig10_rows, print_title, RunScale};
+
+fn main() {
+    let scale = RunScale::from_args();
+    print_title("Figure 10 — PARSEC normalized runtime (latr / linux, 16 cores)");
+    println!(
+        "{:<15} {:>18} {:>16} {:>16}",
+        "benchmark", "normalized runtime", "linux sd/s", "latr sd/s"
+    );
+    let rows = fig10_rows(scale);
+    let mut geo = 1.0f64;
+    for r in &rows {
+        geo *= r.normalized_runtime;
+        println!(
+            "{:<15} {:>18.3} {:>16.0} {:>16.0}",
+            r.name, r.normalized_runtime, r.rate_linux, r.rate_latr
+        );
+    }
+    geo = geo.powf(1.0 / rows.len() as f64);
+    println!("\ngeometric mean: {geo:.3}  (paper: ≈0.985 — 1.5% average improvement)");
+}

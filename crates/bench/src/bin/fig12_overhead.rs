@@ -1,0 +1,23 @@
+//! Fig. 12: Latr's overhead on applications with few TLB shootdowns —
+//! single-core web servers and low-shootdown PARSEC benchmarks.
+//!
+//! Paper result: at most 1.7% overhead (canneal); some workloads improve
+//! slightly.
+
+use latr_bench::{fig12_rows, print_title, RunScale};
+
+fn main() {
+    let scale = RunScale::from_args();
+    print_title("Figure 12 — overhead with few shootdowns (latr / linux)");
+    println!(
+        "{:<18} {:>18} {:>14} {:>14}",
+        "configuration", "normalized runtime", "linux sd/s", "latr sd/s"
+    );
+    for r in fig12_rows(scale) {
+        println!(
+            "{:<18} {:>18.3} {:>14.0} {:>14.0}",
+            r.name, r.normalized_runtime, r.rate_linux, r.rate_latr
+        );
+    }
+    println!("\npaper: ≤1.7% overhead across the suite");
+}

@@ -1,0 +1,52 @@
+//! Latr configuration knobs (§4.1, §8 and the ablation benches).
+
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the Latr mechanism. Defaults match the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatrConfig {
+    /// Latr states per core (§4.1: 64; §8 notes the trade-off between
+    /// queue size and sweep cost — ablated in `bench --bin ablations`).
+    pub states_per_core: usize,
+    /// Scheduler ticks to wait before reclaiming virtual and physical
+    /// pages (§4.2: two ticks = 2 ms).
+    pub reclaim_ticks: u32,
+    /// Whether to also sweep on context switches (§4.1: tick *or* context
+    /// switch, whichever comes first). Turning this off is an ablation.
+    pub sweep_on_context_switch: bool,
+    /// Whether lazy handling of AutoNUMA hint-unmaps is enabled (§4.3).
+    pub lazy_migration: bool,
+}
+
+impl Default for LatrConfig {
+    fn default() -> Self {
+        LatrConfig {
+            states_per_core: 64,
+            reclaim_ticks: 2,
+            sweep_on_context_switch: true,
+            lazy_migration: true,
+        }
+    }
+}
+
+impl LatrConfig {
+    /// Paper-default configuration.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = LatrConfig::default();
+        assert_eq!(c.states_per_core, 64);
+        assert_eq!(c.reclaim_ticks, 2);
+        assert!(c.sweep_on_context_switch);
+        assert!(c.lazy_migration);
+        assert_eq!(LatrConfig::paper(), c);
+    }
+}

@@ -1,0 +1,568 @@
+//! The Latr TLB-coherence policy (§3–§4).
+//!
+//! * **Free operations** (`munmap`, `madvise`): instead of IPIs, the
+//!   initiator records a Latr state; every other core invalidates at its
+//!   next scheduler tick or context switch; the freed VA and frames sit on
+//!   the lazy-reclaim queue for two ticks before release.
+//! * **Migration operations** (AutoNUMA): the state is recorded *without*
+//!   touching the page table; the first core to sweep it clears the PTE
+//!   (sets the NUMA-hint protection), the rest only invalidate; the hint
+//!   fault may proceed only once every CPU bit has cleared (§4.4).
+//! * **Permission/ownership changes** (`mprotect`, CoW, `mremap`): not
+//!   lazy-able (Table 1) — delegated to the synchronous IPI path.
+//! * **Queue overflow**: more shootdowns per interval than slots falls
+//!   back to IPIs (§4.2).
+
+use crate::config::LatrConfig;
+use crate::reclaim::LazyReclaimQueue;
+use crate::state::{LatrState, StateKind, StateQueue};
+use latr_kernel::{metrics, FlushKind, FlushOutcome, Machine, TlbPolicy};
+use latr_kernel::TaskId;
+use latr_arch::{CpuId, CpuMask};
+use latr_mem::{MmId, Pfn, VaRange, Vpn};
+use latr_sim::Nanos;
+
+/// The Latr policy. Plug into [`Machine::run`] in place of
+/// [`latr_kernel::LinuxPolicy`].
+pub struct LatrPolicy {
+    config: LatrConfig,
+    queues: Vec<StateQueue>,
+    reclaim: LazyReclaimQueue,
+}
+
+impl LatrPolicy {
+    /// Creates the policy with the given configuration. Queues are sized
+    /// lazily on the first call (the machine's CPU count isn't known yet).
+    pub fn new(config: LatrConfig) -> Self {
+        LatrPolicy {
+            config,
+            queues: Vec::new(),
+            reclaim: LazyReclaimQueue::new(),
+        }
+    }
+
+    /// The policy's configuration.
+    pub fn config(&self) -> &LatrConfig {
+        &self.config
+    }
+
+    /// Frames currently parked on the lazy-reclaim queue (§6.4's memory
+    /// overhead).
+    pub fn parked_bytes(&self) -> u64 {
+        self.reclaim.parked_bytes()
+    }
+
+    fn ensure_queues(&mut self, ncpus: usize) {
+        if self.queues.len() < ncpus {
+            self.queues
+                .resize_with(ncpus, || StateQueue::new(self.config.states_per_core));
+        }
+    }
+
+    /// The sweep (§4.1): scan every core's states; for each active state
+    /// naming `cpu`, invalidate locally and clear the bit; retire states
+    /// whose masks emptied. Returns the CPU time consumed.
+    fn sweep(&mut self, machine: &mut Machine, cpu: CpuId) -> Nanos {
+        self.ensure_queues(machine.topology().num_cpus());
+        let mut cost = 0;
+        let mut hits = 0u64;
+        for qi in 0..self.queues.len() {
+            let mut relevant: Vec<(MmId, VaRange, StateKind, bool)> = Vec::new();
+            for state in self.queues[qi].iter_active_mut() {
+                if state.cpus.test(cpu) {
+                    relevant.push((state.mm, state.range, state.kind, state.pte_done));
+                }
+            }
+            if relevant.is_empty() {
+                cost += machine.costs().latr_sweep_empty;
+                continue;
+            }
+            for &(mm, range, kind, pte_done) in &relevant {
+                cost += machine.costs().latr_sweep_hit;
+                if kind == StateKind::Migration && !pte_done {
+                    // First sweeper performs the page-table unmap (§4.3).
+                    machine.apply_numa_hint(cpu, mm, range.start);
+                    cost += machine.costs().pte_op;
+                    if machine.trace.is_enabled() {
+                        let now = machine.now();
+                        machine.trace.push(
+                            now,
+                            "latr",
+                            format!("{cpu} sweeps {range:?}: first core, clears PTE"),
+                        );
+                    }
+                } else if machine.trace.is_enabled() {
+                    let now = machine.now();
+                    machine.trace.push(
+                        now,
+                        "latr",
+                        format!("{cpu} sweeps {range:?}: local TLB invalidation"),
+                    );
+                }
+                let pages: Vec<Vpn> = range.iter().collect();
+                machine.invalidate_tlb_pages(cpu, mm, &pages);
+                cost += machine.costs().local_invalidation(pages.len() as u32);
+                hits += 1;
+            }
+            // Clear our bit and mark PTEs done.
+            for state in self.queues[qi].iter_active_mut() {
+                if state.cpus.test(cpu) {
+                    state.cpus.clear(cpu);
+                    if state.kind == StateKind::Migration {
+                        state.pte_done = true;
+                    }
+                }
+            }
+            self.queues[qi].retire_completed();
+        }
+        machine.llc.charge_latr_sweep(self.queues.len() as u64);
+        if hits > 0 {
+            machine.stats.add(metrics::LATR_SWEEP_HITS, hits);
+        }
+        cost
+    }
+}
+
+impl TlbPolicy for LatrPolicy {
+    fn name(&self) -> &'static str {
+        "latr"
+    }
+
+    fn flush_others(
+        &mut self,
+        machine: &mut Machine,
+        initiator: CpuId,
+        _task: Option<TaskId>,
+        mm: MmId,
+        range: VaRange,
+        pages: &[(Vpn, Pfn)],
+        kind: FlushKind,
+        start_delay: Nanos,
+    ) -> FlushOutcome {
+        self.ensure_queues(machine.topology().num_cpus());
+
+        // Permission changes must be visible system-wide before the
+        // syscall returns (Table 1): pure Linux behaviour.
+        if kind == FlushKind::Synchronous {
+            let mut targets = machine.mm(mm).cpumask;
+            targets.clear(initiator);
+            if targets.is_empty() || pages.is_empty() {
+                return FlushOutcome::Deferred {
+                    local_ns: 0,
+                    defer_reclaim: false,
+                };
+            }
+            let vpns: Vec<Vpn> = pages.iter().map(|&(v, _)| v).collect();
+            let txn = machine.begin_sync_shootdown(initiator, mm, vpns, targets, start_delay);
+            return FlushOutcome::Sync { txn, local_ns: 0 };
+        }
+
+        let mut targets = machine.mm(mm).cpumask;
+        targets.clear(initiator);
+        if targets.is_empty() || pages.is_empty() {
+            // No remote TLBs can hold these translations and the local TLB
+            // is already clean: safe to free immediately.
+            return FlushOutcome::Deferred {
+                local_ns: 0,
+                defer_reclaim: false,
+            };
+        }
+
+        let state = LatrState {
+            range,
+            mm,
+            kind: StateKind::Free,
+            cpus: targets,
+            pte_done: true,
+            published: machine.now(),
+        };
+        match self.queues[initiator.index()].publish(state) {
+            Some(slot) => {
+                machine.stats.inc(metrics::LATR_STATES_SAVED);
+                machine.llc.charge_latr_save();
+                if machine.trace.is_enabled() {
+                    let now = machine.now();
+                    machine.trace.push(
+                        now,
+                        "latr",
+                        format!(
+                            "{initiator} saves state[{slot}] {range:?} for {} cores (free)",
+                            targets.count()
+                        ),
+                    );
+                }
+                // Park the freed VA + frames for two scheduler ticks. The
+                // +1 ns breaks exact ties with the sweep events at the
+                // deadline instant.
+                if let Some(pkg) = machine.take_pending_reclaim() {
+                    machine
+                        .stats
+                        .add(metrics::LATR_DEFERRED_FRAMES, pkg.frames.len() as u64);
+                    let deadline = machine.now()
+                        + self.config.reclaim_ticks as u64 * machine.tick_period()
+                        + 1;
+                    self.reclaim.defer(deadline, pkg);
+                }
+                FlushOutcome::Deferred {
+                    local_ns: machine.costs().latr_state_save,
+                    defer_reclaim: true,
+                }
+            }
+            None => {
+                // Queue full: fall back to the IPI mechanism (§4.2).
+                machine.stats.inc(metrics::LATR_FALLBACK_IPIS);
+                let vpns: Vec<Vpn> = pages.iter().map(|&(v, _)| v).collect();
+                let txn =
+                    machine.begin_sync_shootdown(initiator, mm, vpns, targets, start_delay);
+                FlushOutcome::Sync { txn, local_ns: 0 }
+            }
+        }
+    }
+
+    fn on_sched_tick(&mut self, machine: &mut Machine, cpu: CpuId) -> Nanos {
+        self.sweep(machine, cpu)
+    }
+
+    fn on_context_switch(&mut self, machine: &mut Machine, cpu: CpuId) -> Nanos {
+        if self.config.sweep_on_context_switch {
+            self.sweep(machine, cpu)
+        } else {
+            0
+        }
+    }
+
+    fn on_reclaim_tick(&mut self, machine: &mut Machine) {
+        // §6.4 memory-overhead accounting: sample how much physical memory
+        // is parked awaiting reclamation before releasing what is due.
+        machine
+            .stats
+            .record("latr_parked_bytes", self.reclaim.parked_bytes());
+        for pkg in self.reclaim.due(machine.now()) {
+            if machine.trace.is_enabled() {
+                let now = machine.now();
+                machine.trace.push(
+                    now,
+                    "latr",
+                    format!(
+                        "background reclaim frees {} frames{}",
+                        pkg.frames.len(),
+                        pkg.va.map(|r| format!(" + VA {r:?}")).unwrap_or_default()
+                    ),
+                );
+            }
+            machine.release_reclaim(pkg);
+        }
+    }
+
+    fn numa_hint_unmap(
+        &mut self,
+        machine: &mut Machine,
+        cpu: CpuId,
+        mm: MmId,
+        vpn: Vpn,
+    ) -> bool {
+        if !self.config.lazy_migration {
+            return false;
+        }
+        self.ensure_queues(machine.topology().num_cpus());
+        // "This state includes the CPU bitmask of all the cores" —
+        // including the recording core, which unmaps at its own next tick.
+        let targets: CpuMask = machine.mm(mm).cpumask;
+        if targets.is_empty() {
+            return false;
+        }
+        let state = LatrState {
+            range: VaRange::new(vpn, 1),
+            mm,
+            kind: StateKind::Migration,
+            cpus: targets,
+            pte_done: false,
+            published: machine.now(),
+        };
+        match self.queues[cpu.index()].publish(state) {
+            Some(slot) => {
+                machine.stats.inc(metrics::LATR_STATES_SAVED);
+                machine.llc.charge_latr_save();
+                machine.charge_debt(cpu, machine.costs().latr_state_save);
+                if machine.trace.is_enabled() {
+                    let now = machine.now();
+                    machine.trace.push(
+                        now,
+                        "latr",
+                        format!("{cpu} saves state[{slot}] {vpn:?} (migration, PTE untouched)"),
+                    );
+                }
+                true
+            }
+            None => {
+                machine.stats.inc(metrics::LATR_FALLBACK_IPIS);
+                false
+            }
+        }
+    }
+
+    fn numa_fault_may_proceed(&mut self, _machine: &mut Machine, mm: MmId, vpn: Vpn) -> bool {
+        // The fault is held until every core named in the migration state
+        // has invalidated (§4.4's mmap_sem rule).
+        !self.queues.iter().any(|q| {
+            q.iter_active().any(|s| {
+                s.kind == StateKind::Migration
+                    && s.mm == mm
+                    && s.range.contains(vpn)
+                    && !s.cpus.is_empty()
+            })
+        })
+    }
+
+    fn on_shutdown(&mut self, machine: &mut Machine) {
+        // Drain the lazy lists so end-of-run leak checks see a clean
+        // machine. The states' TLB entries are irrelevant once the run is
+        // over; the *invariant* (frames still allocated while cached) held
+        // throughout because draining happens after the final event.
+        for pkg in self.reclaim.drain_all() {
+            machine.release_reclaim(pkg);
+        }
+        for q in &mut self.queues {
+            q.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latr_arch::{MachinePreset, Topology};
+    use latr_kernel::{Machine, MachineConfig, Op, Workload};
+    use latr_sim::{MICROSECOND, SECOND};
+
+    /// Every task maps one page, touches it, unmaps it, repeats — then
+    /// lingers a few scheduler ticks so the lazy machinery (sweeps,
+    /// background reclamation) actually runs before the tasks exit.
+    struct MapTouchUnmap {
+        cores: usize,
+        rounds: u32,
+        progress: Vec<u32>,
+        phase: Vec<u8>,
+        linger: Vec<u32>,
+    }
+
+    impl MapTouchUnmap {
+        fn new(cores: usize, rounds: u32) -> Self {
+            MapTouchUnmap {
+                cores,
+                rounds,
+                progress: vec![0; cores],
+                phase: vec![0; cores],
+                linger: vec![4; cores],
+            }
+        }
+    }
+
+    impl Workload for MapTouchUnmap {
+        fn setup(&mut self, machine: &mut Machine) {
+            let mm = machine.create_process();
+            for c in 0..self.cores {
+                machine.spawn_task(mm, CpuId(c as u16));
+            }
+        }
+
+        fn next_op(&mut self, machine: &mut Machine, task: TaskId) -> Op {
+            let i = task.index();
+            if self.progress[i] >= self.rounds {
+                if self.linger[i] > 0 {
+                    self.linger[i] -= 1;
+                    return Op::Sleep(latr_sim::MILLISECOND);
+                }
+                return Op::Exit;
+            }
+            let op = match self.phase[i] {
+                0 => Op::MmapAnon { pages: 1 },
+                1 => {
+                    let r = machine.task(task).last_mmap.unwrap();
+                    Op::Access {
+                        vpn: r.start,
+                        write: true,
+                    }
+                }
+                _ => {
+                    let r = machine.task(task).last_mmap.unwrap();
+                    Op::Munmap { range: r }
+                }
+            };
+            self.phase[i] = (self.phase[i] + 1) % 3;
+            if self.phase[i] == 0 {
+                self.progress[i] += 1;
+            }
+            op
+        }
+    }
+
+    fn run_latr(cores: usize, rounds: u32) -> Machine {
+        let mut machine = Machine::new(MachineConfig::new(Topology::preset(
+            MachinePreset::Commodity2S16C,
+        )));
+        machine.run(
+            Box::new(MapTouchUnmap::new(cores, rounds)),
+            Box::new(LatrPolicy::new(LatrConfig::default())),
+            SECOND,
+        );
+        machine
+    }
+
+    #[test]
+    fn latr_sends_no_ipis_for_free_operations() {
+        let m = run_latr(8, 10);
+        assert_eq!(m.stats.counter(metrics::IPIS_SENT), 0);
+        assert_eq!(m.stats.counter(metrics::SHOOTDOWNS), 0);
+        assert_eq!(m.stats.counter(metrics::LATR_STATES_SAVED), 8 * 10);
+        assert_eq!(m.stats.counter(metrics::LATR_FALLBACK_IPIS), 0);
+    }
+
+    #[test]
+    fn latr_munmap_latency_is_flat_and_low() {
+        let m2 = run_latr(2, 20);
+        let m16 = run_latr(16, 20);
+        let l2 = m2.stats.histogram(metrics::MUNMAP_NS).unwrap().mean();
+        let l16 = m16.stats.histogram(metrics::MUNMAP_NS).unwrap().mean();
+        // Fig. 6: Latr's munmap ≈ 2.4 µs at 16 cores and nearly flat.
+        assert!(
+            (1.2 * MICROSECOND as f64..4.0 * MICROSECOND as f64).contains(&l16),
+            "16-core Latr munmap {l16:.0}ns not ≈ 2.4 µs"
+        );
+        assert!(
+            l16 < l2 * 2.5,
+            "Latr should stay nearly flat: {l2:.0} -> {l16:.0}"
+        );
+    }
+
+    #[test]
+    fn latr_beats_linux_at_scale() {
+        use latr_kernel::LinuxPolicy;
+        let latr = run_latr(16, 20);
+        let mut linux_machine = Machine::new(MachineConfig::new(Topology::preset(
+            MachinePreset::Commodity2S16C,
+        )));
+        linux_machine.run(
+            Box::new(MapTouchUnmap::new(16, 20)),
+            Box::new(LinuxPolicy::new()),
+            SECOND,
+        );
+        let l_latr = latr.stats.histogram(metrics::MUNMAP_NS).unwrap().mean();
+        let l_linux = linux_machine
+            .stats
+            .histogram(metrics::MUNMAP_NS)
+            .unwrap()
+            .mean();
+        // Fig. 6: ≈70% improvement; interference makes the concurrent case
+        // even more lopsided. Require at least 50%.
+        assert!(
+            l_latr < l_linux * 0.5,
+            "latr {l_latr:.0}ns vs linux {l_linux:.0}ns"
+        );
+    }
+
+    #[test]
+    fn frames_are_released_after_two_ticks() {
+        let m = run_latr(4, 5);
+        // After the run (with shutdown drain) nothing leaks.
+        assert_eq!(m.frames.allocated_count(), 0);
+        assert_eq!(
+            m.stats.counter(metrics::LATR_DEFERRED_FRAMES),
+            4 * 5,
+            "every anonymous page must pass through the lazy list"
+        );
+    }
+
+    #[test]
+    fn reclamation_invariant_holds() {
+        let m = run_latr(16, 30);
+        assert_eq!(m.check_reclamation_invariant(), None);
+        assert_eq!(m.check_mapping_coherence(), None);
+    }
+
+    #[test]
+    fn sweeps_do_invalidate_remote_entries() {
+        let m = run_latr(8, 10);
+        assert!(
+            m.stats.counter(metrics::LATR_SWEEP_HITS) > 0,
+            "remote cores must pick up states at their ticks"
+        );
+    }
+
+    /// Overflowing the 64-entry queue must fall back to IPIs, not lose
+    /// shootdowns.
+    #[test]
+    fn queue_overflow_falls_back_to_ipis() {
+        struct Burst {
+            mapped: Vec<VaRange>,
+            phase: u8,
+            unmapped: usize,
+        }
+        impl Workload for Burst {
+            fn setup(&mut self, machine: &mut Machine) {
+                let mm = machine.create_process();
+                machine.spawn_task(mm, CpuId(0));
+                machine.spawn_task(mm, CpuId(1));
+            }
+            fn next_op(&mut self, machine: &mut Machine, task: TaskId) -> Op {
+                if task.index() == 1 {
+                    // Keep the second core's bit in the cpumask; touch the
+                    // most recent mapping so entries are really shared.
+                    return match self.mapped.last() {
+                        Some(r) if self.phase == 1 => Op::Access {
+                            vpn: r.start,
+                            write: false,
+                        },
+                        _ => Op::Sleep(1_000),
+                    };
+                }
+                match self.phase {
+                    0 => {
+                        self.phase = 1;
+                        Op::MmapAnon { pages: 1 }
+                    }
+                    1 => {
+                        let r = machine.task(task).last_mmap.unwrap();
+                        self.mapped.push(r);
+                        self.phase = 2;
+                        Op::Access {
+                            vpn: r.start,
+                            write: true,
+                        }
+                    }
+                    _ => {
+                        self.phase = 0;
+                        if let Some(r) = self.mapped.pop() {
+                            self.unmapped += 1;
+                            if self.unmapped > 200 {
+                                return Op::Exit;
+                            }
+                            Op::Munmap { range: r }
+                        } else {
+                            Op::Exit
+                        }
+                    }
+                }
+            }
+        }
+        let mut machine = Machine::new(MachineConfig::new(Topology::preset(
+            MachinePreset::Commodity2S16C,
+        )));
+        // 200 munmaps in well under one tick (each ~2 µs) with a 64-slot
+        // queue: must overflow.
+        machine.run(
+            Box::new(Burst {
+                mapped: Vec::new(),
+                phase: 0,
+                unmapped: 0,
+            }),
+            Box::new(LatrPolicy::new(LatrConfig::default())),
+            SECOND,
+        );
+        assert!(
+            machine.stats.counter(metrics::LATR_FALLBACK_IPIS) > 0,
+            "a 200-unmap burst within one tick must overflow 64 slots"
+        );
+        assert_eq!(machine.check_reclamation_invariant(), None);
+    }
+}

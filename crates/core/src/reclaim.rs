@@ -1,0 +1,152 @@
+//! Lazy memory reclamation (§4.2).
+//!
+//! Freed virtual ranges and physical frames are parked here instead of
+//! returning to the allocator; the background reclamation thread releases
+//! them once the shootdown upper bound (two scheduler ticks) has passed:
+//! "Latr waits two full cycles of TLB invalidations (i.e., two scheduler
+//! ticks and 2 ms) to ensure that all associated entries have definitely
+//! been invalidated by at least one scheduler tick."
+
+use latr_kernel::ReclaimPackage;
+use latr_sim::Time;
+use std::collections::VecDeque;
+
+/// A deadline-ordered queue of deferred [`ReclaimPackage`]s.
+///
+/// Entries are pushed with monotonically non-decreasing deadlines (each is
+/// `publish_time + 2 ticks`), so a simple FIFO pop-while-due suffices.
+#[derive(Debug, Default)]
+pub struct LazyReclaimQueue {
+    entries: VecDeque<(Time, ReclaimPackage)>,
+    deferred_frames: u64,
+}
+
+impl LazyReclaimQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parks a package until `deadline`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `deadline` is earlier than the most
+    /// recently pushed deadline (the caller always computes `now + 2
+    /// ticks`, which is monotone).
+    pub fn defer(&mut self, deadline: Time, pkg: ReclaimPackage) {
+        if let Some(&(last, _)) = self.entries.back() {
+            debug_assert!(deadline >= last, "reclaim deadlines must be monotone");
+        }
+        self.deferred_frames += pkg.frames.len() as u64;
+        self.entries.push_back((deadline, pkg));
+    }
+
+    /// Pops every package whose deadline is at or before `now`.
+    pub fn due(&mut self, now: Time) -> Vec<ReclaimPackage> {
+        let mut out = Vec::new();
+        while let Some(&(deadline, _)) = self.entries.front() {
+            if deadline > now {
+                break;
+            }
+            out.push(self.entries.pop_front().expect("front exists").1);
+        }
+        out
+    }
+
+    /// Drains everything regardless of deadline (end of run).
+    pub fn drain_all(&mut self) -> Vec<ReclaimPackage> {
+        self.entries.drain(..).map(|(_, p)| p).collect()
+    }
+
+    /// Packages currently parked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is parked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total frames ever deferred through this queue.
+    pub fn total_deferred_frames(&self) -> u64 {
+        self.deferred_frames
+    }
+
+    /// Bytes of physical memory currently parked (the §6.4 memory-overhead
+    /// metric), assuming 4 KiB frames.
+    pub fn parked_bytes(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|(_, p)| p.frames.len() as u64 * latr_mem::PAGE_SIZE)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latr_mem::{MmId, Pfn, VaRange, Vpn};
+
+    fn pkg(frames: u64) -> ReclaimPackage {
+        ReclaimPackage {
+            mm: MmId(0),
+            frames: (0..frames).map(Pfn).collect(),
+            va: Some(VaRange::new(Vpn(1), frames)),
+        }
+    }
+
+    #[test]
+    fn due_respects_deadlines() {
+        let mut q = LazyReclaimQueue::new();
+        q.defer(Time::from_ns(100), pkg(1));
+        q.defer(Time::from_ns(200), pkg(2));
+        assert!(q.due(Time::from_ns(99)).is_empty());
+        let first = q.due(Time::from_ns(100));
+        assert_eq!(first.len(), 1);
+        assert_eq!(q.len(), 1);
+        let second = q.due(Time::from_ns(500));
+        assert_eq!(second.len(), 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn due_pops_multiple_at_once() {
+        let mut q = LazyReclaimQueue::new();
+        q.defer(Time::from_ns(10), pkg(1));
+        q.defer(Time::from_ns(20), pkg(1));
+        q.defer(Time::from_ns(30), pkg(1));
+        assert_eq!(q.due(Time::from_ns(25)).len(), 2);
+    }
+
+    #[test]
+    fn drain_all_ignores_deadlines() {
+        let mut q = LazyReclaimQueue::new();
+        q.defer(Time::from_ns(1_000_000), pkg(3));
+        assert_eq!(q.drain_all().len(), 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn accounting() {
+        let mut q = LazyReclaimQueue::new();
+        q.defer(Time::from_ns(10), pkg(4));
+        q.defer(Time::from_ns(20), pkg(2));
+        assert_eq!(q.total_deferred_frames(), 6);
+        assert_eq!(q.parked_bytes(), 6 * 4096);
+        q.due(Time::from_ns(15));
+        assert_eq!(q.parked_bytes(), 2 * 4096);
+        // Total is cumulative, not current.
+        assert_eq!(q.total_deferred_frames(), 6);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "monotone")]
+    fn non_monotone_deadline_panics_in_debug() {
+        let mut q = LazyReclaimQueue::new();
+        q.defer(Time::from_ns(100), pkg(1));
+        q.defer(Time::from_ns(50), pkg(1));
+    }
+}

@@ -1,0 +1,169 @@
+//! An atomic CPU bitmask.
+//!
+//! The concurrent twin of [`latr_arch::CpuMask`]: remote cores clear their
+//! bit with a single `fetch_and`, and the one whose clear empties the mask
+//! learns it atomically — that core retires the state, exactly the "last
+//! core resets the active flag" step of §4.1 without any lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const WORDS: usize = 4; // up to 256 CPUs, same as latr_arch::MAX_CPUS
+
+/// A 256-bit atomic CPU mask.
+#[derive(Debug, Default)]
+pub struct AtomicCpuMask {
+    words: [AtomicU64; WORDS],
+}
+
+impl AtomicCpuMask {
+    /// Creates an empty mask.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Non-atomically stores a plain bitmask where bit *i* of `bits[w]`
+    /// is CPU `w*64+i`. Used by the publisher before the release-store of
+    /// the active flag.
+    pub fn store_words(&self, bits: [u64; WORDS], order: Ordering) {
+        for (a, b) in self.words.iter().zip(bits) {
+            a.store(b, order);
+        }
+    }
+
+    /// Loads the current bits.
+    pub fn load_words(&self, order: Ordering) -> [u64; WORDS] {
+        [
+            self.words[0].load(order),
+            self.words[1].load(order),
+            self.words[2].load(order),
+            self.words[3].load(order),
+        ]
+    }
+
+    /// Whether `cpu`'s bit is set.
+    pub fn test(&self, cpu: usize, order: Ordering) -> bool {
+        self.words[cpu / 64].load(order) & (1 << (cpu % 64)) != 0
+    }
+
+    /// Atomically clears `cpu`'s bit. Returns `(was_set, now_empty)`:
+    /// whether the bit was previously set, and whether the whole mask is
+    /// empty after the clear.
+    ///
+    /// Within one 64-CPU word the emptiness observation is exact (the
+    /// `fetch_and` is atomic): exactly one clearer sees it. Across words
+    /// more than one clearer may observe emptiness — only clears race and
+    /// emptiness is stable once reached, so retirement acting on it must
+    /// be idempotent (ours is: a plain `store(false)` of the active flag).
+    pub fn clear(&self, cpu: usize) -> (bool, bool) {
+        let w = cpu / 64;
+        let bit = 1u64 << (cpu % 64);
+        let old = self.words[w].fetch_and(!bit, Ordering::AcqRel);
+        let was_set = old & bit != 0;
+        let mut empty = old & !bit == 0;
+        if empty {
+            for (i, word) in self.words.iter().enumerate() {
+                if i != w && word.load(Ordering::Acquire) != 0 {
+                    empty = false;
+                    break;
+                }
+            }
+        }
+        (was_set, empty)
+    }
+
+    /// Whether no bits are set.
+    pub fn is_empty(&self, order: Ordering) -> bool {
+        self.words.iter().all(|w| w.load(order) == 0)
+    }
+
+    /// Number of set bits.
+    pub fn count(&self, order: Ordering) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(order).count_ones() as usize)
+            .sum()
+    }
+}
+
+/// Builds the word representation of "CPUs `0..n` except `skip`".
+pub(crate) fn mask_first_n_except(n: usize, skip: usize) -> [u64; WORDS] {
+    let mut words = [0u64; WORDS];
+    for cpu in 0..n {
+        if cpu == skip {
+            continue;
+        }
+        words[cpu / 64] |= 1 << (cpu % 64);
+    }
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn store_test_clear() {
+        let m = AtomicCpuMask::new();
+        m.store_words([0b110, 0, 0, 1], Ordering::Release);
+        assert!(m.test(1, Ordering::Acquire));
+        assert!(m.test(2, Ordering::Acquire));
+        assert!(m.test(192, Ordering::Acquire));
+        assert!(!m.test(0, Ordering::Acquire));
+        assert_eq!(m.count(Ordering::Acquire), 3);
+
+        let (was_set, empty) = m.clear(1);
+        assert!(was_set);
+        assert!(!empty);
+        let (was_set, _) = m.clear(1);
+        assert!(!was_set);
+        m.clear(2);
+        let (was_set, empty) = m.clear(192);
+        assert!(was_set);
+        assert!(empty);
+        assert!(m.is_empty(Ordering::Acquire));
+    }
+
+    #[test]
+    fn exactly_one_clear_observes_emptiness() {
+        // 64 threads each clear their own bit; exactly one must see the
+        // mask become empty (that thread retires the slot).
+        for _ in 0..50 {
+            let m = Arc::new(AtomicCpuMask::new());
+            m.store_words([u64::MAX, 0, 0, 0], Ordering::Release);
+            let saw_empty = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..64)
+                .map(|cpu| {
+                    let m = Arc::clone(&m);
+                    let saw = Arc::clone(&saw_empty);
+                    std::thread::spawn(move || {
+                        let (was_set, empty) = m.clear(cpu);
+                        assert!(was_set);
+                        if empty {
+                            saw.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(
+                saw_empty.load(Ordering::Relaxed),
+                1,
+                "exactly one clear must observe emptiness"
+            );
+            assert!(m.is_empty(Ordering::Acquire));
+        }
+    }
+
+    #[test]
+    fn mask_builder_skips_initiator() {
+        let words = mask_first_n_except(5, 2);
+        assert_eq!(words[0], 0b11011);
+        let words = mask_first_n_except(130, 129);
+        assert_eq!(words[0], u64::MAX);
+        assert_eq!(words[1], u64::MAX);
+        assert_eq!(words[2], 0b1);
+    }
+}

@@ -1,0 +1,410 @@
+//! Lock-free Latr state queues and the all-cores registry.
+//!
+//! Memory layout follows §4.1: each core owns a cyclic array of states
+//! "allocated from a contiguous memory region" so sweeps stream through
+//! them with the prefetcher. Publication uses the paper's ordering rule:
+//! "an entry is activated after setting all the fields using an atomic
+//! instruction coupled with a memory barrier" — here, a release store of
+//! the `active` flag after the plain field writes, paired with acquire
+//! loads in the sweep.
+
+use crate::rt::mask::{mask_first_n_except, AtomicCpuMask};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// The payload of one invalidation: which address space and which virtual
+/// byte range must be flushed from the sweeper's local cache/TLB analogue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RtInvalidation {
+    /// Address-space identifier (the `mm` pointer in the kernel).
+    pub mm: u64,
+    /// First byte of the range.
+    pub start: u64,
+    /// One past the last byte.
+    pub end: u64,
+}
+
+/// Publishing failed because every slot is active — the caller must fall
+/// back to its synchronous mechanism (IPIs in the kernel).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PublishError;
+
+impl std::fmt::Display for PublishError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "latr state queue full; fall back to synchronous shootdown")
+    }
+}
+
+impl std::error::Error for PublishError {}
+
+/// One slot: the Latr state of §4.1 with an atomic activation flag.
+#[derive(Debug)]
+struct Slot {
+    start: AtomicU64,
+    end: AtomicU64,
+    mm: AtomicU64,
+    cpus: AtomicCpuMask,
+    active: AtomicBool,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            start: AtomicU64::new(0),
+            end: AtomicU64::new(0),
+            mm: AtomicU64::new(0),
+            cpus: AtomicCpuMask::new(),
+            active: AtomicBool::new(false),
+        }
+    }
+}
+
+/// A single core's cyclic, lock-free queue of Latr states.
+///
+/// Single-publisher (the owning core), multi-clearer (every sweeping
+/// core). An `active` counter lets sweeps skip idle queues with a single
+/// load — the contiguous-and-cheap sweep §4.1 relies on.
+#[derive(Debug)]
+pub struct RtQueue {
+    slots: Box<[Slot]>,
+    head: AtomicUsize,
+    active: AtomicUsize,
+}
+
+impl RtQueue {
+    /// Creates a queue of `capacity` slots (64 in the paper).
+    pub fn new(capacity: usize) -> Self {
+        RtQueue {
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+            head: AtomicUsize::new(0),
+            active: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of currently active states (racy snapshot).
+    pub fn active_count(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Publishes an invalidation for the CPUs in `cpu_words`. Only the
+    /// owning core may call this (single producer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PublishError`] when all slots are active; the caller
+    /// falls back to its synchronous path.
+    pub fn publish(&self, inv: RtInvalidation, cpu_words: [u64; 4]) -> Result<usize, PublishError> {
+        let n = self.slots.len();
+        let head = self.head.load(Ordering::Relaxed);
+        for probe in 0..n {
+            let idx = (head + probe) % n;
+            let slot = &self.slots[idx];
+            if slot.active.load(Ordering::Acquire) {
+                continue;
+            }
+            // Fields first (plain stores)...
+            slot.start.store(inv.start, Ordering::Relaxed);
+            slot.end.store(inv.end, Ordering::Relaxed);
+            slot.mm.store(inv.mm, Ordering::Relaxed);
+            slot.cpus.store_words(cpu_words, Ordering::Relaxed);
+            // ...then the activation with release ordering (§4.1's barrier).
+            self.active.fetch_add(1, Ordering::Release);
+            slot.active.store(true, Ordering::Release);
+            self.head.store((idx + 1) % n, Ordering::Relaxed);
+            return Ok(idx);
+        }
+        Err(PublishError)
+    }
+
+    /// Sweeps this queue on behalf of `cpu`: collects every active state
+    /// naming it, clears the bit, and retires slots whose masks emptied.
+    /// Idle queues cost one atomic load.
+    pub fn sweep_for(&self, cpu: usize, out: &mut Vec<RtInvalidation>) {
+        if self.active.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        for slot in self.slots.iter() {
+            if !slot.active.load(Ordering::Acquire) {
+                continue;
+            }
+            if !slot.cpus.test(cpu, Ordering::Acquire) {
+                continue;
+            }
+            // Read the payload before clearing our bit: once the mask
+            // empties the slot may be recycled by the publisher.
+            let inv = RtInvalidation {
+                mm: slot.mm.load(Ordering::Relaxed),
+                start: slot.start.load(Ordering::Relaxed),
+                end: slot.end.load(Ordering::Relaxed),
+            };
+            let (was_set, now_empty) = slot.cpus.clear(cpu);
+            if was_set {
+                out.push(inv);
+                if now_empty {
+                    // Last core out retires the state; the CAS makes the
+                    // cross-word emptiness race benign — exactly one
+                    // retirer decrements the counter.
+                    if slot
+                        .active
+                        .compare_exchange(true, false, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.active.fetch_sub(1, Ordering::Release);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// All cores' queues plus per-core tick counters: the complete §4.1
+/// structure ("64 Latr states per core, allocated from a contiguous
+/// memory region").
+#[derive(Debug)]
+pub struct RtRegistry {
+    queues: Vec<RtQueue>,
+    ticks: Vec<AtomicU64>,
+    saved: AtomicU64,
+    overflows: AtomicU64,
+}
+
+impl RtRegistry {
+    /// Creates the registry for `cores` cores with `states_per_core` slots
+    /// each.
+    pub fn new(cores: usize, states_per_core: usize) -> Self {
+        RtRegistry {
+            queues: (0..cores).map(|_| RtQueue::new(states_per_core)).collect(),
+            ticks: (0..cores).map(|_| AtomicU64::new(0)).collect(),
+            saved: AtomicU64::new(0),
+            overflows: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// One core's queue.
+    pub fn queue(&self, core: usize) -> &RtQueue {
+        &self.queues[core]
+    }
+
+    /// Publishes an invalidation from `core` targeting the CPUs whose bits
+    /// are set in `target_bits` (bit *i* of word *w* = CPU `w*64+i`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PublishError`] on queue overflow.
+    pub fn publish(
+        &self,
+        core: usize,
+        inv: RtInvalidation,
+        target_bits: u64,
+    ) -> Result<usize, PublishError> {
+        self.publish_wide(core, inv, [target_bits, 0, 0, 0])
+    }
+
+    /// [`publish`](Self::publish) with a full 256-bit target mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PublishError`] on queue overflow.
+    pub fn publish_wide(
+        &self,
+        core: usize,
+        inv: RtInvalidation,
+        target_words: [u64; 4],
+    ) -> Result<usize, PublishError> {
+        match self.queues[core].publish(inv, target_words) {
+            Ok(idx) => {
+                self.saved.fetch_add(1, Ordering::Relaxed);
+                Ok(idx)
+            }
+            Err(e) => {
+                self.overflows.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Publishes to every core except the initiator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PublishError`] on queue overflow.
+    pub fn publish_broadcast(
+        &self,
+        core: usize,
+        inv: RtInvalidation,
+    ) -> Result<usize, PublishError> {
+        self.publish_wide(core, inv, mask_first_n_except(self.cores(), core))
+    }
+
+    /// The sweep (§4.1): scans *every* core's queue for states naming
+    /// `core`, clears its bits, bumps its tick counter, and returns the
+    /// invalidations the caller must apply locally.
+    pub fn sweep(&self, core: usize) -> Vec<RtInvalidation> {
+        let mut out = Vec::new();
+        for q in &self.queues {
+            q.sweep_for(core, &mut out);
+        }
+        self.ticks[core].fetch_add(1, Ordering::Release);
+        out
+    }
+
+    /// A core's tick count.
+    pub fn tick_of(&self, core: usize) -> u64 {
+        self.ticks[core].load(Ordering::Acquire)
+    }
+
+    /// The minimum tick across all cores — the reclamation frontier: an
+    /// object parked when every core's tick was ≥ `t` may be freed once
+    /// `min_tick() ≥ t + 2` (§4.2's two-cycle rule).
+    pub fn min_tick(&self) -> u64 {
+        self.ticks
+            .iter()
+            .map(|t| t.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// States successfully published.
+    pub fn states_saved(&self) -> u64 {
+        self.saved.load(Ordering::Relaxed)
+    }
+
+    /// Publish attempts that overflowed.
+    pub fn overflows(&self) -> u64 {
+        self.overflows.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn inv(mm: u64) -> RtInvalidation {
+        RtInvalidation {
+            mm,
+            start: 0x1000,
+            end: 0x2000,
+        }
+    }
+
+    #[test]
+    fn publish_sweep_retire_roundtrip() {
+        let r = RtRegistry::new(3, 4);
+        r.publish(0, inv(1), 0b110).unwrap();
+        assert_eq!(r.queue(0).active_count(), 1);
+
+        let w1 = r.sweep(1);
+        assert_eq!(w1, vec![inv(1)]);
+        // Still active: core 2 hasn't swept.
+        assert_eq!(r.queue(0).active_count(), 1);
+
+        let w2 = r.sweep(2);
+        assert_eq!(w2, vec![inv(1)]);
+        assert_eq!(r.queue(0).active_count(), 0);
+
+        // A second sweep finds nothing.
+        assert!(r.sweep(1).is_empty());
+        assert_eq!(r.states_saved(), 1);
+    }
+
+    #[test]
+    fn sweep_skips_unrelated_cores() {
+        let r = RtRegistry::new(4, 4);
+        r.publish(0, inv(1), 0b0010).unwrap(); // only core 1
+        assert!(r.sweep(2).is_empty());
+        assert!(r.sweep(3).is_empty());
+        assert_eq!(r.sweep(1), vec![inv(1)]);
+    }
+
+    #[test]
+    fn overflow_reports_error() {
+        let r = RtRegistry::new(2, 2);
+        r.publish(0, inv(1), 0b10).unwrap();
+        r.publish(0, inv(2), 0b10).unwrap();
+        assert_eq!(r.publish(0, inv(3), 0b10), Err(PublishError));
+        assert_eq!(r.overflows(), 1);
+        // After core 1 sweeps, slots recycle.
+        assert_eq!(r.sweep(1).len(), 2);
+        assert!(r.publish(0, inv(3), 0b10).is_ok());
+    }
+
+    #[test]
+    fn broadcast_targets_everyone_else() {
+        let r = RtRegistry::new(5, 4);
+        r.publish_broadcast(2, inv(9)).unwrap();
+        for core in [0, 1, 3, 4] {
+            assert_eq!(r.sweep(core).len(), 1, "core {core} must see it");
+        }
+        assert!(r.sweep(2).is_empty(), "initiator is not targeted");
+        assert_eq!(r.queue(2).active_count(), 0);
+    }
+
+    #[test]
+    fn ticks_and_min_tick() {
+        let r = RtRegistry::new(3, 4);
+        assert_eq!(r.min_tick(), 0);
+        r.sweep(0);
+        r.sweep(0);
+        r.sweep(1);
+        assert_eq!(r.tick_of(0), 2);
+        assert_eq!(r.min_tick(), 0, "core 2 never ticked");
+        r.sweep(2);
+        assert_eq!(r.min_tick(), 1);
+    }
+
+    #[test]
+    fn concurrent_publish_and_sweep_loses_nothing() {
+        // One publisher core, three sweeper cores. Every published state
+        // must be seen exactly once by every targeted sweeper.
+        let r = Arc::new(RtRegistry::new(4, 1024));
+        let total = 500u64;
+        let publisher = {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || {
+                let mut published = 0;
+                while published < total {
+                    if r.publish(0, inv(published), 0b1110).is_ok() {
+                        published += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        let sweepers: Vec<_> = (1..4)
+            .map(|core| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    let mut seen = Vec::new();
+                    while seen.len() < total as usize {
+                        for w in r.sweep(core) {
+                            seen.push(w.mm);
+                        }
+                        std::thread::yield_now();
+                    }
+                    seen.sort_unstable();
+                    seen
+                })
+            })
+            .collect();
+        publisher.join().unwrap();
+        for s in sweepers {
+            let seen = s.join().unwrap();
+            assert_eq!(seen.len(), total as usize);
+            // No duplicates, nothing lost.
+            assert_eq!(seen, (0..total).collect::<Vec<_>>());
+        }
+        assert_eq!(r.queue(0).active_count(), 0);
+        assert_eq!(r.states_saved(), total);
+    }
+}

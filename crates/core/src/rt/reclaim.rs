@@ -1,0 +1,149 @@
+//! Tick-gated deferred reclamation (§4.2, concurrent form).
+//!
+//! Objects are parked together with the registry's current minimum tick;
+//! they may be handed back once every core has ticked (= swept) at least
+//! `grace` more times, guaranteeing every stale local cache entry was
+//! dropped in between — the runtime twin of "Latr waits two full cycles of
+//! TLB invalidations".
+
+use crate::rt::queue::RtRegistry;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// A deferred-reclamation queue over arbitrary payloads.
+///
+/// ```
+/// use latr_core::rt::{RtRegistry, RtReclaimer};
+/// let registry = RtRegistry::new(2, 8);
+/// let reclaimer: RtReclaimer<String> = RtReclaimer::new(2); // 2-tick grace
+/// reclaimer.defer(&registry, "freed page".to_owned());
+/// assert!(reclaimer.collect(&registry).is_empty()); // no ticks yet
+/// for _ in 0..2 { registry.sweep(0); registry.sweep(1); }
+/// assert_eq!(reclaimer.collect(&registry), vec!["freed page".to_owned()]);
+/// ```
+#[derive(Debug)]
+pub struct RtReclaimer<T> {
+    grace: u64,
+    pending: Mutex<VecDeque<(u64, T)>>,
+}
+
+impl<T> RtReclaimer<T> {
+    /// Creates a reclaimer that waits `grace` full sweep cycles (the paper
+    /// uses 2).
+    pub fn new(grace: u64) -> Self {
+        RtReclaimer {
+            grace,
+            pending: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Parks `item` until every core has swept `grace` more times.
+    pub fn defer(&self, registry: &RtRegistry, item: T) {
+        let due = registry.min_tick() + self.grace;
+        self.pending.lock().push_back((due, item));
+    }
+
+    /// Collects every item whose grace period has elapsed.
+    pub fn collect(&self, registry: &RtRegistry) -> Vec<T> {
+        let frontier = registry.min_tick();
+        let mut pending = self.pending.lock();
+        let mut out = Vec::new();
+        while let Some(&(due, _)) = pending.front() {
+            if due > frontier {
+                break;
+            }
+            out.push(pending.pop_front().expect("front exists").1);
+        }
+        out
+    }
+
+    /// Items still parked.
+    pub fn pending_count(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Drains everything unconditionally (shutdown).
+    pub fn drain_all(&self) -> Vec<T> {
+        self.pending.lock().drain(..).map(|(_, t)| t).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn grace_gates_on_slowest_core() {
+        let registry = RtRegistry::new(3, 8);
+        let rec: RtReclaimer<u32> = RtReclaimer::new(2);
+        rec.defer(&registry, 1);
+        // Two cores race ahead; the third never sweeps.
+        for _ in 0..10 {
+            registry.sweep(0);
+            registry.sweep(1);
+        }
+        assert!(rec.collect(&registry).is_empty(), "slowest core gates");
+        registry.sweep(2);
+        registry.sweep(2);
+        assert_eq!(rec.collect(&registry), vec![1]);
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let registry = RtRegistry::new(1, 8);
+        let rec: RtReclaimer<u32> = RtReclaimer::new(1);
+        rec.defer(&registry, 1);
+        registry.sweep(0);
+        rec.defer(&registry, 2);
+        registry.sweep(0);
+        assert_eq!(rec.collect(&registry), vec![1, 2]);
+    }
+
+    #[test]
+    fn drain_all_ignores_grace() {
+        let registry = RtRegistry::new(2, 8);
+        let rec: RtReclaimer<&str> = RtReclaimer::new(2);
+        rec.defer(&registry, "a");
+        rec.defer(&registry, "b");
+        assert_eq!(rec.pending_count(), 2);
+        assert_eq!(rec.drain_all(), vec!["a", "b"]);
+        assert_eq!(rec.pending_count(), 0);
+    }
+
+    #[test]
+    fn concurrent_defer_collect_smoke() {
+        let registry = Arc::new(RtRegistry::new(2, 8));
+        let rec: Arc<RtReclaimer<u64>> = Arc::new(RtReclaimer::new(2));
+        let total = 1000u64;
+        let producer = {
+            let (reg, rec) = (Arc::clone(&registry), Arc::clone(&rec));
+            std::thread::spawn(move || {
+                for i in 0..total {
+                    rec.defer(&reg, i);
+                }
+            })
+        };
+        let ticker = {
+            let reg = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                for _ in 0..64 {
+                    reg.sweep(0);
+                    reg.sweep(1);
+                    std::thread::yield_now();
+                }
+            })
+        };
+        producer.join().unwrap();
+        ticker.join().unwrap();
+        let mut got = Vec::new();
+        // A few final cycles so everything becomes due.
+        for _ in 0..4 {
+            registry.sweep(0);
+            registry.sweep(1);
+        }
+        got.extend(rec.collect(&registry));
+        assert_eq!(got.len() as u64 + rec.pending_count() as u64, total);
+        assert_eq!(rec.pending_count(), 0, "all items should be due by now");
+    }
+}

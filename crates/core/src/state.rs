@@ -1,0 +1,227 @@
+//! Latr states and the per-core cyclic state queue (§4.1).
+//!
+//! Each entry holds "the addresses start and end of the virtual address for
+//! the TLB shootdown, a pointer to the `mm_struct`, a bitmask to identify
+//! the remote CPUs involved, flags to identify the reason for the
+//! shootdown, and an active flag". Each core owns a queue of 64 such
+//! states; remote cores sweep all queues at their scheduler tick or context
+//! switch, invalidate locally, and clear their bit — the last core clears
+//! the active flag, recycling the slot.
+//!
+//! This module is the *simulation-side* representation; [`crate::rt`]
+//! contains the lock-free concurrent twin.
+
+use latr_arch::{CpuId, CpuMask};
+use latr_mem::{MmId, VaRange};
+use latr_sim::Time;
+use serde::{Deserialize, Serialize};
+
+/// Why a state was published — the paper's `flags` field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StateKind {
+    /// A free operation (munmap / madvise): PTEs already cleared, frames
+    /// parked on the lazy-reclaim list.
+    Free,
+    /// An AutoNUMA migration hint-unmap: the PTE is *not* cleared yet; the
+    /// first sweeping core performs the unmap (§4.3).
+    Migration,
+}
+
+/// One Latr state.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatrState {
+    /// The virtual range to invalidate.
+    pub range: VaRange,
+    /// The address space it belongs to (the `mm` pointer).
+    pub mm: MmId,
+    /// Why the shootdown is needed.
+    pub kind: StateKind,
+    /// CPUs that still have to invalidate.
+    pub cpus: CpuMask,
+    /// For [`StateKind::Migration`]: whether the first sweeper has already
+    /// cleared the PTE.
+    pub pte_done: bool,
+    /// When the state was published (for bounded-staleness checks).
+    pub published: Time,
+}
+
+/// A per-core cyclic queue of Latr states with a fixed number of slots.
+///
+/// ```
+/// use latr_core::{StateQueue, LatrState, StateKind};
+/// use latr_arch::{CpuMask, CpuId};
+/// use latr_mem::{VaRange, Vpn, MmId};
+/// use latr_sim::Time;
+///
+/// let mut q = StateQueue::new(2);
+/// let state = LatrState {
+///     range: VaRange::new(Vpn(0x10), 1),
+///     mm: MmId(0),
+///     kind: StateKind::Free,
+///     cpus: CpuMask::from_cpus([CpuId(1)]),
+///     pte_done: true,
+///     published: Time::ZERO,
+/// };
+/// assert!(q.publish(state.clone()).is_some());
+/// assert!(q.publish(state.clone()).is_some());
+/// assert!(q.publish(state).is_none()); // full -> caller falls back to IPIs
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct StateQueue {
+    slots: Vec<Option<LatrState>>,
+    head: usize,
+}
+
+impl StateQueue {
+    /// Creates a queue with `capacity` slots (64 in the paper).
+    pub fn new(capacity: usize) -> Self {
+        StateQueue {
+            slots: vec![None; capacity],
+            head: 0,
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of active states.
+    pub fn active_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Publishes a state into a free slot, cyclically from the head.
+    /// Returns the slot index, or `None` when every slot is active — the
+    /// caller must fall back to IPIs (§4.2).
+    pub fn publish(&mut self, state: LatrState) -> Option<usize> {
+        let n = self.slots.len();
+        for probe in 0..n {
+            let idx = (self.head + probe) % n;
+            if self.slots[idx].is_none() {
+                self.slots[idx] = Some(state);
+                self.head = (idx + 1) % n;
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// Iterates over active states mutably (the sweep path).
+    pub fn iter_active_mut(&mut self) -> impl Iterator<Item = &mut LatrState> {
+        self.slots.iter_mut().filter_map(|s| s.as_mut())
+    }
+
+    /// Iterates over active states.
+    pub fn iter_active(&self) -> impl Iterator<Item = &LatrState> {
+        self.slots.iter().filter_map(|s| s.as_ref())
+    }
+
+    /// Deactivates every state whose CPU mask has emptied (the "last core
+    /// resets the active flag" step). Returns how many were retired.
+    pub fn retire_completed(&mut self) -> usize {
+        let mut retired = 0;
+        for slot in &mut self.slots {
+            if matches!(slot, Some(s) if s.cpus.is_empty()) {
+                *slot = None;
+                retired += 1;
+            }
+        }
+        retired
+    }
+
+    /// Clears `cpu`'s bit in every active state, without invalidating
+    /// anything — used when a core goes away (task exit flushes its TLB).
+    pub fn clear_cpu_everywhere(&mut self, cpu: CpuId) {
+        for s in self.iter_active_mut() {
+            s.cpus.clear(cpu);
+        }
+    }
+
+    /// Removes every state (end of run).
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latr_mem::Vpn;
+
+    fn state(cpu_bits: &[u16]) -> LatrState {
+        LatrState {
+            range: VaRange::new(Vpn(0x100), 2),
+            mm: MmId(0),
+            kind: StateKind::Free,
+            cpus: cpu_bits.iter().map(|&c| CpuId(c)).collect(),
+            pte_done: true,
+            published: Time::ZERO,
+        }
+    }
+
+    #[test]
+    fn publish_fills_slots_cyclically() {
+        let mut q = StateQueue::new(3);
+        assert_eq!(q.publish(state(&[1])), Some(0));
+        assert_eq!(q.publish(state(&[1])), Some(1));
+        assert_eq!(q.publish(state(&[1])), Some(2));
+        assert_eq!(q.active_count(), 3);
+        assert!(q.publish(state(&[1])).is_none());
+    }
+
+    #[test]
+    fn retire_frees_slots_for_reuse() {
+        let mut q = StateQueue::new(2);
+        q.publish(state(&[1]));
+        q.publish(state(&[2]));
+        // Core 1 sweeps: first state's mask empties.
+        for s in q.iter_active_mut() {
+            s.cpus.clear(CpuId(1));
+        }
+        assert_eq!(q.retire_completed(), 1);
+        assert_eq!(q.active_count(), 1);
+        assert!(q.publish(state(&[3])).is_some());
+    }
+
+    #[test]
+    fn head_advances_past_published_slot() {
+        let mut q = StateQueue::new(3);
+        q.publish(state(&[1])); // slot 0
+        // Retire it.
+        for s in q.iter_active_mut() {
+            s.cpus.clear(CpuId(1));
+        }
+        q.retire_completed();
+        // Next publish goes to slot 1 (head moved), not back to 0.
+        assert_eq!(q.publish(state(&[1])), Some(1));
+    }
+
+    #[test]
+    fn clear_cpu_everywhere_empties_masks() {
+        let mut q = StateQueue::new(2);
+        q.publish(state(&[1, 2]));
+        q.publish(state(&[1]));
+        q.clear_cpu_everywhere(CpuId(1));
+        let remaining: Vec<usize> = q.iter_active().map(|s| s.cpus.count()).collect();
+        assert_eq!(remaining, vec![1, 0]);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut q = StateQueue::new(2);
+        q.publish(state(&[1]));
+        q.clear();
+        assert_eq!(q.active_count(), 0);
+        assert_eq!(q.publish(state(&[1])), Some(0));
+    }
+
+    #[test]
+    fn zero_capacity_queue_always_overflows() {
+        let mut q = StateQueue::new(0);
+        assert!(q.publish(state(&[1])).is_none());
+    }
+}

@@ -1,0 +1,70 @@
+//! The kernel's event vocabulary.
+
+use crate::shootdown::TxnId;
+use crate::task::TaskId;
+use latr_arch::CpuId;
+use latr_mem::MmId;
+
+/// Everything that can happen in the simulated machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A task is ready to issue its next op.
+    TaskStep(TaskId),
+    /// A task's in-flight op finishes (unless interrupt debt delays it).
+    OpComplete {
+        /// Core executing the op.
+        cpu: CpuId,
+        /// The task whose op completes.
+        task: TaskId,
+        /// Generation guard: stale completions (superseded by debt
+        /// rescheduling) are dropped.
+        generation: u64,
+    },
+    /// Per-core scheduler tick (1 ms, staggered across cores).
+    SchedTick(CpuId),
+    /// An IPI lands on a core.
+    IpiDeliver {
+        /// The interrupted core.
+        target: CpuId,
+        /// The shootdown transaction it belongs to.
+        txn: TxnId,
+    },
+    /// A shootdown ACK reaches the initiating core.
+    AckArrive {
+        /// The transaction being acknowledged.
+        txn: TxnId,
+        /// The responding core.
+        from: CpuId,
+    },
+    /// Periodic policy housekeeping (Latr's background reclamation thread).
+    ReclaimTick,
+    /// The AutoNUMA scanner visits an address space.
+    NumaScan(MmId),
+    /// A NUMA hint fault retried after being blocked by an in-flight lazy
+    /// unmap (§4.4: the fault may proceed only once every CPU has
+    /// invalidated).
+    NumaFaultRetry {
+        /// The faulting task.
+        task: TaskId,
+        /// The page being faulted.
+        vpn: u64,
+    },
+    /// A policy-requested timer with an opaque token.
+    PolicyTimer(u64),
+    /// A task parked on an `mmap_sem` acquires the lock.
+    LockGranted(TaskId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_compare() {
+        assert_eq!(Event::ReclaimTick, Event::ReclaimTick);
+        assert_ne!(
+            Event::TaskStep(TaskId(1)),
+            Event::TaskStep(TaskId(2))
+        );
+    }
+}

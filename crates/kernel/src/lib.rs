@@ -1,0 +1,85 @@
+//! # latr-kernel — the simulated operating system
+//!
+//! A discrete-event model of the parts of Linux 4.10 that Latr patches:
+//! per-core scheduling with 1 ms ticks, address spaces with demand paging,
+//! the `mmap`/`munmap`/`madvise`/`mprotect` syscall paths, page faults,
+//! IPI-based TLB shootdowns, and AutoNUMA page migration.
+//!
+//! The centrepiece is [`Machine`]: it owns the event queue, the cores (each
+//! with a real TLB model), the address spaces (real page tables and VMA
+//! trees over a refcounting frame allocator) and a pluggable
+//! [`TlbPolicy`] deciding what happens when remote TLBs must be
+//! invalidated:
+//!
+//! * [`LinuxPolicy`] — the baseline: synchronous, IPI-based shootdowns
+//!   with Linux's batching and full-flush heuristics (§2.1);
+//! * [`AbisPolicy`] — the ABIS baseline: access-bit tracking narrows the
+//!   IPI target set at a per-page bookkeeping cost (§2.3);
+//! * `LatrPolicy` — lives in the `latr-core` crate (the paper's
+//!   contribution) and plugs in through the same trait.
+//!
+//! Workloads drive tasks through [`Op`]s; the machine executes them against
+//! the memory substrate, charging time from the calibrated
+//! [`latr_arch::CostModel`].
+
+mod event;
+mod machine;
+mod mmlock;
+mod numa;
+mod ops;
+mod policy_abis;
+mod policy_linux;
+mod shootdown;
+mod task;
+
+pub use event::Event;
+pub use machine::{Core, Machine, MachineConfig, ReclaimPackage};
+pub use mmlock::{LockMode, MmLock};
+pub use numa::{NumaConfig, NumaStats};
+pub use ops::{Op, OpResult, Workload};
+pub use policy_abis::AbisPolicy;
+pub use policy_linux::LinuxPolicy;
+pub use shootdown::{FlushKind, FlushOutcome, NoopPolicy, ShootdownTxn, TlbPolicy, TxnId};
+pub use task::{Task, TaskId, TaskState};
+
+/// Well-known statistics names recorded by the machine; workloads and the
+/// bench harness share these constants instead of scattering string
+/// literals.
+pub mod metrics {
+    /// Remote-invalidation rounds initiated (one per munmap/madvise/
+    /// mprotect/NUMA-scan that needed remote cores) — "TLB shootdowns" in
+    /// the paper's figures.
+    pub const SHOOTDOWNS: &str = "shootdowns";
+    /// Individual IPIs sent.
+    pub const IPIS_SENT: &str = "ipis_sent";
+    /// IPI interrupts handled on remote cores.
+    pub const IPIS_HANDLED: &str = "ipis_handled";
+    /// End-to-end latency of `munmap()` calls (ns histogram).
+    pub const MUNMAP_NS: &str = "munmap_ns";
+    /// Latency of the remote-shootdown portion of an munmap (ns histogram).
+    pub const SHOOTDOWN_NS: &str = "shootdown_ns";
+    /// End-to-end latency of `madvise(DONTNEED/FREE)` calls.
+    pub const MADVISE_NS: &str = "madvise_ns";
+    /// Page faults taken.
+    pub const PAGE_FAULTS: &str = "page_faults";
+    /// NUMA hint faults taken.
+    pub const HINT_FAULTS: &str = "hint_faults";
+    /// Pages migrated across NUMA nodes.
+    pub const MIGRATIONS: &str = "migrations";
+    /// Context switches performed.
+    pub const CONTEXT_SWITCHES: &str = "context_switches";
+    /// Scheduler ticks delivered.
+    pub const SCHED_TICKS: &str = "sched_ticks";
+    /// Workload-level completed units (requests, iterations).
+    pub const WORK_UNITS: &str = "work_units";
+    /// Latr states saved (written by the Latr policy).
+    pub const LATR_STATES_SAVED: &str = "latr_states_saved";
+    /// Latr sweeps that invalidated at least one entry.
+    pub const LATR_SWEEP_HITS: &str = "latr_sweep_hits";
+    /// Latr fallback IPI rounds (state queue full).
+    pub const LATR_FALLBACK_IPIS: &str = "latr_fallback_ipis";
+    /// Frames whose reclamation Latr deferred.
+    pub const LATR_DEFERRED_FRAMES: &str = "latr_deferred_frames";
+    /// ABIS access-bit tracking operations.
+    pub const ABIS_TRACK_OPS: &str = "abis_track_ops";
+}

@@ -1,0 +1,1792 @@
+//! The simulated machine: cores, address spaces, event loop, syscalls.
+//!
+//! One [`Machine`] is one experiment run: a topology, a cost model, a
+//! [`TlbPolicy`](crate::TlbPolicy), a [`Workload`] and a seed. Tasks are
+//! pinned one-per-core (the paper pins workers and disables
+//! hyperthreading); context switching is modelled through explicit
+//! [`Op::Yield`] ops, and cross-CPU interference flows through interrupt
+//! "time debt" injected into whatever op a core is executing when an IPI
+//! lands.
+
+use crate::event::Event;
+use crate::mmlock::{LockMode, MmLock};
+use crate::numa::{NumaConfig, NumaRuntime, NumaStats};
+use crate::ops::{Op, OpResult, Workload};
+use crate::shootdown::{FlushKind, FlushOutcome, ShootdownTxn, TlbPolicy, TxnId};
+use crate::task::{Task, TaskId, TaskState};
+use latr_arch::{
+    CostModel, CpuId, CpuMask, IpiFabric, LlcModel, Tlb, TlbEntry, Topology,
+};
+use latr_mem::{
+    FileId, FrameAllocator, MapKind, MmId, MmStruct, PageCache, Pfn, Prot, PteFlags, VaRange, Vpn,
+};
+use latr_sim::{EventQueue, Nanos, SimRng, StatsRegistry, Time, TraceRing};
+use std::collections::HashMap;
+
+/// Configuration of one simulation run.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// The machine layout (sockets, cores, TLB sizes).
+    pub topology: Topology,
+    /// The latency constants.
+    pub costs: CostModel,
+    /// RNG seed; same seed + same workload = identical run.
+    pub seed: u64,
+    /// Physical frames per NUMA node.
+    pub frames_per_node: u64,
+    /// Trace ring capacity (0 = tracing off).
+    pub trace_capacity: usize,
+    /// Baseline LLC miss ratio of the application (Table 4 modelling).
+    pub llc_base_miss_ratio: f64,
+    /// Whether PCIDs tag TLB entries (§4.5; Linux 4.10 default is off).
+    pub pcid_enabled: bool,
+    /// Tickless kernel (§7, `CONFIG_NO_HZ`): idle cores skip their
+    /// scheduler ticks entirely. Safe for Latr because an idle core is in
+    /// no `mm_cpumask`, so no state ever names it; its TLB was flushed on
+    /// the way to idle.
+    pub tickless: bool,
+    /// AutoNUMA configuration.
+    pub numa: NumaConfig,
+}
+
+impl MachineConfig {
+    /// A config over the given topology with calibrated costs and sensible
+    /// defaults (NUMA balancing off, as in §6.1's free-operation runs).
+    pub fn new(topology: Topology) -> Self {
+        MachineConfig {
+            topology,
+            costs: CostModel::calibrated(),
+            seed: 0x1a7_12a7,
+            frames_per_node: 1 << 20, // 4 GiB per node — ample for workloads
+            trace_capacity: 0,
+            llc_base_miss_ratio: 0.05,
+            pcid_enabled: false,
+            tickless: false,
+            numa: NumaConfig::disabled(),
+        }
+    }
+}
+
+/// Per-core execution state.
+#[derive(Debug)]
+pub struct Core {
+    /// This core's id.
+    pub id: CpuId,
+    /// The core's TLB model.
+    pub tlb: Tlb,
+    /// The task pinned here, if any.
+    pub current: Option<TaskId>,
+    /// Whether an op is in flight.
+    pub busy: bool,
+    /// Interrupt time injected into the in-flight op.
+    pub debt: Nanos,
+    /// Guards stale `OpComplete` events after debt rescheduling.
+    pub op_generation: u64,
+    /// When the in-flight op started (for op latency accounting).
+    pub op_started: Time,
+}
+
+/// A deferred-release package: the frames and VA range whose reuse must
+/// wait for the TLB shootdown to complete.
+#[derive(Debug, Clone)]
+pub struct ReclaimPackage {
+    /// The address space the VA belongs to.
+    pub mm: MmId,
+    /// Frame references to drop.
+    pub frames: Vec<Pfn>,
+    /// VA range to unblock.
+    pub va: Option<VaRange>,
+}
+
+/// The simulated machine. See the module documentation for the model.
+pub struct Machine {
+    topology: Topology,
+    costs: CostModel,
+    fabric: IpiFabric,
+    queue: EventQueue<Event>,
+    /// Per-core state, indexed by CPU id.
+    pub cores: Vec<Core>,
+    mms: Vec<MmStruct>,
+    /// The physical frame allocator.
+    pub frames: FrameAllocator,
+    /// The shared page cache.
+    pub page_cache: PageCache,
+    tasks: Vec<Task>,
+    /// Metric counters and histograms for the run.
+    pub stats: StatsRegistry,
+    /// Debug trace ring.
+    pub trace: TraceRing,
+    /// The run's deterministic RNG.
+    pub rng: SimRng,
+    /// The LLC perturbation model.
+    pub llc: LlcModel,
+    policy: Option<Box<dyn TlbPolicy>>,
+    workload: Option<Box<dyn Workload>>,
+    txns: HashMap<u64, ShootdownTxn>,
+    next_txn: u64,
+    pending_reclaim: Option<ReclaimPackage>,
+    numa: NumaRuntime,
+    pcid_enabled: bool,
+    tickless: bool,
+    live_tasks: usize,
+    end_time: Time,
+    // Hint faults waiting for a lazy NUMA unmap to finish (§4.4).
+    blocked_faults: HashMap<u32, (Vpn, bool)>,
+    // Per-task in-flight ops (keyed by raw task id).
+    in_flight: HashMap<u32, Op>,
+    // Pages currently swapped out, keyed by (mm, vpn).
+    swapped: std::collections::HashSet<(u32, u64)>,
+    // Pages the compactor wants migrated on their next (hint) fault.
+    compact_pending: std::collections::HashSet<(u32, u64)>,
+    // Per-mm mmap_sem locks, parallel to `mms`.
+    locks: Vec<MmLock>,
+    // mmap_sem holds per task.
+    lock_held: HashMap<u32, LockMode>,
+    // Ops waiting for the mmap_sem.
+    parked: HashMap<u32, Op>,
+}
+
+impl Machine {
+    /// Builds a machine from its configuration.
+    pub fn new(config: MachineConfig) -> Self {
+        let ncpus = config.topology.num_cpus();
+        let cores = (0..ncpus)
+            .map(|i| Core {
+                id: CpuId(i as u16),
+                tlb: Tlb::new(
+                    config.topology.l1_dtlb_entries() as usize,
+                    config.topology.l2_tlb_entries() as usize,
+                ),
+                current: None,
+                busy: false,
+                debt: 0,
+                op_generation: 0,
+                op_started: Time::ZERO,
+            })
+            .collect();
+        let frames = FrameAllocator::new(config.topology.num_nodes(), config.frames_per_node);
+        Machine {
+            fabric: IpiFabric::new(config.topology.clone(), config.costs.clone()),
+            queue: EventQueue::new(),
+            cores,
+            mms: Vec::new(),
+            frames,
+            page_cache: PageCache::new(),
+            tasks: Vec::new(),
+            stats: StatsRegistry::new(),
+            trace: TraceRing::with_capacity(config.trace_capacity),
+            rng: SimRng::new(config.seed),
+            llc: LlcModel::new(config.llc_base_miss_ratio),
+            policy: None,
+            workload: None,
+            txns: HashMap::new(),
+            next_txn: 0,
+            pending_reclaim: None,
+            numa: NumaRuntime::new(config.numa),
+            pcid_enabled: config.pcid_enabled,
+            tickless: config.tickless,
+            live_tasks: 0,
+            end_time: Time::MAX,
+            topology: config.topology,
+            costs: config.costs,
+            blocked_faults: HashMap::new(),
+            in_flight: HashMap::new(),
+            swapped: std::collections::HashSet::new(),
+            compact_pending: std::collections::HashSet::new(),
+            locks: Vec::new(),
+            lock_held: HashMap::new(),
+            parked: HashMap::new(),
+        }
+    }
+
+    // ---- accessors --------------------------------------------------------
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.queue.now()
+    }
+
+    /// The machine's topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The cost model.
+    pub fn costs(&self) -> &CostModel {
+        &self.costs
+    }
+
+    /// The scheduler tick period.
+    pub fn tick_period(&self) -> Nanos {
+        self.costs.sched_tick_period
+    }
+
+    /// An address space by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unknown id.
+    pub fn mm(&self, id: MmId) -> &MmStruct {
+        &self.mms[id.0 as usize]
+    }
+
+    /// Mutable access to an address space.
+    pub fn mm_mut(&mut self, id: MmId) -> &mut MmStruct {
+        &mut self.mms[id.0 as usize]
+    }
+
+    /// A task by id.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// Number of address spaces.
+    pub fn num_mms(&self) -> usize {
+        self.mms.len()
+    }
+
+    /// All tasks (for workloads to enumerate).
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// The address space currently active on `cpu`.
+    pub fn current_mm(&self, cpu: CpuId) -> Option<MmId> {
+        self.cores[cpu.index()]
+            .current
+            .map(|t| self.tasks[t.index()].mm)
+    }
+
+    /// NUMA balancing statistics for the run.
+    pub fn numa_stats(&self) -> &NumaStats {
+        self.numa.stats()
+    }
+
+    // ---- setup -------------------------------------------------------------
+
+    /// Creates a new process (address space). When PCIDs are enabled each
+    /// mm gets a distinct tag (§4.5).
+    pub fn create_process(&mut self) -> MmId {
+        let id = MmId(self.mms.len() as u32);
+        let mut mm = MmStruct::new(id);
+        if self.pcid_enabled {
+            mm.pcid = (id.0 % 4094 + 1) as u16;
+        }
+        self.mms.push(mm);
+        self.locks.push(MmLock::new());
+        id
+    }
+
+    /// Spawns a task of `mm` pinned to `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core already has a task (the simulation pins one task
+    /// per core).
+    pub fn spawn_task(&mut self, mm: MmId, core: CpuId) -> TaskId {
+        assert!(
+            self.cores[core.index()].current.is_none(),
+            "{core} already has a task"
+        );
+        let id = TaskId(self.tasks.len() as u32);
+        self.tasks.push(Task::new(id, mm, core));
+        self.cores[core.index()].current = Some(id);
+        self.mms[mm.0 as usize].cpu_activated(core);
+        self.live_tasks += 1;
+        id
+    }
+
+    /// Registers a page-cache file of `pages` pages.
+    pub fn register_file(&mut self, pages: u64) -> FileId {
+        self.page_cache.register_file(pages)
+    }
+
+    // ---- the event loop ----------------------------------------------------
+
+    /// Runs `workload` under `policy` for `duration` simulated nanoseconds
+    /// (or until all tasks exit). Returns the boxes for post-run
+    /// inspection.
+    pub fn run(
+        &mut self,
+        mut workload: Box<dyn Workload>,
+        policy: Box<dyn TlbPolicy>,
+        duration: Nanos,
+    ) -> (Box<dyn Workload>, Box<dyn TlbPolicy>) {
+        workload.setup(self);
+        assert!(self.live_tasks > 0, "workload created no tasks");
+        self.workload = Some(workload);
+        self.policy = Some(policy);
+        self.end_time = self.now() + duration;
+
+        // Kick every task.
+        for i in 0..self.tasks.len() {
+            self.queue.schedule_after(0, Event::TaskStep(TaskId(i as u32)));
+        }
+        // Staggered scheduler ticks: "these scheduler ticks are not
+        // synchronized across all the cores" (§3).
+        let period = self.costs.sched_tick_period;
+        for cpu in 0..self.cores.len() {
+            let stagger = (period * cpu as u64) / self.cores.len() as u64;
+            self.queue
+                .schedule_after(stagger.max(1), Event::SchedTick(CpuId(cpu as u16)));
+        }
+        // Background reclamation tick (used by Latr's kernel thread).
+        self.queue.schedule_after(period, Event::ReclaimTick);
+        // AutoNUMA scanner.
+        if self.numa.config().enabled {
+            let scan = self.numa.config().scan_period;
+            for mm in 0..self.mms.len() {
+                self.queue
+                    .schedule_after(scan, Event::NumaScan(MmId(mm as u32)));
+            }
+        }
+
+        while let Some(next) = self.queue.peek_time() {
+            if next > self.end_time || self.live_tasks == 0 {
+                break;
+            }
+            let (_, event) = self.queue.pop().expect("peeked");
+            self.handle(event);
+        }
+
+        let mut policy = self.policy.take().expect("policy present");
+        policy.on_shutdown(self);
+        // Reap forked-but-never-run address spaces so leak checks see a
+        // clean machine (their cpumask never had a CPU, so no TLB can
+        // cache their translations).
+        for i in 0..self.mms.len() {
+            if self.mms[i].cpumask.is_empty() {
+                self.exit_mmap(MmId(i as u32));
+            }
+        }
+        let workload = self.workload.take().expect("workload present");
+        (workload, policy)
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::TaskStep(task) => self.task_step(task),
+            Event::OpComplete {
+                cpu,
+                task,
+                generation,
+            } => self.op_complete(cpu, task, generation),
+            Event::SchedTick(cpu) => self.sched_tick(cpu),
+            Event::IpiDeliver { target, txn } => self.ipi_deliver(target, txn),
+            Event::AckArrive { txn, from } => self.ack_arrive(txn, from),
+            Event::ReclaimTick => {
+                self.with_policy(|policy, machine| policy.on_reclaim_tick(machine));
+                let period = self.costs.sched_tick_period;
+                self.queue.schedule_after(period, Event::ReclaimTick);
+            }
+            Event::NumaScan(mm) => self.numa_scan(mm),
+            Event::NumaFaultRetry { task, vpn } => self.numa_fault_retry(task, Vpn(vpn)),
+            Event::PolicyTimer(token) => {
+                self.with_policy(|policy, machine| policy.on_timer(machine, token));
+            }
+            Event::LockGranted(task) => self.lock_granted(task),
+        }
+    }
+
+    /// Runs `f` with the policy detached so it can borrow the machine.
+    fn with_policy<R>(&mut self, f: impl FnOnce(&mut dyn TlbPolicy, &mut Machine) -> R) -> R {
+        let mut policy = self.policy.take().expect("policy re-entered");
+        let r = f(policy.as_mut(), self);
+        self.policy = Some(policy);
+        r
+    }
+
+    fn with_workload<R>(&mut self, f: impl FnOnce(&mut dyn Workload, &mut Machine) -> R) -> R {
+        let mut w = self.workload.take().expect("workload re-entered");
+        let r = f(w.as_mut(), self);
+        self.workload = Some(w);
+        r
+    }
+
+    // ---- mmap_sem ------------------------------------------------------------
+
+    /// Acquires `task`'s mm lock, or parks the task until it is granted.
+    /// Returns whether the lock is held after the call. Idempotent for a
+    /// task that already holds the requested mode (re-execution after a
+    /// grant).
+    fn acquire_mm_lock(&mut self, task: TaskId, mode: LockMode) -> bool {
+        if self.lock_held.get(&task.0).copied() == Some(mode) {
+            return true;
+        }
+        let mm = self.tasks[task.index()].mm;
+        if self.locks[mm.0 as usize].acquire(task, mode) {
+            self.lock_held.insert(task.0, mode);
+            true
+        } else {
+            self.stats.inc("mmap_sem_waits");
+            false
+        }
+    }
+
+    fn release_mm_lock(&mut self, task: TaskId) {
+        if self.lock_held.remove(&task.0).is_some() {
+            let mm = self.tasks[task.index()].mm;
+            let granted = self.locks[mm.0 as usize].release(task);
+            for g in granted {
+                self.queue.schedule_after(0, Event::LockGranted(g));
+            }
+        }
+    }
+
+    fn lock_granted(&mut self, task: TaskId) {
+        if !self.tasks[task.index()].is_live() {
+            // The grantee exited while queued; pass the lock on.
+            let mm = self.tasks[task.index()].mm;
+            let granted = self.locks[mm.0 as usize].release(task);
+            for g in granted {
+                self.queue.schedule_after(0, Event::LockGranted(g));
+            }
+            return;
+        }
+        let mode = if self.locks[self.tasks[task.index()].mm.0 as usize].writer() == Some(task) {
+            LockMode::Write
+        } else {
+            LockMode::Read
+        };
+        self.lock_held.insert(task.0, mode);
+        let op = self
+            .parked
+            .remove(&task.0)
+            .expect("granted task has a parked op");
+        self.execute_op(task, op);
+    }
+
+    /// Whether executing `op` requires the mm lock, and in which mode.
+    fn lock_mode_for(&self, task: TaskId, op: &Op) -> Option<LockMode> {
+        match *op {
+            Op::MmapAnon { .. }
+            | Op::MmapFile { .. }
+            | Op::Munmap { .. }
+            | Op::MadviseFree { .. }
+            | Op::Mprotect { .. }
+            | Op::Mremap { .. }
+            | Op::SwapOut { .. }
+            | Op::Dedup { .. }
+            | Op::Compact { .. }
+            | Op::Fork => Some(LockMode::Write),
+            Op::Access { vpn, write } => {
+                // Only a fault takes mmap_sem (for reading); a plain TLB
+                // refill walks the page table locklessly.
+                let t = &self.tasks[task.index()];
+                let mm = &self.mms[t.mm.0 as usize];
+                if let Some(entry) = self.cores[t.core.index()].tlb.peek(mm.pcid, vpn.0) {
+                    if !write || entry.writable {
+                        return None;
+                    }
+                }
+                match mm.page_table.lookup(vpn) {
+                    Some(pte) if !pte.flags.numa_hint && (!write || pte.flags.writable) => None,
+                    _ => Some(LockMode::Read),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    // ---- task stepping -----------------------------------------------------
+
+    fn task_step(&mut self, task: TaskId) {
+        if !self.tasks[task.index()].is_live() {
+            return;
+        }
+        let op = self.with_workload(|w, m| w.next_op(m, task));
+        self.execute_op(task, op);
+    }
+
+    fn execute_op(&mut self, task_id: TaskId, op: Op) {
+        if let Some(mode) = self.lock_mode_for(task_id, &op) {
+            if !self.acquire_mm_lock(task_id, mode) {
+                self.parked.insert(task_id.0, op);
+                return;
+            }
+        }
+        let cpu = self.tasks[task_id.index()].core;
+        match op {
+            Op::Compute(ns) => {
+                self.llc.charge_app_accesses(ns / 10);
+                self.begin_op(cpu, task_id, op, ns.max(1));
+            }
+            Op::Sleep(ns) => {
+                // Sleeping consumes no CPU: step again later, reporting the
+                // op as complete immediately.
+                self.tasks[task_id.index()].ops_completed += 1;
+                self.with_workload(|w, m| {
+                    w.on_op_complete(
+                        m,
+                        task_id,
+                        OpResult {
+                            op,
+                            latency: ns,
+                        },
+                    )
+                });
+                self.queue
+                    .schedule_after(ns.max(1), Event::TaskStep(task_id));
+            }
+            Op::Yield => {
+                self.stats.inc(crate::metrics::CONTEXT_SWITCHES);
+                let mut cost = self.costs.context_switch;
+                cost += self.with_policy(|p, m| p.on_context_switch(m, cpu));
+                if !self.pcid_enabled {
+                    // CR3 write on the way back flushes the TLB (§4.5).
+                    self.cores[cpu.index()].tlb.flush_all();
+                    cost += self.costs.full_flush;
+                }
+                self.begin_op(cpu, task_id, op, cost.max(1));
+            }
+            Op::Access { vpn, write } => {
+                match self.access_page(task_id, vpn, write) {
+                    AccessOutcome::Done(cost) => self.begin_op(cpu, task_id, op, cost.max(1)),
+                    AccessOutcome::BlockedOnNuma => {
+                        // Op stays in flight; a NumaFaultRetry will finish it.
+                        self.blocked_faults.insert(task_id.0, (vpn, write));
+                        self.cores[cpu.index()].busy = true;
+                        self.cores[cpu.index()].op_started = self.now();
+                        let retry = self.numa.config().fault_retry;
+                        self.queue.schedule_after(
+                            retry,
+                            Event::NumaFaultRetry {
+                                task: task_id,
+                                vpn: vpn.0,
+                            },
+                        );
+                    }
+                }
+            }
+            Op::AccessBatch {
+                range,
+                accesses,
+                write,
+            } => {
+                let mut cost = 0;
+                for _ in 0..accesses {
+                    let page = range.start.0 + self.rng.below(range.pages.max(1));
+                    match self.access_page(task_id, Vpn(page), write) {
+                        AccessOutcome::Done(c) => cost += c,
+                        // Batches model steady-state working sets; a blocked
+                        // hint fault inside one is treated as its retry
+                        // latency.
+                        AccessOutcome::BlockedOnNuma => cost += self.numa.config().fault_retry,
+                    }
+                }
+                self.begin_op(cpu, task_id, op, cost.max(1));
+            }
+            Op::MmapAnon { pages } => {
+                let mm = self.tasks[task_id.index()].mm;
+                let range = self.mm_mut(mm).mmap_anon(pages, Prot::READ_WRITE);
+                self.tasks[task_id.index()].last_mmap = Some(range);
+                let cost = self.costs.syscall_overhead + self.costs.vma_op;
+                self.begin_op(cpu, task_id, op, cost);
+            }
+            Op::MmapFile {
+                file,
+                offset,
+                pages,
+            } => {
+                let mm = self.tasks[task_id.index()].mm;
+                let range = self.mm_mut(mm).mmap_file(file, offset, pages, Prot::READ);
+                self.tasks[task_id.index()].last_mmap = Some(range);
+                let cost = self.costs.syscall_overhead + self.costs.vma_op;
+                self.begin_op(cpu, task_id, op, cost);
+            }
+            Op::Munmap { range } => self.do_unmap(task_id, op, range, FlushKind::Unmap),
+            Op::MadviseFree { range } => self.do_unmap(task_id, op, range, FlushKind::MadviseFree),
+            Op::Mprotect { range, prot } => self.do_mprotect(task_id, op, range, prot),
+            Op::Mremap { range } => self.do_mremap(task_id, op, range),
+            Op::SwapOut { range } => self.do_swap_out(task_id, op, range),
+            Op::Dedup { range } => self.do_dedup(task_id, op, range),
+            Op::Compact { range } => self.do_compact(task_id, op, range),
+            Op::Fork => self.do_fork(task_id, op),
+            Op::Exit => {
+                debug_assert!(
+                    !self.lock_held.contains_key(&task_id.0),
+                    "task exits while holding mmap_sem"
+                );
+                let t = &mut self.tasks[task_id.index()];
+                t.state = TaskState::Done;
+                let mm = t.mm;
+                let core = t.core;
+                self.cores[core.index()].current = None;
+                self.mms[mm.0 as usize].cpu_deactivated(core);
+                // Leaving a core idle flushes its TLB on the way out
+                // (idle lazy-TLB would defer this; either way no stale
+                // user entries survive for the next owner).
+                self.cores[core.index()].tlb.flush_all();
+                // Last thread out tears the address space down
+                // (exit_mmap): with an empty mm_cpumask no remote TLBs can
+                // cache its translations, so frames free immediately.
+                if self.mms[mm.0 as usize].cpumask.is_empty() {
+                    self.exit_mmap(mm);
+                }
+                self.live_tasks -= 1;
+            }
+        }
+    }
+
+    /// Starts an op of the given CPU cost; completion is scheduled and may
+    /// be delayed by interrupt debt.
+    fn begin_op(&mut self, cpu: CpuId, task: TaskId, _op: Op, cost: Nanos) {
+        let now = self.now();
+        let core = &mut self.cores[cpu.index()];
+        core.busy = true;
+        core.op_started = now;
+        core.op_generation += 1;
+        let generation = core.op_generation;
+        self.queue.schedule_after(
+            cost,
+            Event::OpComplete {
+                cpu,
+                task,
+                generation,
+            },
+        );
+        // Stash the op so completion can report it.
+        self.in_flight.insert(task.0, _op);
+    }
+
+    fn op_complete(&mut self, cpu: CpuId, task: TaskId, generation: u64) {
+        let now = self.now();
+        let core = &mut self.cores[cpu.index()];
+        if generation != core.op_generation {
+            return; // superseded by a debt extension
+        }
+        if core.debt > 0 {
+            let debt = core.debt;
+            core.debt = 0;
+            core.op_generation += 1;
+            let generation = core.op_generation;
+            self.queue.schedule_after(
+                debt,
+                Event::OpComplete {
+                    cpu,
+                    task,
+                    generation,
+                },
+            );
+            return;
+        }
+        core.busy = false;
+        let latency = now - core.op_started;
+        let op = self
+            .in_flight
+            .remove(&task.0)
+            .expect("completed op was in flight");
+        self.tasks[task.index()].ops_completed += 1;
+        self.release_mm_lock(task);
+        match op {
+            Op::Munmap { .. } => self.stats.record(crate::metrics::MUNMAP_NS, latency),
+            Op::MadviseFree { .. } => self.stats.record(crate::metrics::MADVISE_NS, latency),
+            _ => {}
+        }
+        self.with_workload(|w, m| w.on_op_complete(m, task, OpResult { op, latency }));
+        if self.tasks[task.index()].is_live() {
+            self.queue.schedule_after(0, Event::TaskStep(task));
+        }
+    }
+
+    // ---- memory access & faults ---------------------------------------------
+
+    fn access_page(&mut self, task_id: TaskId, vpn: Vpn, write: bool) -> AccessOutcome {
+        let task = &self.tasks[task_id.index()];
+        let cpu = task.core;
+        let mm_id = task.mm;
+        let pcid = self.mms[mm_id.0 as usize].pcid;
+        self.llc.charge_app_accesses(1);
+
+        if let Some(entry) = self.cores[cpu.index()].tlb.lookup(pcid, vpn.0) {
+            if !write || entry.writable {
+                return AccessOutcome::Done(2); // TLB hit: ~free
+            }
+            // Write through a read-only entry: fall through to the fault
+            // path after invalidating the stale entry.
+            self.cores[cpu.index()].tlb.invalidate_page(pcid, vpn.0);
+        }
+
+        let mut cost = self.costs.tlb_miss_walk;
+        let pte = self.mms[mm_id.0 as usize].page_table.lookup(vpn);
+        match pte {
+            Some(pte) if pte.flags.numa_hint => {
+                // NUMA hint fault (§4.3).
+                self.stats.inc(crate::metrics::HINT_FAULTS);
+                let proceed =
+                    self.with_policy(|p, m| p.numa_fault_may_proceed(m, mm_id, vpn));
+                if !proceed {
+                    return AccessOutcome::BlockedOnNuma;
+                }
+                cost += self.numa_hint_fault(task_id, vpn, write);
+                AccessOutcome::Done(cost)
+            }
+            Some(pte) => {
+                let mut pte = pte;
+                let mut writable = pte.flags.writable;
+                if write && !writable {
+                    let vma_allows_write = self.mms[mm_id.0 as usize]
+                        .vmas
+                        .find(vpn)
+                        .map(|v| v.prot.write)
+                        .unwrap_or(false);
+                    if vma_allows_write {
+                        // Copy-on-write break: a new private frame, and an
+                        // ownership change that must reach every core
+                        // synchronously (Table 1's CoW row — identical
+                        // under every policy, charged analytically).
+                        cost += self.cow_break(task_id, vpn, &mut pte);
+                        writable = true;
+                    } else {
+                        // True protection fault.
+                        cost += self.costs.page_fault;
+                        self.stats.inc("protection_faults");
+                    }
+                }
+                self.mms[mm_id.0 as usize].page_table.update(vpn, |p| {
+                    p.flags.accessed = true;
+                    if write && writable {
+                        p.flags.dirty = true;
+                    }
+                });
+                self.cores[cpu.index()].tlb.insert(TlbEntry {
+                    pcid,
+                    vpn: vpn.0,
+                    pfn: pte.pfn.0,
+                    writable,
+                });
+                AccessOutcome::Done(cost)
+            }
+            None => {
+                // Demand-paging fault.
+                cost += self.demand_fault(task_id, vpn, write);
+                AccessOutcome::Done(cost)
+            }
+        }
+    }
+
+    /// Breaks copy-on-write sharing of `vpn`: allocates a private frame,
+    /// copies, re-points the PTE writable, and charges the synchronous
+    /// ownership-change shootdown. Updates `pte` to the new entry and
+    /// returns the CPU cost.
+    fn cow_break(&mut self, task_id: TaskId, vpn: Vpn, pte: &mut latr_mem::Pte) -> Nanos {
+        let task = &self.tasks[task_id.index()];
+        let cpu = task.core;
+        let mm_id = task.mm;
+        let node = self.topology.node_of(cpu);
+        let mut cost = self.costs.page_fault;
+        self.stats.inc("cow_breaks");
+        let old = pte.pfn;
+        if self.frames.refcount(old) > 1 {
+            let Some(new) = self.frames.alloc(node) else {
+                self.stats.inc("oom_events");
+                return cost;
+            };
+            cost += self.costs.page_copy + self.costs.frame_op;
+            self.frames.dec_ref(old);
+            pte.pfn = new;
+        }
+        pte.flags.writable = true;
+        let new_pfn = pte.pfn;
+        self.mms[mm_id.0 as usize].page_table.update(vpn, |p| {
+            p.pfn = new_pfn;
+            p.flags.writable = true;
+        });
+        cost += self.costs.pte_op;
+        let pcid = self.mms[mm_id.0 as usize].pcid;
+        self.cores[cpu.index()].tlb.invalidate_page(pcid, vpn.0);
+        // Remote read-only translations of the old frame must go before
+        // the writer proceeds.
+        let sharers: Vec<CpuId> = self.mms[mm_id.0 as usize].cpumask.iter().collect();
+        let remote = sharers.len().saturating_sub(1);
+        if remote > 0 {
+            cost += self
+                .costs
+                .estimate_linux_shootdown(&self.topology, remote);
+            for sharer in sharers {
+                if sharer != cpu {
+                    self.invalidate_tlb_pages(sharer, mm_id, &[vpn]);
+                }
+            }
+        }
+        cost
+    }
+
+    fn demand_fault(&mut self, task_id: TaskId, vpn: Vpn, write: bool) -> Nanos {
+        self.stats.inc(crate::metrics::PAGE_FAULTS);
+        let task = &self.tasks[task_id.index()];
+        let cpu = task.core;
+        let mm_id = task.mm;
+        let node = self.topology.node_of(cpu);
+        let mut cost = self.costs.page_fault;
+
+        let vma = match self.mms[mm_id.0 as usize].vmas.find(vpn) {
+            Some(v) => *v,
+            None => {
+                // Access to unmapped VA: a segfault. The paper's §4.4 notes
+                // Latr turns use-after-unmap into a (delayed) fault; we
+                // count it and treat the op as a no-op.
+                self.stats.inc("segfaults");
+                return cost;
+            }
+        };
+        if self.swapped.remove(&(mm_id.0, vpn.0)) {
+            // Swap-in: the page's previous contents come back from the
+            // backing store.
+            cost += self.costs.swap_in;
+            self.stats.inc("swap_ins");
+        }
+        let pfn = match vma.kind {
+            MapKind::Anon => match self.frames.alloc(node) {
+                Some(p) => p,
+                None => {
+                    self.stats.inc("oom_events");
+                    return cost;
+                }
+            },
+            MapKind::File { .. } => {
+                let (file, page) = vma.file_page_of(vpn).expect("file vma");
+                match self.page_cache.frame_for(file, page, node, &mut self.frames) {
+                    Some(p) => {
+                        // The mapping holds its own reference.
+                        self.frames.inc_ref(p);
+                        p
+                    }
+                    None => {
+                        self.stats.inc("oom_events");
+                        return cost;
+                    }
+                }
+            }
+        };
+        cost += self.costs.frame_op + self.costs.pte_op;
+        let writable = vma.prot.write;
+        let mm = &mut self.mms[mm_id.0 as usize];
+        mm.page_table.map(
+            vpn,
+            pfn,
+            PteFlags {
+                writable,
+                accessed: true,
+                dirty: write && writable,
+                numa_hint: false,
+            },
+        );
+        let pcid = mm.pcid;
+        self.cores[cpu.index()].tlb.insert(TlbEntry {
+            pcid,
+            vpn: vpn.0,
+            pfn: pfn.0,
+            writable,
+        });
+        cost
+    }
+
+    // ---- unmap paths ----------------------------------------------------------
+
+    fn do_unmap(&mut self, task_id: TaskId, op: Op, range: VaRange, kind: FlushKind) {
+        let task = &self.tasks[task_id.index()];
+        let cpu = task.core;
+        let mm_id = task.mm;
+
+        // VMA bookkeeping (munmap removes VMAs; madvise keeps them).
+        if kind == FlushKind::Unmap {
+            self.mms[mm_id.0 as usize].munmap_vmas(&range);
+        }
+        let removed = self.mms[mm_id.0 as usize].page_table.unmap_range(&range);
+        let pages: Vec<(Vpn, Pfn)> = removed.iter().map(|&(v, pte)| (v, pte.pfn)).collect();
+        // Unmapping cancels any swap/compaction bookkeeping for the range.
+        for vpn in range.iter() {
+            self.swapped.remove(&(mm_id.0, vpn.0));
+            self.compact_pending.remove(&(mm_id.0, vpn.0));
+        }
+
+        // Initiator-side cost: syscall, VMA surgery, PTE clears, per-sharer
+        // bookkeeping, local TLB invalidation.
+        let mut local = self.costs.syscall_overhead + self.costs.vma_op;
+        local += self.costs.pte_op * removed.len() as u64;
+        let sharer_mask = self.mms[mm_id.0 as usize].cpumask;
+        for sharer in sharer_mask.iter() {
+            if sharer != cpu {
+                local += self
+                    .costs
+                    .unmap_per_sharer(self.topology.cpu_hops(cpu, sharer));
+            }
+        }
+        local += self.costs.local_invalidation(removed.len() as u32);
+        let pcid = self.mms[mm_id.0 as usize].pcid;
+        if removed.len() as u32 > self.costs.full_flush_threshold {
+            self.cores[cpu.index()].tlb.flush_all();
+        } else {
+            for &(vpn, _) in &removed {
+                self.cores[cpu.index()].tlb.invalidate_page(pcid, vpn.0);
+            }
+        }
+
+        // Block the VA and stage the frames; who releases them depends on
+        // the policy's outcome.
+        let blocked_va = if kind == FlushKind::Unmap && !range.is_empty() {
+            self.mms[mm_id.0 as usize].block_va(range);
+            Some(range)
+        } else {
+            None
+        };
+        self.pending_reclaim = Some(ReclaimPackage {
+            mm: mm_id,
+            frames: pages.iter().map(|&(_, p)| p).collect(),
+            va: blocked_va,
+        });
+
+        let outcome = self.with_policy(|p, m| {
+            p.flush_others(m, cpu, Some(task_id), mm_id, range, &pages, kind, local)
+        });
+        self.finish_flush(task_id, cpu, op, local, outcome);
+    }
+
+    fn do_mprotect(&mut self, task_id: TaskId, op: Op, range: VaRange, prot: Prot) {
+        let task = &self.tasks[task_id.index()];
+        let cpu = task.core;
+        let mm_id = task.mm;
+
+        self.mms[mm_id.0 as usize].vmas.protect_range(&range, prot);
+        let mut pages = Vec::new();
+        let mut count = 0u32;
+        for vpn in range.iter() {
+            if let Some(pte) = self.mms[mm_id.0 as usize].page_table.update(vpn, |p| {
+                p.flags.writable = prot.write;
+            }) {
+                pages.push((vpn, pte.pfn));
+                count += 1;
+            }
+        }
+        let mut local = self.costs.syscall_overhead + self.costs.vma_op;
+        local += self.costs.pte_op * count as u64;
+        local += self.costs.local_invalidation(count);
+        let pcid = self.mms[mm_id.0 as usize].pcid;
+        for &(vpn, _) in &pages {
+            self.cores[cpu.index()].tlb.invalidate_page(pcid, vpn.0);
+        }
+        // Permission changes must reach the whole system synchronously
+        // (Table 1); frames are untouched.
+        self.pending_reclaim = Some(ReclaimPackage {
+            mm: mm_id,
+            frames: Vec::new(),
+            va: None,
+        });
+        let outcome = self.with_policy(|p, m| {
+            p.flush_others(
+                m,
+                cpu,
+                Some(task_id),
+                mm_id,
+                range,
+                &pages,
+                FlushKind::Synchronous,
+                local,
+            )
+        });
+        self.finish_flush(task_id, cpu, op, local, outcome);
+    }
+
+    /// Applies a policy's flush decision to the in-flight op.
+    fn finish_flush(
+        &mut self,
+        task_id: TaskId,
+        cpu: CpuId,
+        op: Op,
+        local_ns: Nanos,
+        outcome: FlushOutcome,
+    ) {
+        match outcome {
+            FlushOutcome::Sync {
+                txn,
+                local_ns: extra,
+            } => {
+                // Reclaim package must have been attached to the txn.
+                assert!(
+                    self.pending_reclaim.is_none(),
+                    "sync outcome must route reclaim through the txn"
+                );
+                self.tasks[task_id.index()].state = TaskState::BlockedOnShootdown;
+                let wait_start = self.now() + local_ns + extra;
+                let t = self
+                    .txns
+                    .get_mut(&txn.0)
+                    .expect("sync outcome with unknown txn");
+                t.blocked_task = Some(task_id);
+                t.wait_started = wait_start;
+                self.cores[cpu.index()].busy = true;
+                self.cores[cpu.index()].op_started = self.now();
+                self.in_flight.insert(task_id.0, op);
+                // Completion comes from the last ACK.
+            }
+            FlushOutcome::Deferred {
+                local_ns: extra,
+                defer_reclaim,
+            } => {
+                if defer_reclaim {
+                    assert!(
+                        self.pending_reclaim.is_none(),
+                        "deferring policy must take the reclaim package"
+                    );
+                } else if let Some(pkg) = self.pending_reclaim.take() {
+                    self.release_reclaim(pkg);
+                }
+                self.begin_op(cpu, task_id, op, (local_ns + extra).max(1));
+            }
+        }
+    }
+
+    /// `mremap()` to a fresh range: the mapping moves, so the old
+    /// translations must be invalidated synchronously under every policy
+    /// (Table 1's "Remap" row).
+    fn do_mremap(&mut self, task_id: TaskId, op: Op, range: VaRange) {
+        let task = &self.tasks[task_id.index()];
+        let cpu = task.core;
+        let mm_id = task.mm;
+        let pcid = self.mms[mm_id.0 as usize].pcid;
+
+        let pieces = self.mms[mm_id.0 as usize].munmap_vmas(&range);
+        let moved = self.mms[mm_id.0 as usize].page_table.unmap_range(&range);
+        let new_range = self.mms[mm_id.0 as usize].find_free_va(range.pages.max(1));
+        // Re-create the VMA pieces at the new base.
+        for piece in pieces {
+            let offset = piece.range.start.0 - range.start.0;
+            self.mms[mm_id.0 as usize].vmas.insert(latr_mem::Vma {
+                range: VaRange::new(new_range.start.offset(offset), piece.range.pages),
+                kind: piece.kind,
+                prot: piece.prot,
+            });
+        }
+        // Move the PTEs: same frames, new virtual pages.
+        for &(vpn, pte) in &moved {
+            let offset = vpn.0 - range.start.0;
+            self.mms[mm_id.0 as usize].page_table.map(
+                new_range.start.offset(offset),
+                pte.pfn,
+                pte.flags,
+            );
+        }
+        self.tasks[task_id.index()].last_mmap = Some(new_range);
+        self.stats.inc("mremaps");
+
+        let mut local = self.costs.syscall_overhead + 2 * self.costs.vma_op;
+        local += 2 * self.costs.pte_op * moved.len() as u64;
+        local += self.costs.local_invalidation(moved.len() as u32);
+        if moved.len() as u32 > self.costs.full_flush_threshold {
+            self.cores[cpu.index()].tlb.flush_all();
+        } else {
+            for &(vpn, _) in &moved {
+                self.cores[cpu.index()].tlb.invalidate_page(pcid, vpn.0);
+            }
+        }
+        let pages: Vec<(Vpn, Pfn)> = moved.iter().map(|&(v, p)| (v, p.pfn)).collect();
+        self.mms[mm_id.0 as usize].block_va(range);
+        self.pending_reclaim = Some(ReclaimPackage {
+            mm: mm_id,
+            frames: Vec::new(),
+            va: Some(range),
+        });
+        let outcome = self.with_policy(|p, m| {
+            p.flush_others(
+                m,
+                cpu,
+                Some(task_id),
+                mm_id,
+                range,
+                &pages,
+                FlushKind::Synchronous,
+                local,
+            )
+        });
+        self.finish_flush(task_id, cpu, op, local, outcome);
+    }
+
+    /// Swaps a range out: PTEs cleared, frames released after the (lazy-
+    /// able) shootdown, pages marked so the next touch pays a swap-in.
+    fn do_swap_out(&mut self, task_id: TaskId, op: Op, range: VaRange) {
+        let task = &self.tasks[task_id.index()];
+        let cpu = task.core;
+        let mm_id = task.mm;
+        let pcid = self.mms[mm_id.0 as usize].pcid;
+
+        let removed = self.mms[mm_id.0 as usize].page_table.unmap_range(&range);
+        for &(vpn, _) in &removed {
+            self.swapped.insert((mm_id.0, vpn.0));
+        }
+        self.stats.add("swap_outs", removed.len() as u64);
+
+        let mut local = self.costs.syscall_overhead;
+        local += (self.costs.pte_op + self.costs.swap_out) * removed.len() as u64;
+        local += self.costs.local_invalidation(removed.len() as u32);
+        if removed.len() as u32 > self.costs.full_flush_threshold {
+            self.cores[cpu.index()].tlb.flush_all();
+        } else {
+            for &(vpn, _) in &removed {
+                self.cores[cpu.index()].tlb.invalidate_page(pcid, vpn.0);
+            }
+        }
+        let pages: Vec<(Vpn, Pfn)> = removed.iter().map(|&(v, p)| (v, p.pfn)).collect();
+        self.pending_reclaim = Some(ReclaimPackage {
+            mm: mm_id,
+            frames: pages.iter().map(|&(_, p)| p).collect(),
+            va: None,
+        });
+        let outcome = self.with_policy(|p, m| {
+            p.flush_others(
+                m,
+                cpu,
+                Some(task_id),
+                mm_id,
+                range,
+                &pages,
+                FlushKind::Swap,
+                local,
+            )
+        });
+        self.finish_flush(task_id, cpu, op, local, outcome);
+    }
+
+    /// KSM-style deduplication: write-protect page pairs (a synchronous
+    /// ownership change, charged analytically and identical under every
+    /// policy), merge odd pages onto their even neighbours, then free the
+    /// duplicate frames through the policy's (lazy-able) flush — stale
+    /// read-only translations keep reading identical bytes until swept.
+    fn do_dedup(&mut self, task_id: TaskId, op: Op, range: VaRange) {
+        let task = &self.tasks[task_id.index()];
+        let cpu = task.core;
+        let mm_id = task.mm;
+        let pcid = self.mms[mm_id.0 as usize].pcid;
+
+        let mut local = self.costs.syscall_overhead;
+        let mut lazy_pages: Vec<(Vpn, Pfn)> = Vec::new();
+        let mut dup_frames: Vec<Pfn> = Vec::new();
+        let mut protected = 0u32;
+        let mut k = 0;
+        while k + 1 < range.pages {
+            let a = range.start.offset(k);
+            let b = range.start.offset(k + 1);
+            k += 2;
+            let (Some(pa), Some(pb)) = (
+                self.mms[mm_id.0 as usize].page_table.lookup(a),
+                self.mms[mm_id.0 as usize].page_table.lookup(b),
+            ) else {
+                continue;
+            };
+            if pa.flags.numa_hint || pb.flags.numa_hint || pa.pfn == pb.pfn {
+                continue;
+            }
+            local += self.costs.page_compare;
+            // Write-protect both sides (sync part).
+            for vpn in [a, b] {
+                let pte = self.mms[mm_id.0 as usize]
+                    .page_table
+                    .update(vpn, |p| p.flags.writable = false)
+                    .expect("present above");
+                let _ = pte;
+                protected += 1;
+                self.cores[cpu.index()].tlb.invalidate_page(pcid, vpn.0);
+            }
+            // Merge b onto a's frame; the duplicate frame frees lazily.
+            self.frames.inc_ref(pa.pfn);
+            self.mms[mm_id.0 as usize]
+                .page_table
+                .update(b, |p| p.pfn = pa.pfn);
+            dup_frames.push(pb.pfn);
+            lazy_pages.push((b, pb.pfn));
+            local += 3 * self.costs.pte_op;
+            self.stats.inc("dedup_merges");
+        }
+        local += self.costs.local_invalidation(protected);
+        // The protection change must be system-wide before merging is
+        // safe; charge the synchronous round analytically (identical for
+        // every policy — Table 1's ownership row).
+        let remote = self.mms[mm_id.0 as usize]
+            .cpumask
+            .count()
+            .saturating_sub(1);
+        if protected > 0 && remote > 0 {
+            local += self
+                .costs
+                .estimate_linux_shootdown(&self.topology, remote);
+            // Remote cores drop the protected translations now.
+            let vpns: Vec<Vpn> = lazy_pages
+                .iter()
+                .flat_map(|&(b, _)| [Vpn(b.0 - 1), b])
+                .collect();
+            let sharers: Vec<CpuId> =
+                self.mms[mm_id.0 as usize].cpumask.iter().collect();
+            for sharer in sharers {
+                if sharer != cpu {
+                    self.invalidate_tlb_pages(sharer, mm_id, &vpns);
+                }
+            }
+        }
+        self.pending_reclaim = Some(ReclaimPackage {
+            mm: mm_id,
+            frames: dup_frames,
+            va: None,
+        });
+        let outcome = self.with_policy(|p, m| {
+            p.flush_others(
+                m,
+                cpu,
+                Some(task_id),
+                mm_id,
+                range,
+                &lazy_pages,
+                FlushKind::MadviseFree,
+                local,
+            )
+        });
+        self.finish_flush(task_id, cpu, op, local, outcome);
+    }
+
+    /// Physical-memory compaction: lazily unmap the range exactly like
+    /// AutoNUMA hint-unmaps; the next touch migrates each page to a fresh
+    /// frame (§7 notes compaction "performs similar mechanism as
+    /// AutoNUMA's page migration").
+    fn do_compact(&mut self, task_id: TaskId, op: Op, range: VaRange) {
+        let task = &self.tasks[task_id.index()];
+        let cpu = task.core;
+        let mm_id = task.mm;
+        let mut local = self.costs.syscall_overhead;
+        let candidates: Vec<Vpn> = self.mms[mm_id.0 as usize]
+            .page_table
+            .mapped_in(&range)
+            .into_iter()
+            .filter(|(_, pte)| !pte.flags.numa_hint)
+            .map(|(v, _)| v)
+            .collect();
+        for vpn in candidates {
+            self.compact_pending.insert((mm_id.0, vpn.0));
+            self.stats.inc("compact_pages");
+            local += self.costs.pte_op / 2; // scan + isolate bookkeeping
+            let handled = self.with_policy(|p, m| p.numa_hint_unmap(m, cpu, mm_id, vpn));
+            if !handled {
+                self.sync_numa_hint_unmap(cpu, mm_id, vpn);
+            }
+        }
+        self.begin_op(cpu, task_id, op, local.max(1));
+    }
+
+    /// `fork()`: clone the address space with copy-on-write semantics.
+    /// Every writable parent page becomes read-only in both address
+    /// spaces — an ownership change that must reach all cores
+    /// synchronously (Table 1).
+    fn do_fork(&mut self, task_id: TaskId, op: Op) {
+        let task = &self.tasks[task_id.index()];
+        let cpu = task.core;
+        let parent = task.mm;
+        let pcid = self.mms[parent.0 as usize].pcid;
+        let child = self.create_process();
+        self.stats.inc("forks");
+
+        let vmas: Vec<latr_mem::Vma> =
+            self.mms[parent.0 as usize].vmas.iter().copied().collect();
+        let mut downgraded: Vec<(Vpn, Pfn)> = Vec::new();
+        let mut local = self.costs.syscall_overhead + self.costs.vma_op * vmas.len() as u64;
+        for vma in vmas {
+            self.mms[child.0 as usize].vmas.insert(vma);
+            let present = self.mms[parent.0 as usize].page_table.mapped_in(&vma.range);
+            for (vpn, pte) in present {
+                if pte.flags.numa_hint {
+                    continue;
+                }
+                // Share the frame read-only on both sides.
+                self.frames.inc_ref(pte.pfn);
+                let mut flags = pte.flags;
+                let was_writable = flags.writable;
+                flags.writable = false;
+                self.mms[child.0 as usize].page_table.map(vpn, pte.pfn, flags);
+                local += 2 * self.costs.pte_op;
+                if was_writable {
+                    self.mms[parent.0 as usize]
+                        .page_table
+                        .update(vpn, |p| p.flags.writable = false);
+                    self.cores[cpu.index()].tlb.invalidate_page(pcid, vpn.0);
+                    downgraded.push((vpn, pte.pfn));
+                }
+            }
+        }
+        local += self.costs.local_invalidation(downgraded.len() as u32);
+        self.tasks[task_id.index()].last_fork = Some(child);
+
+        if downgraded.is_empty() {
+            self.begin_op(cpu, task_id, op, local.max(1));
+            return;
+        }
+        let range = VaRange::new(
+            downgraded.first().expect("non-empty").0,
+            downgraded.last().expect("non-empty").0 .0
+                - downgraded.first().expect("non-empty").0 .0
+                + 1,
+        );
+        self.pending_reclaim = Some(ReclaimPackage {
+            mm: parent,
+            frames: Vec::new(),
+            va: None,
+        });
+        let outcome = self.with_policy(|p, m| {
+            p.flush_others(
+                m,
+                cpu,
+                Some(task_id),
+                parent,
+                range,
+                &downgraded,
+                FlushKind::Synchronous,
+                local,
+            )
+        });
+        self.finish_flush(task_id, cpu, op, local, outcome);
+    }
+
+    // ---- synchronous shootdown machinery ---------------------------------------
+
+    /// Creates a synchronous shootdown transaction from `initiator` to
+    /// `targets`, scheduling the IPI deliveries after `start_delay` of
+    /// initiator-side work. The staged reclaim package (if any) rides on
+    /// the transaction and is applied when the last ACK arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty — policies must handle that case as a
+    /// purely local flush.
+    pub fn begin_sync_shootdown(
+        &mut self,
+        initiator: CpuId,
+        mm: MmId,
+        pages: Vec<Vpn>,
+        targets: CpuMask,
+        start_delay: Nanos,
+    ) -> TxnId {
+        assert!(!targets.is_empty(), "sync shootdown needs targets");
+        let id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        self.stats.inc(crate::metrics::SHOOTDOWNS);
+        self.stats
+            .add(crate::metrics::IPIS_SENT, targets.count() as u64);
+        let start = self.now() + start_delay;
+        let schedule = self.fabric.multicast(initiator, &targets, start);
+        for &(target, at) in &schedule.deliveries {
+            self.queue
+                .schedule(at, Event::IpiDeliver { target, txn: id });
+        }
+        let reclaim = self.pending_reclaim.take();
+        let (frames_to_release, va_to_unblock) = match reclaim {
+            Some(pkg) => (pkg.frames, pkg.va),
+            None => (Vec::new(), None),
+        };
+        self.txns.insert(
+            id.0,
+            ShootdownTxn {
+                id,
+                initiator,
+                blocked_task: None,
+                mm,
+                pending: {
+                    let mut m = targets;
+                    m.clear(initiator);
+                    m
+                },
+                pages,
+                frames_to_release,
+                va_to_unblock,
+                started: self.now(),
+                wait_started: start,
+            },
+        );
+        if self.trace.is_enabled() {
+            self.trace.push(
+                self.now(),
+                "ipi",
+                format!("{initiator} multicasts shootdown to {} cores", targets.count()),
+            );
+        }
+        id
+    }
+
+    fn ipi_deliver(&mut self, target: CpuId, txn_id: TxnId) {
+        let (initiator, pages, pcid) = match self.txns.get(&txn_id.0) {
+            Some(t) => (t.initiator, t.pages.clone(), self.mms[t.mm.0 as usize].pcid),
+            None => return, // already completed (shouldn't happen)
+        };
+        self.stats.inc(crate::metrics::IPIS_HANDLED);
+        self.llc.charge_interrupt();
+
+        // "Handling interrupts on remote cores ... might be delayed due
+        // to temporarily disabled interrupts" (§2.1): a busy core defers
+        // the handler by a uniformly random disabled window.
+        let busy = self.cores[target.index()].busy;
+        let irq_delay = if busy {
+            self.rng.below(self.costs.irq_disabled_max)
+        } else {
+            0
+        };
+        let core = &mut self.cores[target.index()];
+        if pages.len() as u32 > self.costs.full_flush_threshold {
+            core.tlb.flush_all();
+        } else {
+            for vpn in &pages {
+                core.tlb.invalidate_page(pcid, vpn.0);
+            }
+        }
+        let handler =
+            self.costs.interrupt_overhead + self.costs.local_invalidation(pages.len() as u32);
+        // The handler steals time from whatever the core was doing.
+        if core.busy {
+            core.debt += handler;
+        }
+        let ack_latency = self.fabric.ack_latency(initiator, target);
+        self.queue.schedule_after(
+            irq_delay + handler + ack_latency,
+            Event::AckArrive {
+                txn: txn_id,
+                from: target,
+            },
+        );
+        if self.trace.is_enabled() {
+            self.trace.push(
+                self.now(),
+                "ipi",
+                format!("{target} handles shootdown IPI ({} pages)", pages.len()),
+            );
+        }
+    }
+
+    fn ack_arrive(&mut self, txn_id: TxnId, from: CpuId) {
+        let done = {
+            let txn = match self.txns.get_mut(&txn_id.0) {
+                Some(t) => t,
+                None => return,
+            };
+            txn.pending.clear(from);
+            txn.pending.is_empty()
+        };
+        if !done {
+            return;
+        }
+        let txn = self.txns.remove(&txn_id.0).expect("txn present");
+        let wait = self.now().saturating_since(txn.wait_started);
+        self.stats.record(crate::metrics::SHOOTDOWN_NS, wait);
+        self.release_reclaim(ReclaimPackage {
+            mm: txn.mm,
+            frames: txn.frames_to_release,
+            va: txn.va_to_unblock,
+        });
+        if let Some(task_id) = txn.blocked_task {
+            self.tasks[task_id.index()].state = TaskState::Running;
+            let cpu = txn.initiator;
+            let core = &mut self.cores[cpu.index()];
+            core.op_generation += 1;
+            let generation = core.op_generation;
+            self.queue.schedule_after(
+                0,
+                Event::OpComplete {
+                    cpu,
+                    task: task_id,
+                    generation,
+                },
+            );
+        }
+    }
+
+    /// Tears down an address space whose last task exited: unmaps every
+    /// VMA and drops the mapping references on their frames.
+    fn exit_mmap(&mut self, mm_id: MmId) {
+        let ranges: Vec<VaRange> = self.mms[mm_id.0 as usize]
+            .vmas
+            .iter()
+            .map(|v| v.range)
+            .collect();
+        for range in ranges {
+            self.mms[mm_id.0 as usize].munmap_vmas(&range);
+            let removed = self.mms[mm_id.0 as usize].page_table.unmap_range(&range);
+            for (_, pte) in removed {
+                self.frames.dec_ref(pte.pfn);
+            }
+            for vpn in range.iter() {
+                self.swapped.remove(&(mm_id.0, vpn.0));
+                self.compact_pending.remove(&(mm_id.0, vpn.0));
+            }
+        }
+    }
+
+    // ---- reclamation helpers ------------------------------------------------------
+
+    /// Takes the reclaim package staged by the current unmap, transferring
+    /// ownership of frame release and VA unblocking to the caller (the
+    /// Latr policy's lazy lists).
+    pub fn take_pending_reclaim(&mut self) -> Option<ReclaimPackage> {
+        self.pending_reclaim.take()
+    }
+
+    /// Releases a reclaim package: drops one reference per frame and
+    /// unblocks the VA range.
+    pub fn release_reclaim(&mut self, pkg: ReclaimPackage) {
+        for pfn in pkg.frames {
+            self.frames.dec_ref(pfn);
+        }
+        if let Some(va) = pkg.va {
+            self.mms[pkg.mm.0 as usize].unblock_va(&va);
+        }
+    }
+
+    /// Invalidates `pages` of `mm` in `cpu`'s TLB, applying the full-flush
+    /// threshold. Returns how many entries were actually present. Used by
+    /// Latr's state sweep.
+    pub fn invalidate_tlb_pages(&mut self, cpu: CpuId, mm: MmId, pages: &[Vpn]) -> usize {
+        let pcid = self.mms[mm.0 as usize].pcid;
+        let core = &mut self.cores[cpu.index()];
+        if pages.len() as u32 > self.costs.full_flush_threshold {
+            core.tlb.flush_all();
+            pages.len()
+        } else {
+            pages
+                .iter()
+                .filter(|vpn| core.tlb.invalidate_page(pcid, vpn.0))
+                .count()
+        }
+    }
+
+    /// Adds interrupt-style time debt to whatever `cpu` is executing.
+    pub fn charge_debt(&mut self, cpu: CpuId, ns: Nanos) {
+        let core = &mut self.cores[cpu.index()];
+        if core.busy {
+            core.debt += ns;
+        }
+    }
+
+    /// Schedules a [`TlbPolicy::on_timer`] callback after `delay`.
+    pub fn schedule_policy_timer(&mut self, delay: Nanos, token: u64) {
+        self.queue.schedule_after(delay, Event::PolicyTimer(token));
+    }
+
+    // ---- scheduler ticks --------------------------------------------------------
+
+    fn sched_tick(&mut self, cpu: CpuId) {
+        let period = self.costs.sched_tick_period;
+        // Tickless kernels skip the tick on idle cores (§7): an idle core
+        // is in no mm_cpumask, so no Latr state can name it, and its TLB
+        // was flushed when it went idle.
+        if self.tickless && self.cores[cpu.index()].current.is_none() {
+            self.stats.inc("ticks_skipped_idle");
+            self.queue.schedule_after(period, Event::SchedTick(cpu));
+            return;
+        }
+        self.stats.inc(crate::metrics::SCHED_TICKS);
+        let mut cost = self.costs.sched_tick_work;
+        cost += self.with_policy(|p, m| p.on_sched_tick(m, cpu));
+        self.charge_debt(cpu, cost);
+        self.queue.schedule_after(period, Event::SchedTick(cpu));
+    }
+
+    // ---- AutoNUMA ------------------------------------------------------------------
+
+    fn numa_scan(&mut self, mm_id: MmId) {
+        let batch = self.numa.next_scan_batch(mm_id, &self.mms[mm_id.0 as usize]);
+        if !batch.is_empty() {
+            // task_numa_work runs in the context of one of the process'
+            // tasks; charge the first CPU in the cpumask.
+            let cpu = self.mms[mm_id.0 as usize]
+                .cpumask
+                .first()
+                .unwrap_or(CpuId(0));
+            for vpn in batch {
+                let handled =
+                    self.with_policy(|p, m| p.numa_hint_unmap(m, cpu, mm_id, vpn));
+                if !handled {
+                    self.sync_numa_hint_unmap(cpu, mm_id, vpn);
+                }
+            }
+        }
+        let period = self.numa.config().scan_period;
+        self.queue.schedule_after(period, Event::NumaScan(mm_id));
+    }
+
+    /// The Linux path: set the hint protection and synchronously shoot the
+    /// page down everywhere (Fig. 3a).
+    fn sync_numa_hint_unmap(&mut self, cpu: CpuId, mm_id: MmId, vpn: Vpn) {
+        self.apply_numa_hint(cpu, mm_id, vpn);
+        let mut targets = self.mms[mm_id.0 as usize].cpumask;
+        targets.clear(cpu);
+        if targets.is_empty() {
+            return;
+        }
+        self.pending_reclaim = None;
+        let _txn = self.begin_sync_shootdown(cpu, mm_id, vec![vpn], targets, 0);
+        // The scanner runs in task context: the initiating CPU eats the
+        // synchronous wait as debt.
+        let est = self
+            .costs
+            .estimate_linux_shootdown(&self.topology, targets.count());
+        self.charge_debt(cpu, est);
+    }
+
+    /// Sets the NUMA-hint protection on a PTE and invalidates the calling
+    /// CPU's own TLB entry. Shared by the sync path and Latr's first
+    /// sweeper (§4.3: "the first core performs the page table unmap").
+    pub fn apply_numa_hint(&mut self, cpu: CpuId, mm_id: MmId, vpn: Vpn) {
+        let pcid = self.mms[mm_id.0 as usize].pcid;
+        self.mms[mm_id.0 as usize]
+            .page_table
+            .update(vpn, |p| p.flags.numa_hint = true);
+        self.cores[cpu.index()].tlb.invalidate_page(pcid, vpn.0);
+    }
+
+    fn numa_fault_retry(&mut self, task_id: TaskId, vpn: Vpn) {
+        if !self.tasks[task_id.index()].is_live() {
+            return;
+        }
+        let Some(&(blocked_vpn, write)) = self.blocked_faults.get(&task_id.0) else {
+            return;
+        };
+        debug_assert_eq!(blocked_vpn, vpn);
+        let mm_id = self.tasks[task_id.index()].mm;
+        let proceed = self.with_policy(|p, m| p.numa_fault_may_proceed(m, mm_id, vpn));
+        if !proceed {
+            let retry = self.numa.config().fault_retry;
+            self.queue.schedule_after(
+                retry,
+                Event::NumaFaultRetry {
+                    task: task_id,
+                    vpn: vpn.0,
+                },
+            );
+            return;
+        }
+        self.blocked_faults.remove(&task_id.0);
+        let cost = self.numa_hint_fault(task_id, vpn, write);
+        let cpu = self.tasks[task_id.index()].core;
+        let core = &mut self.cores[cpu.index()];
+        core.op_generation += 1;
+        let generation = core.op_generation;
+        self.queue.schedule_after(
+            cost.max(1),
+            Event::OpComplete {
+                cpu,
+                task: task_id,
+                generation,
+            },
+        );
+    }
+
+    /// Handles a NUMA hint fault that may proceed: clears the hint and
+    /// possibly migrates the page toward the faulting node. Returns the
+    /// fault's CPU cost.
+    fn numa_hint_fault(&mut self, task_id: TaskId, vpn: Vpn, write: bool) -> Nanos {
+        let task = &self.tasks[task_id.index()];
+        let cpu = task.core;
+        let mm_id = task.mm;
+        let node = self.topology.node_of(cpu);
+        let mut cost = self.costs.page_fault;
+
+        let Some(pte) = self.mms[mm_id.0 as usize].page_table.lookup(vpn) else {
+            return cost;
+        };
+        let home = self.frames.node_of(pte.pfn);
+        let force_compact = self.compact_pending.remove(&(mm_id.0, vpn.0));
+        // Compaction migrates within the home node (defragmentation);
+        // NUMA balancing migrates toward the accessing node.
+        let target = if force_compact { home } else { node };
+        let migrate = force_compact || self.numa.should_migrate(mm_id, vpn, node, home);
+        if migrate {
+            if let Some(new_pfn) = self.frames.alloc_exact(target) {
+                // Copy, remap, release the old frame. The migration itself
+                // performs a synchronous unmap+flush in both Linux and Latr
+                // (§4.3 leaves the migration path unmodified); charge its
+                // analytic cost.
+                cost += self.costs.page_copy + self.costs.pte_op + self.costs.frame_op;
+                let remote = self.mms[mm_id.0 as usize].cpumask.count().saturating_sub(1);
+                if remote > 0 {
+                    cost += self
+                        .costs
+                        .estimate_linux_shootdown(&self.topology, remote);
+                }
+                let old = pte.pfn;
+                self.mms[mm_id.0 as usize].page_table.update(vpn, |p| {
+                    p.pfn = new_pfn;
+                    p.flags.numa_hint = false;
+                    p.flags.accessed = true;
+                });
+                self.frames.dec_ref(old);
+                self.stats.inc(crate::metrics::MIGRATIONS);
+                self.numa.note_migration();
+            } else {
+                // Target node full: abort the migration, keep the page.
+                self.mms[mm_id.0 as usize]
+                    .page_table
+                    .update(vpn, |p| p.flags.numa_hint = false);
+            }
+        } else {
+            self.mms[mm_id.0 as usize]
+                .page_table
+                .update(vpn, |p| p.flags.numa_hint = false);
+        }
+        let pte = self.mms[mm_id.0 as usize].page_table.lookup(vpn).unwrap();
+        let pcid = self.mms[mm_id.0 as usize].pcid;
+        self.cores[cpu.index()].tlb.insert(TlbEntry {
+            pcid,
+            vpn: vpn.0,
+            pfn: pte.pfn.0,
+            writable: pte.flags.writable,
+        });
+        if write {
+            self.mms[mm_id.0 as usize]
+                .page_table
+                .update(vpn, |p| p.flags.dirty = true);
+        }
+        cost
+    }
+
+    // ---- invariant checking (used heavily by tests) -------------------------------
+
+    /// Checks the paper's central invariant (§3): every translation cached
+    /// in any TLB must point at a frame that is still allocated (a
+    /// refcount above zero). Returns a violation description, or `None`
+    /// when the machine is consistent.
+    pub fn check_reclamation_invariant(&self) -> Option<String> {
+        for core in &self.cores {
+            for entry in core.tlb.iter_entries() {
+                if !self.frames.is_allocated(Pfn(entry.pfn)) {
+                    return Some(format!(
+                        "{} caches vpn {:#x} -> freed frame {:#x}",
+                        core.id, entry.vpn, entry.pfn
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    /// Checks that no TLB disagrees with the page tables about a *present*
+    /// mapping's target frame — stale entries may only point at frames that
+    /// are still referenced (that is the Latr relaxation), but a *present*
+    /// PTE must never be cached with a different frame.
+    pub fn check_mapping_coherence(&self) -> Option<String> {
+        for core in &self.cores {
+            for entry in core.tlb.iter_entries() {
+                for mm in &self.mms {
+                    if mm.pcid != entry.pcid {
+                        continue;
+                    }
+                    if let Some(pte) = mm.page_table.lookup(Vpn(entry.vpn)) {
+                        if !pte.flags.numa_hint && pte.pfn.0 != entry.pfn {
+                            return Some(format!(
+                                "{} caches vpn {:#x} -> {:#x} but PTE says {:#x}",
+                                core.id, entry.vpn, entry.pfn, pte.pfn.0
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+enum AccessOutcome {
+    Done(Nanos),
+    BlockedOnNuma,
+}

@@ -1,0 +1,170 @@
+//! Workload operations and the workload trait.
+//!
+//! A [`Workload`] is a deterministic op generator: the machine asks it for
+//! the next [`Op`] of a task, executes the op against the memory substrate
+//! (charging simulated time), and reports completion. This keeps workloads
+//! completely decoupled from the event loop.
+
+use crate::machine::Machine;
+use crate::task::TaskId;
+use latr_mem::{FileId, Prot, VaRange, Vpn};
+use latr_sim::Nanos;
+
+/// One operation a task can perform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Burn CPU for the given time (application work).
+    Compute(Nanos),
+    /// Touch one page (TLB lookup, possibly a page walk or fault).
+    Access {
+        /// The page to touch.
+        vpn: Vpn,
+        /// Whether the access writes.
+        write: bool,
+    },
+    /// Touch `accesses` uniformly random pages of `range` — a compact way
+    /// to model a working set without one event per load.
+    AccessBatch {
+        /// Pages to choose from.
+        range: VaRange,
+        /// Number of accesses to model.
+        accesses: u32,
+        /// Whether the accesses write.
+        write: bool,
+    },
+    /// `mmap(MAP_ANONYMOUS)` of `pages` pages; the resulting range is
+    /// stored in the task's `last_mmap`.
+    MmapAnon {
+        /// Number of pages.
+        pages: u64,
+    },
+    /// `mmap()` of a page-cache file; the range lands in `last_mmap`.
+    MmapFile {
+        /// Which file.
+        file: FileId,
+        /// First file page to map.
+        offset: u64,
+        /// Number of pages.
+        pages: u64,
+    },
+    /// `munmap()` of a range — the paper's headline free operation.
+    Munmap {
+        /// Range to unmap.
+        range: VaRange,
+    },
+    /// `madvise(MADV_FREE)` of a range — frees frames, keeps the VMA.
+    MadviseFree {
+        /// Range to free.
+        range: VaRange,
+    },
+    /// `mprotect()` — always a synchronous shootdown (Table 1: lazy not
+    /// possible).
+    Mprotect {
+        /// Range to re-protect.
+        range: VaRange,
+        /// New protection.
+        prot: Prot,
+    },
+    /// `mremap()` to a fresh virtual range — a physical-address-visible
+    /// remap, synchronous in every policy (Table 1). The new range lands
+    /// in the task's `last_mmap`.
+    Mremap {
+        /// Range to move.
+        range: VaRange,
+    },
+    /// Swap a range's pages out to backing store (Table 1 "Page swap":
+    /// lazy-able — the frames are reclaimed like a free operation and the
+    /// next touch swaps back in).
+    SwapOut {
+        /// Range to swap out.
+        range: VaRange,
+    },
+    /// KSM-style deduplication over a range (Table 1: lazy-able): pages
+    /// are write-protected (synchronously — an ownership change), then
+    /// odd pages are merged onto their even neighbours and the duplicate
+    /// frames freed lazily.
+    Dedup {
+        /// Range to deduplicate (pairs of pages).
+        range: VaRange,
+    },
+    /// Physical-memory compaction over a range (Table 1: lazy-able like
+    /// migration): pages are lazily unmapped exactly like AutoNUMA hints
+    /// and the next touch migrates them to fresh frames.
+    Compact {
+        /// Range to compact.
+        range: VaRange,
+    },
+    /// `fork()` the task's address space: every writable page becomes
+    /// CoW (write-protected in the parent too — the Table 1 "Ownership"
+    /// row, synchronous in every policy). The child `MmId` lands in the
+    /// task's `last_fork`.
+    Fork,
+    /// Voluntarily context-switch (models schedule() + back).
+    Yield,
+    /// Sleep without consuming CPU (closed-loop pacing).
+    Sleep(Nanos),
+    /// Terminate the task.
+    Exit,
+}
+
+/// What the machine reports back to the workload when an op finishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpResult {
+    /// The op that completed.
+    pub op: Op,
+    /// End-to-end latency of the op in simulated nanoseconds.
+    pub latency: Nanos,
+}
+
+/// A deterministic op generator driving the machine.
+///
+/// Implementations create their processes/tasks in [`setup`](Self::setup),
+/// then feed ops one at a time. All randomness must come from the machine's
+/// seeded RNG (or a fork of it) so runs are reproducible.
+///
+/// The [`Any`](std::any::Any) supertrait lets harnesses downcast the box
+/// returned by [`Machine::run`] to read workload-collected observations
+/// back out.
+pub trait Workload: std::any::Any {
+    /// Creates processes, address spaces, files and tasks on the machine.
+    /// Called once before the simulation starts.
+    fn setup(&mut self, machine: &mut Machine);
+
+    /// Produces the next op for `task`. Returning [`Op::Exit`] retires the
+    /// task; the simulation ends when all tasks have exited (or at the
+    /// configured horizon).
+    fn next_op(&mut self, machine: &mut Machine, task: TaskId) -> Op;
+
+    /// Observes a completed op (for pacing, bookkeeping, request counting).
+    /// The default does nothing.
+    fn on_op_complete(&mut self, machine: &mut Machine, task: TaskId, result: OpResult) {
+        let _ = (machine, task, result);
+    }
+
+    /// Short name for reports.
+    fn name(&self) -> &str {
+        "workload"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_are_comparable_and_copy() {
+        let a = Op::Compute(5);
+        let b = a;
+        assert_eq!(a, b);
+        assert_ne!(Op::Yield, Op::Exit);
+    }
+
+    #[test]
+    fn op_result_carries_latency() {
+        let r = OpResult {
+            op: Op::Sleep(3),
+            latency: 3,
+        };
+        assert_eq!(r.latency, 3);
+    }
+}

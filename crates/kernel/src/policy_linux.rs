@@ -1,0 +1,189 @@
+//! The Linux 4.10 baseline TLB-coherence policy (§2.1).
+//!
+//! Every remote invalidation is a synchronous, IPI-based shootdown to the
+//! process' `mm_cpumask`: the initiator programs the APIC once per target,
+//! remote cores take an interrupt, invalidate (or full-flush above the
+//! 33-entry threshold — already applied by the machine) and ACK through the
+//! cache-coherence fabric; the initiator spins until every ACK arrives.
+
+use crate::machine::Machine;
+use crate::shootdown::{FlushKind, FlushOutcome, TlbPolicy};
+use crate::task::TaskId;
+use latr_arch::CpuId;
+use latr_mem::{MmId, Pfn, VaRange, Vpn};
+
+/// The stock Linux shootdown policy.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LinuxPolicy;
+
+impl LinuxPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        LinuxPolicy
+    }
+}
+
+impl TlbPolicy for LinuxPolicy {
+    fn name(&self) -> &'static str {
+        "linux"
+    }
+
+    fn flush_others(
+        &mut self,
+        machine: &mut Machine,
+        initiator: CpuId,
+        _task: Option<TaskId>,
+        mm: MmId,
+        _range: VaRange,
+        pages: &[(Vpn, Pfn)],
+        _kind: FlushKind,
+        start_delay: latr_sim::Nanos,
+    ) -> FlushOutcome {
+        let mut targets = machine.mm(mm).cpumask;
+        targets.clear(initiator);
+        if targets.is_empty() || pages.is_empty() {
+            // Nothing cached remotely: purely local flush.
+            return FlushOutcome::Deferred {
+                local_ns: 0,
+                defer_reclaim: false,
+            };
+        }
+        let vpns: Vec<Vpn> = pages.iter().map(|&(v, _)| v).collect();
+        let txn = machine.begin_sync_shootdown(initiator, mm, vpns, targets, start_delay);
+        FlushOutcome::Sync { txn, local_ns: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+    use crate::ops::{Op, Workload};
+    use latr_arch::{MachinePreset, Topology};
+    use latr_sim::MICROSECOND;
+
+    /// A tiny workload: every task maps one page, touches it, unmaps it,
+    /// repeats `rounds` times, then exits.
+    struct MapTouchUnmap {
+        cores: usize,
+        rounds: u32,
+        progress: Vec<u32>,
+        phase: Vec<u8>,
+    }
+
+    impl MapTouchUnmap {
+        fn new(cores: usize, rounds: u32) -> Self {
+            MapTouchUnmap {
+                cores,
+                rounds,
+                progress: vec![0; cores],
+                phase: vec![0; cores],
+            }
+        }
+    }
+
+    impl Workload for MapTouchUnmap {
+        fn setup(&mut self, machine: &mut Machine) {
+            let mm = machine.create_process();
+            for c in 0..self.cores {
+                machine.spawn_task(mm, CpuId(c as u16));
+            }
+        }
+
+        fn next_op(&mut self, machine: &mut Machine, task: TaskId) -> Op {
+            let i = task.index();
+            if self.progress[i] >= self.rounds {
+                return Op::Exit;
+            }
+            let op = match self.phase[i] {
+                0 => Op::MmapAnon { pages: 1 },
+                1 => {
+                    let r = machine.task(task).last_mmap.expect("mapped");
+                    Op::Access {
+                        vpn: r.start,
+                        write: true,
+                    }
+                }
+                _ => {
+                    let r = machine.task(task).last_mmap.expect("mapped");
+                    Op::Munmap { range: r }
+                }
+            };
+            self.phase[i] = (self.phase[i] + 1) % 3;
+            if self.phase[i] == 0 {
+                self.progress[i] += 1;
+            }
+            op
+        }
+    }
+
+    fn run_linux(cores: usize, rounds: u32) -> Machine {
+        let mut machine = Machine::new(MachineConfig::new(Topology::preset(
+            MachinePreset::Commodity2S16C,
+        )));
+        machine.run(
+            Box::new(MapTouchUnmap::new(cores, rounds)),
+            Box::new(LinuxPolicy::new()),
+            latr_sim::SECOND,
+        );
+        machine
+    }
+
+    #[test]
+    fn single_core_unmaps_need_no_ipis() {
+        let m = run_linux(1, 10);
+        assert_eq!(m.stats.counter(crate::metrics::SHOOTDOWNS), 0);
+        assert_eq!(m.stats.counter(crate::metrics::IPIS_SENT), 0);
+        assert_eq!(m.stats.histogram(crate::metrics::MUNMAP_NS).unwrap().count(), 10);
+    }
+
+    #[test]
+    fn multi_core_unmaps_send_ipis_to_all_sharers() {
+        let m = run_linux(4, 5);
+        let shootdowns = m.stats.counter(crate::metrics::SHOOTDOWNS);
+        assert_eq!(shootdowns, 4 * 5);
+        // Most rounds target the 3 other cores; late rounds may see fewer
+        // sharers because tasks retire at staggered times.
+        let ipis = m.stats.counter(crate::metrics::IPIS_SENT);
+        assert!(ipis >= shootdowns && ipis <= shootdowns * 3, "ipis {ipis}");
+        assert_eq!(m.stats.counter(crate::metrics::IPIS_HANDLED), ipis);
+    }
+
+    #[test]
+    fn munmap_latency_grows_with_cores() {
+        let m2 = run_linux(2, 20);
+        let m16 = run_linux(16, 20);
+        let l2 = m2.stats.histogram(crate::metrics::MUNMAP_NS).unwrap().mean();
+        let l16 = m16
+            .stats
+            .histogram(crate::metrics::MUNMAP_NS)
+            .unwrap()
+            .mean();
+        assert!(
+            l16 > l2 * 1.8,
+            "expected strong growth: 2 cores {l2:.0}ns, 16 cores {l16:.0}ns"
+        );
+        // All 16 cores unmap concurrently here, so each munmap also eats
+        // 15 cores' worth of incoming IPI handlers — well above the paper's
+        // single-initiator 8 µs (that anchor is pinned by the Fig. 6
+        // microbenchmark in latr-workloads). Sanity-bound it instead.
+        assert!(
+            (6.0 * MICROSECOND as f64..40.0 * MICROSECOND as f64).contains(&l16),
+            "16-core munmap {l16:.0}ns out of range"
+        );
+    }
+
+    #[test]
+    fn invariants_hold_throughout() {
+        let m = run_linux(8, 10);
+        assert_eq!(m.check_reclamation_invariant(), None);
+        assert_eq!(m.check_mapping_coherence(), None);
+    }
+
+    #[test]
+    fn frames_are_released_after_shootdown() {
+        let m = run_linux(4, 5);
+        // All anonymous pages freed: allocator back to empty.
+        assert_eq!(m.frames.allocated_count(), 0);
+    }
+}

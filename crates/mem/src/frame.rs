@@ -1,0 +1,284 @@
+//! Physical frame allocator.
+//!
+//! A per-NUMA-node free-list allocator with per-frame reference counts.
+//! Reference counting is what enforces the paper's key invariant for free
+//! operations: "since the physical page reference count is non-zero, Latr
+//! ensures that the physical pages are not reused" (§4.2). A frame returns
+//! to the free list only when its last reference is dropped.
+//!
+//! Frames are numbered node-major: node `n` owns
+//! `[n * frames_per_node, (n+1) * frames_per_node)`, so a frame's home node
+//! is recoverable from its number — which the AutoNUMA model relies on.
+
+use crate::addr::Pfn;
+use latr_arch::NodeId;
+use std::collections::HashMap;
+
+/// The per-node, refcounting physical frame allocator.
+///
+/// ```
+/// use latr_mem::FrameAllocator;
+/// use latr_arch::NodeId;
+/// let mut fa = FrameAllocator::new(2, 1024);
+/// let f = fa.alloc(NodeId(1)).unwrap();
+/// assert_eq!(fa.node_of(f), NodeId(1));
+/// assert_eq!(fa.refcount(f), 1);
+/// fa.inc_ref(f);
+/// assert_eq!(fa.dec_ref(f), 1); // still referenced
+/// assert_eq!(fa.dec_ref(f), 0); // now free again
+/// assert!(!fa.is_allocated(f));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameAllocator {
+    frames_per_node: u64,
+    free: Vec<Vec<Pfn>>,
+    refcounts: HashMap<Pfn, u32>,
+    allocations: u64,
+    frees: u64,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator with `nodes` NUMA nodes of `frames_per_node`
+    /// frames each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no nodes or no frames.
+    pub fn new(nodes: usize, frames_per_node: u64) -> Self {
+        assert!(nodes > 0 && frames_per_node > 0, "allocator must own memory");
+        let free = (0..nodes)
+            .map(|n| {
+                // Stack ordered so low frame numbers pop first; purely
+                // cosmetic but keeps runs deterministic and debuggable.
+                let base = n as u64 * frames_per_node;
+                (0..frames_per_node)
+                    .rev()
+                    .map(|i| Pfn(base + i))
+                    .collect()
+            })
+            .collect();
+        FrameAllocator {
+            frames_per_node,
+            free,
+            refcounts: HashMap::new(),
+            allocations: 0,
+            frees: 0,
+        }
+    }
+
+    /// Number of NUMA nodes.
+    pub fn nodes(&self) -> usize {
+        self.free.len()
+    }
+
+    /// The home node of a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is outside the machine.
+    pub fn node_of(&self, pfn: Pfn) -> NodeId {
+        let node = pfn.0 / self.frames_per_node;
+        assert!(
+            (node as usize) < self.free.len(),
+            "frame {pfn:?} outside machine"
+        );
+        NodeId(node as u8)
+    }
+
+    /// Allocates a frame on `node` with reference count 1, falling back to
+    /// the other nodes in order if it is exhausted. Returns `None` when the
+    /// whole machine is out of memory.
+    pub fn alloc(&mut self, node: NodeId) -> Option<Pfn> {
+        let n = node.0 as usize;
+        assert!(n < self.free.len(), "no such node {node:?}");
+        let order = std::iter::once(n).chain((0..self.free.len()).filter(|&i| i != n));
+        for candidate in order {
+            if let Some(pfn) = self.free[candidate].pop() {
+                self.refcounts.insert(pfn, 1);
+                self.allocations += 1;
+                return Some(pfn);
+            }
+        }
+        None
+    }
+
+    /// Allocates a frame strictly on `node`; `None` if that node is
+    /// exhausted (used by the migration path, which aborts rather than
+    /// migrating to a different node).
+    pub fn alloc_exact(&mut self, node: NodeId) -> Option<Pfn> {
+        let n = node.0 as usize;
+        assert!(n < self.free.len(), "no such node {node:?}");
+        let pfn = self.free[n].pop()?;
+        self.refcounts.insert(pfn, 1);
+        self.allocations += 1;
+        Some(pfn)
+    }
+
+    /// Current reference count of a frame (0 when free).
+    pub fn refcount(&self, pfn: Pfn) -> u32 {
+        self.refcounts.get(&pfn).copied().unwrap_or(0)
+    }
+
+    /// Whether a frame is currently allocated.
+    pub fn is_allocated(&self, pfn: Pfn) -> bool {
+        self.refcount(pfn) > 0
+    }
+
+    /// Adds a reference (page shared by another mapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is free — taking a reference on a free frame is
+    /// always a bug.
+    pub fn inc_ref(&mut self, pfn: Pfn) {
+        let rc = self
+            .refcounts
+            .get_mut(&pfn)
+            .unwrap_or_else(|| panic!("inc_ref on free frame {pfn:?}"));
+        *rc += 1;
+    }
+
+    /// Drops a reference; when the count reaches zero the frame returns to
+    /// its home node's free list. Returns the new count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is already free (double free).
+    pub fn dec_ref(&mut self, pfn: Pfn) -> u32 {
+        let rc = self
+            .refcounts
+            .get_mut(&pfn)
+            .unwrap_or_else(|| panic!("dec_ref on free frame {pfn:?} (double free?)"));
+        *rc -= 1;
+        if *rc == 0 {
+            self.refcounts.remove(&pfn);
+            let node = self.node_of(pfn);
+            self.free[node.0 as usize].push(pfn);
+            self.frees += 1;
+            0
+        } else {
+            *rc
+        }
+    }
+
+    /// Frames currently free on `node`.
+    pub fn free_on_node(&self, node: NodeId) -> usize {
+        self.free[node.0 as usize].len()
+    }
+
+    /// Total allocations performed.
+    pub fn total_allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Total frames fully freed.
+    pub fn total_frees(&self) -> u64 {
+        self.frees
+    }
+
+    /// Number of currently allocated frames.
+    pub fn allocated_count(&self) -> usize {
+        self.refcounts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_prefers_requested_node() {
+        let mut fa = FrameAllocator::new(2, 8);
+        let f = fa.alloc(NodeId(1)).unwrap();
+        assert_eq!(fa.node_of(f), NodeId(1));
+        assert_eq!(fa.free_on_node(NodeId(1)), 7);
+        assert_eq!(fa.free_on_node(NodeId(0)), 8);
+    }
+
+    #[test]
+    fn alloc_falls_back_when_node_full() {
+        let mut fa = FrameAllocator::new(2, 2);
+        let _a = fa.alloc(NodeId(0)).unwrap();
+        let _b = fa.alloc(NodeId(0)).unwrap();
+        let c = fa.alloc(NodeId(0)).unwrap();
+        assert_eq!(fa.node_of(c), NodeId(1));
+    }
+
+    #[test]
+    fn alloc_exact_refuses_fallback() {
+        let mut fa = FrameAllocator::new(2, 1);
+        let _a = fa.alloc_exact(NodeId(0)).unwrap();
+        assert!(fa.alloc_exact(NodeId(0)).is_none());
+        assert!(fa.alloc_exact(NodeId(1)).is_some());
+    }
+
+    #[test]
+    fn machine_exhaustion_returns_none() {
+        let mut fa = FrameAllocator::new(2, 1);
+        assert!(fa.alloc(NodeId(0)).is_some());
+        assert!(fa.alloc(NodeId(0)).is_some());
+        assert!(fa.alloc(NodeId(0)).is_none());
+    }
+
+    #[test]
+    fn refcount_lifecycle() {
+        let mut fa = FrameAllocator::new(1, 4);
+        let f = fa.alloc(NodeId(0)).unwrap();
+        assert_eq!(fa.refcount(f), 1);
+        fa.inc_ref(f);
+        fa.inc_ref(f);
+        assert_eq!(fa.refcount(f), 3);
+        assert_eq!(fa.dec_ref(f), 2);
+        assert_eq!(fa.dec_ref(f), 1);
+        assert!(fa.is_allocated(f));
+        assert_eq!(fa.dec_ref(f), 0);
+        assert!(!fa.is_allocated(f));
+        assert_eq!(fa.free_on_node(NodeId(0)), 4);
+    }
+
+    #[test]
+    fn freed_frame_is_reusable() {
+        let mut fa = FrameAllocator::new(1, 1);
+        let f = fa.alloc(NodeId(0)).unwrap();
+        fa.dec_ref(f);
+        let g = fa.alloc(NodeId(0)).unwrap();
+        assert_eq!(f, g);
+        assert_eq!(fa.total_allocations(), 2);
+        assert_eq!(fa.total_frees(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut fa = FrameAllocator::new(1, 1);
+        let f = fa.alloc(NodeId(0)).unwrap();
+        fa.dec_ref(f);
+        fa.dec_ref(f);
+    }
+
+    #[test]
+    #[should_panic(expected = "inc_ref on free frame")]
+    fn inc_ref_on_free_panics() {
+        let mut fa = FrameAllocator::new(1, 1);
+        fa.inc_ref(Pfn(0));
+    }
+
+    #[test]
+    fn node_of_is_node_major() {
+        let fa = FrameAllocator::new(4, 100);
+        assert_eq!(fa.node_of(Pfn(0)), NodeId(0));
+        assert_eq!(fa.node_of(Pfn(99)), NodeId(0));
+        assert_eq!(fa.node_of(Pfn(100)), NodeId(1));
+        assert_eq!(fa.node_of(Pfn(399)), NodeId(3));
+    }
+
+    #[test]
+    fn allocated_count_tracks_live_frames() {
+        let mut fa = FrameAllocator::new(1, 8);
+        let a = fa.alloc(NodeId(0)).unwrap();
+        let _b = fa.alloc(NodeId(0)).unwrap();
+        assert_eq!(fa.allocated_count(), 2);
+        fa.dec_ref(a);
+        assert_eq!(fa.allocated_count(), 1);
+    }
+}

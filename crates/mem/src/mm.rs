@@ -1,0 +1,238 @@
+//! The address space: Linux's `mm_struct` analogue.
+//!
+//! An [`MmStruct`] ties together the VMA tree, the page table, the
+//! `mm_cpumask` (which CPUs currently run this address space — the set an
+//! IPI shootdown must target) and Latr's *blocked-VA list*: virtual ranges
+//! that have been lazily unmapped and must not be handed out again until
+//! the lazy TLB shootdown completes ("the lazy virtual address list is
+//! traversed during any memory allocation, and the addresses in the lazy
+//! list are not reused", §4.2).
+
+use crate::addr::{VaRange, Vpn};
+use crate::page_cache::FileId;
+use crate::page_table::PageTable;
+use crate::vma::{MapKind, Prot, Vma, VmaTree};
+use latr_arch::{CpuId, CpuMask};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an address space (process).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct MmId(pub u32);
+
+/// Default lowest page of the mmap area (0x0000_5555_0000 >> 12).
+const MMAP_FLOOR: Vpn = Vpn(0x5_5550);
+
+/// One address space.
+pub struct MmStruct {
+    /// This address space's id.
+    pub id: MmId,
+    /// The 4-level page table.
+    pub page_table: PageTable,
+    /// The VMA tree.
+    pub vmas: VmaTree,
+    /// CPUs currently running a thread of this address space — the IPI
+    /// target set Linux computes for a shootdown.
+    pub cpumask: CpuMask,
+    /// The PCID this address space is tagged with in TLBs
+    /// ([`latr_arch::PCID_NONE`] when PCIDs are disabled, as in
+    /// Linux 4.10).
+    pub pcid: u16,
+    blocked: Vec<VaRange>,
+    va_floor: Vpn,
+}
+
+impl MmStruct {
+    /// Creates an empty address space.
+    pub fn new(id: MmId) -> Self {
+        MmStruct {
+            id,
+            page_table: PageTable::new(),
+            vmas: VmaTree::new(),
+            cpumask: CpuMask::empty(),
+            pcid: latr_arch::PCID_NONE,
+            blocked: Vec::new(),
+            va_floor: MMAP_FLOOR,
+        }
+    }
+
+    /// Finds a free virtual range of `pages` pages, skipping both existing
+    /// VMAs and the blocked (lazily reclaimed) list. Does not insert
+    /// anything.
+    pub fn find_free_va(&self, pages: u64) -> VaRange {
+        assert!(pages > 0, "cannot allocate an empty range");
+        let mut floor = self.va_floor;
+        loop {
+            let start = self.vmas.find_gap(floor, pages);
+            let candidate = VaRange::new(start, pages);
+            match self
+                .blocked
+                .iter()
+                .filter(|b| b.overlaps(&candidate))
+                .map(|b| b.end())
+                .max()
+            {
+                None => return candidate,
+                Some(bump) => floor = bump,
+            }
+        }
+    }
+
+    /// Allocates a fresh anonymous VMA of `pages` pages and returns its
+    /// range. PTE population is the kernel's job (demand paging).
+    pub fn mmap_anon(&mut self, pages: u64, prot: Prot) -> VaRange {
+        let range = self.find_free_va(pages);
+        self.vmas.insert(Vma {
+            range,
+            kind: MapKind::Anon,
+            prot,
+        });
+        range
+    }
+
+    /// Maps `pages` pages of `file` starting at file page `offset`.
+    pub fn mmap_file(&mut self, file: FileId, offset: u64, pages: u64, prot: Prot) -> VaRange {
+        let range = self.find_free_va(pages);
+        self.vmas.insert(Vma {
+            range,
+            kind: MapKind::File { file, offset },
+            prot,
+        });
+        range
+    }
+
+    /// Removes `range` from the VMA tree (splitting as needed), returning
+    /// the removed VMA pieces. The caller unmaps PTEs and handles frames.
+    pub fn munmap_vmas(&mut self, range: &VaRange) -> Vec<Vma> {
+        self.vmas.remove_range(range)
+    }
+
+    /// Marks `range` as blocked from reuse until
+    /// [`unblock_va`](Self::unblock_va) — the lazy-reclamation list.
+    pub fn block_va(&mut self, range: VaRange) {
+        debug_assert!(!range.is_empty());
+        self.blocked.push(range);
+    }
+
+    /// Releases a previously blocked range for reuse. Returns whether the
+    /// range was found.
+    pub fn unblock_va(&mut self, range: &VaRange) -> bool {
+        if let Some(pos) = self.blocked.iter().position(|b| b == range) {
+            self.blocked.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Currently blocked ranges (test/debug aid).
+    pub fn blocked_ranges(&self) -> &[VaRange] {
+        &self.blocked
+    }
+
+    /// Notes that `cpu` started running this address space.
+    pub fn cpu_activated(&mut self, cpu: CpuId) {
+        self.cpumask.set(cpu);
+    }
+
+    /// Notes that `cpu` stopped running this address space.
+    pub fn cpu_deactivated(&mut self, cpu: CpuId) {
+        self.cpumask.clear(cpu);
+    }
+}
+
+impl std::fmt::Debug for MmStruct {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MmStruct")
+            .field("id", &self.id)
+            .field("vmas", &self.vmas.len())
+            .field("mapped_pages", &self.page_table.mapped_pages())
+            .field("cpumask", &self.cpumask)
+            .field("blocked", &self.blocked.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mmap_anon_allocates_disjoint_ranges() {
+        let mut mm = MmStruct::new(MmId(1));
+        let a = mm.mmap_anon(4, Prot::READ_WRITE);
+        let b = mm.mmap_anon(4, Prot::READ_WRITE);
+        assert!(!a.overlaps(&b));
+        assert_eq!(mm.vmas.len(), 2);
+    }
+
+    #[test]
+    fn munmap_then_remap_reuses_va() {
+        let mut mm = MmStruct::new(MmId(1));
+        let a = mm.mmap_anon(4, Prot::READ_WRITE);
+        mm.munmap_vmas(&a);
+        let b = mm.mmap_anon(4, Prot::READ_WRITE);
+        assert_eq!(a, b, "freed VA should be reused when not blocked");
+    }
+
+    #[test]
+    fn blocked_va_is_not_reused() {
+        let mut mm = MmStruct::new(MmId(1));
+        let a = mm.mmap_anon(4, Prot::READ_WRITE);
+        mm.munmap_vmas(&a);
+        mm.block_va(a);
+        let b = mm.mmap_anon(4, Prot::READ_WRITE);
+        assert!(!a.overlaps(&b), "blocked range must be skipped");
+        assert!(mm.unblock_va(&a));
+        let c = mm.mmap_anon(4, Prot::READ_WRITE);
+        assert_eq!(c, a, "unblocked range is reusable again");
+    }
+
+    #[test]
+    fn unblock_unknown_range_is_false() {
+        let mut mm = MmStruct::new(MmId(1));
+        assert!(!mm.unblock_va(&VaRange::new(Vpn(1), 1)));
+    }
+
+    #[test]
+    fn find_free_va_skips_consecutive_blocks() {
+        let mut mm = MmStruct::new(MmId(1));
+        let a = mm.find_free_va(2);
+        mm.block_va(a);
+        mm.block_va(VaRange::new(a.end(), 2));
+        let b = mm.find_free_va(2);
+        assert_eq!(b.start, a.end().offset(2));
+    }
+
+    #[test]
+    fn file_mapping_keeps_backing_info() {
+        let mut mm = MmStruct::new(MmId(1));
+        let r = mm.mmap_file(FileId(3), 5, 2, Prot::READ);
+        let vma = mm.vmas.find(r.start).unwrap();
+        assert_eq!(vma.file_page_of(r.start.offset(1)), Some((FileId(3), 6)));
+    }
+
+    #[test]
+    fn cpumask_tracks_activations() {
+        let mut mm = MmStruct::new(MmId(1));
+        mm.cpu_activated(CpuId(2));
+        mm.cpu_activated(CpuId(5));
+        assert_eq!(mm.cpumask.count(), 2);
+        mm.cpu_deactivated(CpuId(2));
+        assert!(!mm.cpumask.test(CpuId(2)));
+        assert!(mm.cpumask.test(CpuId(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn zero_page_allocation_panics() {
+        let mm = MmStruct::new(MmId(1));
+        mm.find_free_va(0);
+    }
+
+    #[test]
+    fn debug_is_informative() {
+        let mm = MmStruct::new(MmId(7));
+        let s = format!("{mm:?}");
+        assert!(s.contains("MmId(7)"));
+    }
+}

@@ -1,0 +1,413 @@
+//! Virtual memory areas (VMAs) and the per-address-space VMA tree.
+//!
+//! A [`Vma`] describes one contiguous mapping (anonymous or file-backed)
+//! with its protection. The [`VmaTree`] keeps VMAs sorted and
+//! non-overlapping, supports containment/overlap queries, and implements
+//! the splitting semantics of partial `munmap`/`mprotect`: removing or
+//! re-protecting the middle of a VMA leaves correctly trimmed pieces
+//! behind.
+
+use crate::addr::{VaRange, Vpn};
+use crate::page_cache::FileId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Mapping protection bits (a subset of `mmap`'s `PROT_*`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Prot {
+    /// Readable.
+    pub read: bool,
+    /// Writable.
+    pub write: bool,
+}
+
+impl Prot {
+    /// Read-only protection.
+    pub const READ: Prot = Prot {
+        read: true,
+        write: false,
+    };
+    /// Read-write protection.
+    pub const READ_WRITE: Prot = Prot {
+        read: true,
+        write: true,
+    };
+}
+
+/// What backs a mapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MapKind {
+    /// Anonymous memory (heap, scratch buffers).
+    Anon,
+    /// A shared file mapping: page `i` of the VMA is page
+    /// `offset + i` of the file.
+    File {
+        /// Which file.
+        file: FileId,
+        /// First file page mapped.
+        offset: u64,
+    },
+}
+
+/// One virtual memory area.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vma {
+    /// The pages this VMA covers.
+    pub range: VaRange,
+    /// Anonymous or file-backed.
+    pub kind: MapKind,
+    /// Protection.
+    pub prot: Prot,
+}
+
+impl Vma {
+    /// For file VMAs, the file page backing `vpn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vpn` is outside the VMA.
+    pub fn file_page_of(&self, vpn: Vpn) -> Option<(FileId, u64)> {
+        assert!(self.range.contains(vpn), "{vpn:?} outside {:?}", self.range);
+        match self.kind {
+            MapKind::Anon => None,
+            MapKind::File { file, offset } => Some((file, offset + (vpn.0 - self.range.start.0))),
+        }
+    }
+
+    /// The sub-VMA covering `sub`, which must lie inside this VMA. File
+    /// offsets are adjusted.
+    fn slice(&self, sub: VaRange) -> Vma {
+        debug_assert!(sub.start >= self.range.start && sub.end() <= self.range.end());
+        let kind = match self.kind {
+            MapKind::Anon => MapKind::Anon,
+            MapKind::File { file, offset } => MapKind::File {
+                file,
+                offset: offset + (sub.start.0 - self.range.start.0),
+            },
+        };
+        Vma {
+            range: sub,
+            kind,
+            prot: self.prot,
+        }
+    }
+}
+
+/// The sorted, non-overlapping set of VMAs of one address space.
+///
+/// ```
+/// use latr_mem::{VmaTree, Vma, VaRange, Vpn, MapKind, Prot};
+/// let mut t = VmaTree::new();
+/// t.insert(Vma { range: VaRange::new(Vpn(10), 10), kind: MapKind::Anon, prot: Prot::READ_WRITE });
+/// assert!(t.find(Vpn(15)).is_some());
+/// // Punch a hole in the middle: the VMA splits in two.
+/// let removed = t.remove_range(&VaRange::new(Vpn(13), 4));
+/// assert_eq!(removed.len(), 1);
+/// assert!(t.find(Vpn(12)).is_some());
+/// assert!(t.find(Vpn(14)).is_none());
+/// assert!(t.find(Vpn(18)).is_some());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct VmaTree {
+    // Keyed by first page of each VMA.
+    vmas: BTreeMap<u64, Vma>,
+}
+
+impl VmaTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of VMAs.
+    pub fn len(&self) -> usize {
+        self.vmas.len()
+    }
+
+    /// Whether the tree has no VMAs.
+    pub fn is_empty(&self) -> bool {
+        self.vmas.is_empty()
+    }
+
+    /// The VMA containing `vpn`, if any.
+    pub fn find(&self, vpn: Vpn) -> Option<&Vma> {
+        self.vmas
+            .range(..=vpn.0)
+            .next_back()
+            .map(|(_, v)| v)
+            .filter(|v| v.range.contains(vpn))
+    }
+
+    /// All VMAs overlapping `range`, in address order.
+    pub fn overlapping(&self, range: &VaRange) -> Vec<Vma> {
+        if range.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        // A VMA starting before the range may still reach into it.
+        if let Some((_, v)) = self.vmas.range(..range.start.0).next_back() {
+            if v.range.overlaps(range) {
+                out.push(*v);
+            }
+        }
+        for (_, v) in self.vmas.range(range.start.0..range.end().0) {
+            if v.range.overlaps(range) {
+                out.push(*v);
+            }
+        }
+        out
+    }
+
+    /// Whether any VMA overlaps `range`.
+    pub fn is_range_free(&self, range: &VaRange) -> bool {
+        self.overlapping(range).is_empty()
+    }
+
+    /// Inserts a VMA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VMA is empty or overlaps an existing VMA.
+    pub fn insert(&mut self, vma: Vma) {
+        assert!(!vma.range.is_empty(), "empty VMA");
+        assert!(
+            self.is_range_free(&vma.range),
+            "VMA {:?} overlaps existing mapping",
+            vma.range
+        );
+        self.vmas.insert(vma.range.start.0, vma);
+    }
+
+    /// Removes `range` from the tree, splitting boundary VMAs as needed.
+    /// Returns the removed pieces (each piece is the intersection of one
+    /// VMA with `range`, with file offsets adjusted).
+    pub fn remove_range(&mut self, range: &VaRange) -> Vec<Vma> {
+        let victims = self.overlapping(range);
+        let mut removed = Vec::with_capacity(victims.len());
+        for vma in victims {
+            self.vmas.remove(&vma.range.start.0);
+            // Left remainder.
+            if vma.range.start < range.start {
+                let left = VaRange {
+                    start: vma.range.start,
+                    pages: range.start.0 - vma.range.start.0,
+                };
+                self.vmas.insert(left.start.0, vma.slice(left));
+            }
+            // Right remainder.
+            if vma.range.end() > range.end() {
+                let right = VaRange {
+                    start: range.end(),
+                    pages: vma.range.end().0 - range.end().0,
+                };
+                self.vmas.insert(right.start.0, vma.slice(right));
+            }
+            let cut = vma.range.intersection(range).expect("overlap checked");
+            removed.push(vma.slice(cut));
+        }
+        removed
+    }
+
+    /// Changes the protection of `range`, splitting boundary VMAs. Returns
+    /// the re-protected pieces. Pages of `range` not covered by any VMA are
+    /// ignored (as `mprotect` over holes would fail; the kernel layer
+    /// checks coverage first).
+    pub fn protect_range(&mut self, range: &VaRange, prot: Prot) -> Vec<Vma> {
+        let pieces = self.remove_range(range);
+        let mut out = Vec::with_capacity(pieces.len());
+        for mut piece in pieces {
+            piece.prot = prot;
+            self.insert(piece);
+            out.push(piece);
+        }
+        out
+    }
+
+    /// Iterates over all VMAs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = &Vma> {
+        self.vmas.values()
+    }
+
+    /// Finds the lowest free gap of `pages` pages at or above `floor`.
+    pub fn find_gap(&self, floor: Vpn, pages: u64) -> Vpn {
+        let mut candidate = floor;
+        for vma in self.vmas.range(..).map(|(_, v)| v) {
+            if vma.range.end() <= candidate {
+                continue;
+            }
+            if vma.range.start.0 >= candidate.0 + pages {
+                break; // gap before this VMA fits
+            }
+            candidate = vma.range.end();
+        }
+        candidate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn anon(start: u64, pages: u64) -> Vma {
+        Vma {
+            range: VaRange::new(Vpn(start), pages),
+            kind: MapKind::Anon,
+            prot: Prot::READ_WRITE,
+        }
+    }
+
+    fn file(start: u64, pages: u64, file: u32, offset: u64) -> Vma {
+        Vma {
+            range: VaRange::new(Vpn(start), pages),
+            kind: MapKind::File {
+                file: FileId(file),
+                offset,
+            },
+            prot: Prot::READ,
+        }
+    }
+
+    #[test]
+    fn find_locates_containing_vma() {
+        let mut t = VmaTree::new();
+        t.insert(anon(10, 5));
+        t.insert(anon(30, 5));
+        assert_eq!(t.find(Vpn(12)).unwrap().range.start, Vpn(10));
+        assert!(t.find(Vpn(20)).is_none());
+        assert!(t.find(Vpn(9)).is_none());
+        assert_eq!(t.find(Vpn(34)).unwrap().range.start, Vpn(30));
+        assert!(t.find(Vpn(35)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps existing")]
+    fn overlapping_insert_panics() {
+        let mut t = VmaTree::new();
+        t.insert(anon(10, 5));
+        t.insert(anon(14, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty VMA")]
+    fn empty_insert_panics() {
+        let mut t = VmaTree::new();
+        t.insert(anon(10, 0));
+    }
+
+    #[test]
+    fn overlapping_queries() {
+        let mut t = VmaTree::new();
+        t.insert(anon(10, 5)); // [10,15)
+        t.insert(anon(20, 5)); // [20,25)
+        let hits = t.overlapping(&VaRange::new(Vpn(14), 7)); // [14,21)
+        assert_eq!(hits.len(), 2);
+        assert!(t.is_range_free(&VaRange::new(Vpn(15), 5)));
+        assert!(!t.is_range_free(&VaRange::new(Vpn(24), 1)));
+    }
+
+    #[test]
+    fn remove_exact_vma() {
+        let mut t = VmaTree::new();
+        t.insert(anon(10, 5));
+        let removed = t.remove_range(&VaRange::new(Vpn(10), 5));
+        assert_eq!(removed.len(), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn remove_splits_middle() {
+        let mut t = VmaTree::new();
+        t.insert(anon(10, 10)); // [10,20)
+        let removed = t.remove_range(&VaRange::new(Vpn(13), 4)); // [13,17)
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].range, VaRange::new(Vpn(13), 4));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.find(Vpn(12)).unwrap().range, VaRange::new(Vpn(10), 3));
+        assert_eq!(t.find(Vpn(17)).unwrap().range, VaRange::new(Vpn(17), 3));
+        assert!(t.find(Vpn(13)).is_none());
+    }
+
+    #[test]
+    fn remove_trims_edges_of_two_vmas() {
+        let mut t = VmaTree::new();
+        t.insert(anon(10, 5)); // [10,15)
+        t.insert(anon(15, 5)); // [15,20)
+        let removed = t.remove_range(&VaRange::new(Vpn(13), 4)); // [13,17)
+        assert_eq!(removed.len(), 2);
+        assert_eq!(t.find(Vpn(10)).unwrap().range, VaRange::new(Vpn(10), 3));
+        assert_eq!(t.find(Vpn(17)).unwrap().range, VaRange::new(Vpn(17), 3));
+    }
+
+    #[test]
+    fn remove_over_hole_returns_nothing() {
+        let mut t = VmaTree::new();
+        t.insert(anon(10, 2));
+        let removed = t.remove_range(&VaRange::new(Vpn(50), 5));
+        assert!(removed.is_empty());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn file_offsets_adjust_on_split() {
+        let mut t = VmaTree::new();
+        t.insert(file(100, 10, 1, 0)); // file pages 0..10 at [100,110)
+        let removed = t.remove_range(&VaRange::new(Vpn(104), 2));
+        assert_eq!(removed.len(), 1);
+        match removed[0].kind {
+            MapKind::File { file: f, offset } => {
+                assert_eq!(f, FileId(1));
+                assert_eq!(offset, 4);
+            }
+            MapKind::Anon => panic!("expected file vma"),
+        }
+        // Right remainder starts at file page 6.
+        let right = *t.find(Vpn(106)).unwrap();
+        assert_eq!(right.file_page_of(Vpn(106)), Some((FileId(1), 6)));
+    }
+
+    #[test]
+    fn file_page_of_anon_is_none() {
+        let v = anon(10, 2);
+        assert_eq!(v.file_page_of(Vpn(10)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn file_page_of_outside_panics() {
+        let v = file(10, 2, 1, 0);
+        v.file_page_of(Vpn(12));
+    }
+
+    #[test]
+    fn protect_range_splits_and_updates() {
+        let mut t = VmaTree::new();
+        t.insert(anon(10, 10));
+        let changed = t.protect_range(&VaRange::new(Vpn(12), 3), Prot::READ);
+        assert_eq!(changed.len(), 1);
+        assert_eq!(t.find(Vpn(13)).unwrap().prot, Prot::READ);
+        assert_eq!(t.find(Vpn(11)).unwrap().prot, Prot::READ_WRITE);
+        assert_eq!(t.find(Vpn(15)).unwrap().prot, Prot::READ_WRITE);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn find_gap_skips_existing_vmas() {
+        let mut t = VmaTree::new();
+        t.insert(anon(10, 5)); // [10,15)
+        t.insert(anon(17, 3)); // [17,20)
+        assert_eq!(t.find_gap(Vpn(0), 5), Vpn(0));
+        assert_eq!(t.find_gap(Vpn(10), 2), Vpn(15));
+        assert_eq!(t.find_gap(Vpn(10), 3), Vpn(20));
+        assert_eq!(t.find_gap(Vpn(18), 1), Vpn(20));
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let mut t = VmaTree::new();
+        t.insert(anon(30, 1));
+        t.insert(anon(10, 1));
+        t.insert(anon(20, 1));
+        let starts: Vec<u64> = t.iter().map(|v| v.range.start.0).collect();
+        assert_eq!(starts, vec![10, 20, 30]);
+    }
+}

@@ -1,0 +1,278 @@
+//! Deterministic event queue.
+//!
+//! A binary min-heap keyed on `(time, sequence)`. The monotonically
+//! increasing sequence number makes ordering of same-instant events
+//! deterministic (FIFO by scheduling order), which in turn makes every
+//! simulation run exactly reproducible from its seed and configuration.
+
+use crate::time::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Identifier of a scheduled event, unique within one [`EventQueue`].
+///
+/// Can be used with [`EventQueue::cancel`] to lazily remove a scheduled
+/// event before it fires.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+/// An event plus its scheduling metadata, as stored inside the queue.
+#[derive(Debug)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub time: Time,
+    /// Queue-unique id, also the tiebreaker for same-instant events.
+    pub id: EventId,
+    /// The caller-supplied payload.
+    pub payload: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.id == other.id
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// A deterministic discrete-event queue over payload type `E`.
+///
+/// ```
+/// use latr_sim::{EventQueue, Time};
+/// let mut q = EventQueue::new();
+/// q.schedule(Time::from_ns(3), 'c');
+/// q.schedule(Time::from_ns(1), 'a');
+/// q.schedule(Time::from_ns(1), 'b'); // same instant: FIFO order
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_id: u64,
+    cancelled: std::collections::HashSet<EventId>,
+    now: Time,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue positioned at [`Time::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_id: 0,
+            cancelled: std::collections::HashSet::new(),
+            now: Time::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// The instant of the most recently popped event (the simulation clock).
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total number of events delivered so far.
+    #[inline]
+    pub fn delivered(&self) -> u64 {
+        self.popped
+    }
+
+    /// Number of events currently pending (including lazily cancelled ones).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` to fire at absolute instant `time`.
+    ///
+    /// Returns an [`EventId`] usable with [`cancel`](Self::cancel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the current clock: the simulation
+    /// cannot deliver events into the past.
+    pub fn schedule(&mut self, time: Time, payload: E) -> EventId {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: {:?} < {:?}",
+            time,
+            self.now
+        );
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.heap.push(ScheduledEvent { time, id, payload });
+        id
+    }
+
+    /// Schedules `payload` to fire `delta` nanoseconds after the current
+    /// clock.
+    pub fn schedule_after(&mut self, delta: crate::Nanos, payload: E) -> EventId {
+        self.schedule(self.now + delta, payload)
+    }
+
+    /// Lazily cancels a scheduled event. The event stays in the heap but is
+    /// skipped when it reaches the front. Cancelling an already-delivered or
+    /// unknown id is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    /// Pops the earliest pending event, advancing the clock to its instant.
+    ///
+    /// Returns `None` when the queue is exhausted.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        while let Some(ev) = self.heap.pop() {
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            debug_assert!(ev.time >= self.now, "event queue time went backwards");
+            self.now = ev.time;
+            self.popped += 1;
+            return Some((ev.time, ev.payload));
+        }
+        None
+    }
+
+    /// The instant of the earliest pending (non-cancelled) event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        // Cancelled events may sit at the front; we must skip them without
+        // mutating. Cheap in practice because cancellation is rare.
+        self.heap
+            .iter()
+            .filter(|ev| !self.cancelled.contains(&ev.id))
+            .map(|ev| ev.time)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(30), 3);
+        q.schedule(Time::from_ns(10), 1);
+        q.schedule(Time::from_ns(20), 2);
+        assert_eq!(q.pop().unwrap(), (Time::from_ns(10), 1));
+        assert_eq!(q.pop().unwrap(), (Time::from_ns(20), 2));
+        assert_eq!(q.pop().unwrap(), (Time::from_ns(30), 3));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn same_instant_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Time::from_ns(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(42), ());
+        assert_eq!(q.now(), Time::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Time::from_ns(42));
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_clock() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(100), 0);
+        q.pop();
+        q.schedule_after(5, 1);
+        assert_eq!(q.pop().unwrap(), (Time::from_ns(105), 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(100), 0);
+        q.pop();
+        q.schedule(Time::from_ns(50), 1);
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Time::from_ns(1), 'a');
+        q.schedule(Time::from_ns(2), 'b');
+        q.cancel(a);
+        assert_eq!(q.pop().unwrap().1, 'b');
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Time::from_ns(1), 'a');
+        assert_eq!(q.pop().unwrap().1, 'a');
+        q.cancel(a); // already delivered
+        q.schedule(Time::from_ns(2), 'b');
+        assert_eq!(q.pop().unwrap().1, 'b');
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Time::from_ns(1), 'a');
+        q.schedule(Time::from_ns(7), 'b');
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(Time::from_ns(7)));
+    }
+
+    #[test]
+    fn delivered_counts_only_real_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Time::from_ns(1), 'a');
+        q.schedule(Time::from_ns(2), 'b');
+        q.cancel(a);
+        q.pop();
+        assert_eq!(q.delivered(), 1);
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Time::from_ns(1), ());
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! Deterministic random-number generation for simulations.
+//!
+//! [`SimRng`] wraps a small, fast xoshiro256**-style generator seeded
+//! explicitly, so that every simulation run is exactly reproducible from its
+//! configuration. It also implements [`rand::RngCore`] so workloads can use
+//! the full `rand` distribution machinery on top of it.
+
+use rand::RngCore;
+
+/// A deterministic, seedable pseudo-random generator (xoshiro256**).
+///
+/// ```
+/// use latr_sim::SimRng;
+/// let mut a = SimRng::new(42);
+/// let mut b = SimRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed using SplitMix64 expansion.
+    pub fn new(seed: u64) -> Self {
+        // SplitMix64 to spread the seed across the full state, avoiding the
+        // all-zero state xoshiro cannot escape.
+        let mut sm = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        SimRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Derives an independent child generator; used to give each core or
+    /// workload its own stream without correlation.
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        SimRng::new(self.next_u64() ^ stream.wrapping_mul(0xA24BAED4963EE407))
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`. Returns 0 for `bound == 0`.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Lemire's multiply-shift rejection method.
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(bound as u128);
+        let mut l = m as u64;
+        if l < bound {
+            let t = bound.wrapping_neg() % bound;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(bound as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform value in the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Sample from an exponential distribution with the given mean.
+    ///
+    /// Used for Poisson inter-arrival times (request arrivals, context
+    /// switches). Returns at least 1 to keep event times advancing.
+    pub fn exp(&mut self, mean: f64) -> u64 {
+        let u = 1.0 - self.f64(); // avoid ln(0)
+        let v = -mean * u.ln();
+        v.max(1.0) as u64
+    }
+
+    /// Sample a normally distributed value (Box–Muller) with the given mean
+    /// and standard deviation, clamped at zero.
+    pub fn gauss(&mut self, mean: f64, sd: f64) -> f64 {
+        let u1 = 1.0 - self.f64();
+        let u2 = self.f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (mean + sd * z).max(0.0)
+    }
+
+    /// Pick a uniformly random element index for a slice of length `len`.
+    #[inline]
+    pub fn index(&mut self, len: usize) -> usize {
+        self.below(len as u64) as usize
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+    fn next_u64(&mut self) -> u64 {
+        SimRng::next_u64(self)
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut r = SimRng::new(0);
+        let a = r.next_u64();
+        let b = r.next_u64();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SimRng::new(3);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX / 2] {
+            for _ in 0..200 {
+                assert!(r.below(bound) < bound);
+            }
+        }
+        assert_eq!(r.below(0), 0);
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = SimRng::new(11);
+        let mut buckets = [0u32; 10];
+        for _ in 0..100_000 {
+            buckets[r.below(10) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((8_000..12_000).contains(&b), "bucket {b} out of range");
+        }
+    }
+
+    #[test]
+    fn range_inclusive() {
+        let mut r = SimRng::new(5);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..10_000 {
+            let v = r.range(3, 5);
+            assert!((3..=5).contains(&v));
+            saw_lo |= v == 3;
+            saw_hi |= v == 5;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SimRng::new(9);
+        for _ in 0..10_000 {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(13);
+        assert!(!(0..1000).any(|_| r.chance(0.0)));
+        assert!((0..1000).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn exp_mean_is_close() {
+        let mut r = SimRng::new(17);
+        let n = 200_000;
+        let total: u64 = (0..n).map(|_| r.exp(1000.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((900.0..1100.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn gauss_mean_is_close() {
+        let mut r = SimRng::new(19);
+        let n = 100_000;
+        let total: f64 = (0..n).map(|_| r.gauss(500.0, 50.0)).sum();
+        let mean = total / n as f64;
+        assert!((490.0..510.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn forked_streams_are_independent() {
+        let mut root = SimRng::new(23);
+        let mut a = root.fork(0);
+        let mut b = root.fork(1);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fill_bytes_covers_remainder() {
+        let mut r = SimRng::new(29);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

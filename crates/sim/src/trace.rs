@@ -1,0 +1,143 @@
+//! Lightweight bounded trace ring for debugging simulations.
+//!
+//! Simulations emit short human-readable trace entries; the ring keeps the
+//! most recent `capacity` of them. The bench binary `timelines` uses this to
+//! regenerate the paper's Figure 2/3 event timelines.
+
+use crate::time::Time;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One trace record: an instant, a subsystem tag and a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When the event happened.
+    pub time: Time,
+    /// Short subsystem tag, e.g. `"ipi"`, `"latr"`, `"sched"`.
+    pub tag: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>12}] {:<6} {}", self.time.to_string(), self.tag, self.message)
+    }
+}
+
+/// A bounded ring buffer of [`TraceEntry`] records.
+///
+/// Disabled by default (capacity 0) so the hot path pays only a branch.
+///
+/// ```
+/// use latr_sim::{TraceRing, Time};
+/// let mut ring = TraceRing::with_capacity(2);
+/// ring.push(Time::from_ns(1), "a", "first".into());
+/// ring.push(Time::from_ns(2), "b", "second".into());
+/// ring.push(Time::from_ns(3), "c", "third".into());
+/// let tags: Vec<&str> = ring.iter().map(|e| e.tag).collect();
+/// assert_eq!(tags, vec!["b", "c"]); // oldest evicted
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceRing {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+}
+
+impl TraceRing {
+    /// Creates a disabled ring (capacity 0); all pushes are dropped.
+    pub fn disabled() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates a ring retaining the most recent `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceRing {
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+        }
+    }
+
+    /// Whether pushes are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records an entry, evicting the oldest when full. No-op when disabled.
+    pub fn push(&mut self, time: Time, tag: &'static str, message: String) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(TraceEntry { time, tag, message });
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over retained entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Drops all retained entries, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_ring_drops_everything() {
+        let mut ring = TraceRing::disabled();
+        ring.push(Time::ZERO, "x", "dropped".into());
+        assert!(ring.is_empty());
+        assert!(!ring.is_enabled());
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut ring = TraceRing::with_capacity(3);
+        for i in 0..5 {
+            ring.push(Time::from_ns(i), "t", format!("e{i}"));
+        }
+        assert_eq!(ring.len(), 3);
+        let msgs: Vec<&str> = ring.iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn display_contains_tag_and_message() {
+        let e = TraceEntry {
+            time: Time::from_ns(1500),
+            tag: "ipi",
+            message: "deliver to core 3".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("ipi"));
+        assert!(s.contains("deliver to core 3"));
+        assert!(s.contains("1.500us"));
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut ring = TraceRing::with_capacity(2);
+        ring.push(Time::ZERO, "t", "a".into());
+        ring.clear();
+        assert!(ring.is_empty());
+        ring.push(Time::ZERO, "t", "b".into());
+        assert_eq!(ring.len(), 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! # latr-workloads — workload generators for the Latr evaluation
+//!
+//! Deterministic [`latr_kernel::Workload`] implementations reproducing the
+//! paper's §6 experiment drivers:
+//!
+//! * [`MunmapMicrobench`] — the Fig. 6/7/8 microbenchmark: a set of pages
+//!   shared by N cores, then `munmap()`ed by one of them;
+//! * [`ApacheWorkload`] — the Fig. 1/9 web-server model: per request,
+//!   `mmap()` a page-cache file, touch it, `munmap()` it;
+//! * [`ParsecWorkload`] + [`ParsecProfile`] — the Fig. 10/12 and Table 4
+//!   PARSEC suite as calibrated synthetic profiles;
+//! * [`MigrationWorkload`] + [`MigrationProfile`] — the Fig. 11 AutoNUMA
+//!   applications (graph500, pbzip2, metis, fluidanimate, ocean_cp);
+//! * [`harness`] — one-call experiment runner shared by the bench
+//!   binaries, the examples and the integration tests.
+
+pub mod apache;
+pub mod harness;
+pub mod microbench;
+pub mod migration;
+pub mod parsec;
+
+
+pub use apache::ApacheWorkload;
+pub use harness::{run_experiment, ExperimentResult, PolicyKind};
+pub use microbench::MunmapMicrobench;
+pub use migration::{MigrationProfile, MigrationWorkload};
+pub use parsec::{ParsecProfile, ParsecWorkload};
+
+

@@ -1,0 +1,51 @@
+//! Apache throughput scaling (the paper's headline experiment, Figs. 1/9).
+//!
+//! Sweeps worker cores under Linux, ABIS and Latr, printing requests per
+//! second and TLB shootdowns per second.
+//!
+//! ```sh
+//! cargo run --release --example apache_scaling [--quick]
+//! ```
+
+use latr_arch::{MachinePreset, Topology};
+use latr_kernel::MachineConfig;
+use latr_sim::MILLISECOND;
+use latr_workloads::{run_experiment, ApacheWorkload, PolicyKind};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let window = if quick { 120 } else { 300 } * MILLISECOND;
+    let policies = [PolicyKind::Linux, PolicyKind::Abis, PolicyKind::latr_default()];
+
+    println!("Apache serving a 10 KB static page (mmap + touch + munmap per request)\n");
+    println!(
+        "{:<7} {:>14} {:>14} {:>14}   {:>14} {:>14} {:>14}",
+        "cores",
+        "linux req/s",
+        "abis req/s",
+        "latr req/s",
+        "linux sd/s",
+        "abis sd/s",
+        "latr sd/s"
+    );
+    for cores in [1usize, 2, 4, 6, 8, 10, 12] {
+        let mut reqs = Vec::new();
+        let mut sds = Vec::new();
+        for policy in policies {
+            let config = MachineConfig::new(Topology::preset(MachinePreset::Commodity2S16C));
+            let (res, _) =
+                run_experiment(config, policy, Box::new(ApacheWorkload::new(cores)), window);
+            reqs.push(res.throughput);
+            sds.push(res.shootdowns_per_sec);
+        }
+        println!(
+            "{:<7} {:>14.0} {:>14.0} {:>14.0}   {:>14.0} {:>14.0} {:>14.0}",
+            cores, reqs[0], reqs[1], reqs[2], sds[0], sds[1], sds[2]
+        );
+    }
+    println!(
+        "\nLinux flattens beyond ~6 cores (munmap holds mmap_sem through the\n\
+         synchronous shootdown); Latr keeps scaling — the paper reports +59.9%\n\
+         over Linux and +37.9% over ABIS at 12 cores."
+    );
+}

@@ -1,0 +1,7 @@
+//! Root crate re-exporting the Latr reproduction workspace.
+pub use latr_arch as arch;
+pub use latr_core as core;
+pub use latr_kernel as kernel;
+pub use latr_mem as mem;
+pub use latr_sim as sim;
+pub use latr_workloads as workloads;

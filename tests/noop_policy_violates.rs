@@ -1,0 +1,100 @@
+//! A negative control for the verification machinery: `NoopPolicy` frees
+//! munmapped frames immediately *without ever invalidating remote TLBs* —
+//! exactly what an OS without TLB coherence would do. The reclamation-
+//! invariant checker must catch it, demonstrating that (a) the checker has
+//! teeth and (b) Latr's lazy reclamation is what makes laziness safe.
+
+use latr_arch::{CpuId, MachinePreset, Topology};
+use latr_kernel::{Machine, MachineConfig, NoopPolicy, Op, OpResult, TaskId, Workload};
+use latr_mem::VaRange;
+use latr_sim::SECOND;
+
+/// Core 0 maps a page both cores touch, then unmaps it; the checker runs
+/// right after the munmap completes.
+struct UnsafeFree {
+    step0: usize,
+    victim: Option<VaRange>,
+    sharer_touched: bool,
+    violation: Option<Option<String>>,
+}
+
+impl Workload for UnsafeFree {
+    fn setup(&mut self, machine: &mut Machine) {
+        let mm = machine.create_process();
+        machine.spawn_task(mm, CpuId(0));
+        machine.spawn_task(mm, CpuId(1));
+    }
+
+    fn next_op(&mut self, machine: &mut Machine, task: TaskId) -> Op {
+        if task.index() == 1 {
+            return match self.victim {
+                Some(r) if !self.sharer_touched => {
+                    self.sharer_touched = true;
+                    Op::Access {
+                        vpn: r.start,
+                        write: false,
+                    }
+                }
+                _ if self.violation.is_some() => Op::Exit,
+                _ => Op::Sleep(2_000),
+            };
+        }
+        if self.victim.is_some() && !self.sharer_touched {
+            return Op::Sleep(1_000);
+        }
+        self.step0 += 1;
+        match self.step0 {
+            1 => Op::MmapAnon { pages: 1 },
+            2 => Op::Access {
+                vpn: self.victim.or(machine.task(task).last_mmap).unwrap().start,
+                write: true,
+            },
+            3 => Op::Munmap {
+                range: machine.task(task).last_mmap.unwrap(),
+            },
+            _ => Op::Exit,
+        }
+    }
+
+    fn on_op_complete(&mut self, machine: &mut Machine, task: TaskId, result: OpResult) {
+        if task.index() != 0 {
+            return;
+        }
+        match result.op {
+            Op::MmapAnon { .. } => self.victim = machine.task(task).last_mmap,
+            Op::Munmap { .. } => {
+                // NoopPolicy released the frame already, but core 1's TLB
+                // still translates to it.
+                self.violation = Some(machine.check_reclamation_invariant());
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn noop_policy_breaks_the_reclamation_invariant() {
+    let mut machine = Machine::new(MachineConfig::new(Topology::preset(
+        MachinePreset::Commodity2S16C,
+    )));
+    let (workload, _) = machine.run(
+        Box::new(UnsafeFree {
+            step0: 0,
+            victim: None,
+            sharer_touched: false,
+            violation: None,
+        }),
+        Box::new(NoopPolicy),
+        SECOND,
+    );
+    let any: Box<dyn std::any::Any> = workload;
+    let w = any.downcast::<UnsafeFree>().expect("same type");
+    let violation = w.violation.expect("checker ran after munmap");
+    let message = violation.expect(
+        "NoopPolicy must violate the invariant: a remote TLB caches a freed frame",
+    );
+    assert!(
+        message.contains("cpu1"),
+        "the violation should name the stale core: {message}"
+    );
+}

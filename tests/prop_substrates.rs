@@ -1,0 +1,301 @@
+//! Model-based property tests of the memory and hardware substrates:
+//! each structure is driven with random operation sequences and compared
+//! against a trivially-correct reference model.
+
+use latr_arch::{CpuId, CpuMask, Tlb, TlbEntry, PCID_NONE};
+use latr_mem::{FrameAllocator, MapKind, PageTable, Pfn, Prot, PteFlags, VaRange, Vma, VmaTree, Vpn};
+use latr_sim::Histogram;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashSet};
+
+// ---- CpuMask vs HashSet ------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum MaskOp {
+    Set(u16),
+    Clear(u16),
+}
+
+fn mask_ops() -> impl Strategy<Value = Vec<MaskOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u16..256).prop_map(MaskOp::Set),
+            (0u16..256).prop_map(MaskOp::Clear),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn cpumask_matches_hashset(ops in mask_ops()) {
+        let mut mask = CpuMask::empty();
+        let mut model: HashSet<u16> = HashSet::new();
+        for op in ops {
+            match op {
+                MaskOp::Set(c) => {
+                    mask.set(CpuId(c));
+                    model.insert(c);
+                }
+                MaskOp::Clear(c) => {
+                    mask.clear(CpuId(c));
+                    model.remove(&c);
+                }
+            }
+            prop_assert_eq!(mask.count(), model.len());
+        }
+        let from_mask: HashSet<u16> = mask.iter().map(|c| c.0).collect();
+        prop_assert_eq!(from_mask, model.clone());
+        prop_assert_eq!(mask.is_empty(), model.is_empty());
+        prop_assert_eq!(
+            mask.first().map(|c| c.0),
+            model.iter().copied().min()
+        );
+    }
+}
+
+// ---- PageTable vs BTreeMap ---------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum PtOp {
+    Map(u64, u64),
+    Unmap(u64),
+    Update(u64),
+}
+
+fn pt_ops() -> impl Strategy<Value = Vec<PtOp>> {
+    // A small vpn universe so collisions are frequent.
+    let vpn = 0u64..64;
+    prop::collection::vec(
+        prop_oneof![
+            (vpn.clone(), 0u64..1000).prop_map(|(v, p)| PtOp::Map(v * 0x40_0001, p)),
+            vpn.clone().prop_map(|v| PtOp::Unmap(v * 0x40_0001)),
+            vpn.prop_map(|v| PtOp::Update(v * 0x40_0001)),
+        ],
+        0..250,
+    )
+}
+
+proptest! {
+    #[test]
+    fn page_table_matches_btreemap(ops in pt_ops()) {
+        let mut pt = PageTable::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                PtOp::Map(v, p) => {
+                    let prev = pt.map(Vpn(v), Pfn(p), PteFlags::default());
+                    prop_assert_eq!(prev.map(|e| e.pfn.0), model.insert(v, p));
+                }
+                PtOp::Unmap(v) => {
+                    let prev = pt.unmap(Vpn(v));
+                    prop_assert_eq!(prev.map(|e| e.pfn.0), model.remove(&v));
+                }
+                PtOp::Update(v) => {
+                    let updated = pt.update(Vpn(v), |e| e.flags.accessed = true);
+                    prop_assert_eq!(updated.is_some(), model.contains_key(&v));
+                }
+            }
+            prop_assert_eq!(pt.mapped_pages(), model.len() as u64);
+        }
+        for (&v, &p) in &model {
+            prop_assert_eq!(pt.lookup(Vpn(v)).map(|e| e.pfn.0), Some(p));
+        }
+    }
+}
+
+// ---- VmaTree vs interval model -------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum VmaOp {
+    Insert(u64, u64),
+    Remove(u64, u64),
+    Protect(u64, u64),
+}
+
+fn vma_ops() -> impl Strategy<Value = Vec<VmaOp>> {
+    let start = 0u64..200;
+    let len = 1u64..24;
+    prop::collection::vec(
+        prop_oneof![
+            (start.clone(), len.clone()).prop_map(|(s, l)| VmaOp::Insert(s, l)),
+            (start.clone(), len.clone()).prop_map(|(s, l)| VmaOp::Remove(s, l)),
+            (start, len).prop_map(|(s, l)| VmaOp::Protect(s, l)),
+        ],
+        0..120,
+    )
+}
+
+proptest! {
+    #[test]
+    fn vma_tree_matches_page_model(ops in vma_ops()) {
+        let mut tree = VmaTree::new();
+        // Model: page -> writable flag.
+        let mut model: BTreeMap<u64, bool> = BTreeMap::new();
+        for op in ops {
+            match op {
+                VmaOp::Insert(s, l) => {
+                    let range = VaRange::new(Vpn(s), l);
+                    let free = tree.is_range_free(&range);
+                    let model_free = range.iter().all(|v| !model.contains_key(&v.0));
+                    prop_assert_eq!(free, model_free);
+                    if free {
+                        tree.insert(Vma { range, kind: MapKind::Anon, prot: Prot::READ_WRITE });
+                        for v in range.iter() {
+                            model.insert(v.0, true);
+                        }
+                    }
+                }
+                VmaOp::Remove(s, l) => {
+                    let range = VaRange::new(Vpn(s), l);
+                    let removed = tree.remove_range(&range);
+                    let removed_pages: u64 = removed.iter().map(|v| v.range.pages).sum();
+                    let mut model_removed = 0;
+                    for v in range.iter() {
+                        if model.remove(&v.0).is_some() {
+                            model_removed += 1;
+                        }
+                    }
+                    prop_assert_eq!(removed_pages, model_removed);
+                }
+                VmaOp::Protect(s, l) => {
+                    let range = VaRange::new(Vpn(s), l);
+                    tree.protect_range(&range, Prot::READ);
+                    for v in range.iter() {
+                        if let Some(w) = model.get_mut(&v.0) {
+                            *w = false;
+                        }
+                    }
+                }
+            }
+            // Page-level agreement after every step.
+            for probe in 0..232u64 {
+                let vma = tree.find(Vpn(probe));
+                match model.get(&probe) {
+                    Some(&writable) => {
+                        prop_assert!(vma.is_some(), "page {probe} missing from tree");
+                        prop_assert_eq!(vma.expect("checked").prot.write, writable);
+                    }
+                    None => prop_assert!(vma.is_none(), "page {probe} unexpectedly mapped"),
+                }
+            }
+        }
+        // No overlapping VMAs, sorted order.
+        let vmas: Vec<&Vma> = tree.iter().collect();
+        for pair in vmas.windows(2) {
+            prop_assert!(pair[0].range.end() <= pair[1].range.start);
+        }
+    }
+}
+
+// ---- FrameAllocator refcount conservation ----------------------------------------------
+
+proptest! {
+    #[test]
+    fn frame_allocator_conserves_frames(ops in prop::collection::vec(0u8..4, 0..300)) {
+        let total = 64u64;
+        let mut fa = FrameAllocator::new(2, total / 2);
+        let mut live: Vec<Pfn> = Vec::new();
+        for op in ops {
+            match op {
+                0 | 1 => {
+                    if let Some(p) = fa.alloc(latr_arch::NodeId(op % 2)) {
+                        live.push(p);
+                    }
+                }
+                2 => {
+                    if let Some(&p) = live.first() {
+                        fa.inc_ref(p);
+                        live.push(p);
+                    }
+                }
+                _ => {
+                    if let Some(p) = live.pop() {
+                        fa.dec_ref(p);
+                    }
+                }
+            }
+            // Conservation: allocated + free == total.
+            let free: usize = (0..2)
+                .map(|n| fa.free_on_node(latr_arch::NodeId(n)))
+                .sum();
+            let distinct_live: HashSet<u64> = live.iter().map(|p| p.0).collect();
+            prop_assert_eq!(fa.allocated_count(), distinct_live.len());
+            prop_assert_eq!(free + distinct_live.len(), total as usize);
+            // Refcounts match the model multiset.
+            for &p in &distinct_live {
+                let expected = live.iter().filter(|q| q.0 == p).count() as u32;
+                prop_assert_eq!(fa.refcount(Pfn(p)), expected);
+            }
+        }
+    }
+}
+
+// ---- Histogram percentiles vs sorted samples ---------------------------------------------
+
+proptest! {
+    #[test]
+    fn histogram_percentiles_are_within_bucket_error(
+        samples in prop::collection::vec(0u64..10_000_000, 1..400),
+        q in 0.0f64..1.0
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        let exact = sorted[idx] as f64;
+        let approx = h.percentile(q) as f64;
+        // Log-bucketed histograms guarantee ~3.2% relative error (64
+        // sub-buckets), plus exactness below 64.
+        let tolerance = (exact * 0.033).max(1.0);
+        prop_assert!(
+            (approx - exact).abs() <= tolerance,
+            "q={q:.3}: approx {approx} vs exact {exact} (n={})",
+            sorted.len()
+        );
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.max(), *sorted.last().expect("non-empty"));
+    }
+}
+
+// ---- TLB: inclusion-free semantics --------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn tlb_never_returns_a_mapping_that_was_invalidated(
+        ops in prop::collection::vec((0u64..128, 0u8..3), 0..300)
+    ) {
+        let mut tlb = Tlb::new(64, 512);
+        // Model: the set of vpns whose *latest* action was an insert.
+        let mut inserted: BTreeMap<u64, u64> = BTreeMap::new();
+        for (vpn, action) in ops {
+            match action {
+                0 => {
+                    tlb.insert(TlbEntry { pcid: PCID_NONE, vpn, pfn: vpn + 7, writable: true });
+                    inserted.insert(vpn, vpn + 7);
+                }
+                1 => {
+                    tlb.invalidate_page(PCID_NONE, vpn);
+                    inserted.remove(&vpn);
+                }
+                _ => {
+                    // Lookup must never resurrect an invalidated page, and a
+                    // hit must return the modelled frame (caching is
+                    // best-effort: misses on inserted pages are allowed).
+                    if let Some(e) = tlb.lookup(PCID_NONE, vpn) {
+                        prop_assert_eq!(
+                            Some(e.pfn),
+                            inserted.get(&vpn).copied(),
+                            "stale or wrong entry for vpn {}",
+                            vpn
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

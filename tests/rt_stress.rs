@@ -1,0 +1,186 @@
+//! Concurrency stress for the lock-free runtime beyond what the crate's
+//! unit tests cover: wide (multi-word) CPU masks exercising the CAS-based
+//! retirement race, publisher/sweeper/reclaimer pipelines, and queue-slot
+//! recycling under pressure.
+
+use latr_core::rt::{RtInvalidation, RtRegistry, RtReclaimer};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn inv(tag: u64) -> RtInvalidation {
+    RtInvalidation {
+        mm: tag,
+        start: tag * 0x1000,
+        end: tag * 0x1000 + 0x1000,
+    }
+}
+
+/// 130 target CPUs spread over three mask words; the emptiness observation
+/// races across words, so retirement must stay exactly-once (the counter
+/// would underflow loudly otherwise).
+#[test]
+fn wide_mask_retirement_is_exactly_once() {
+    let cores = 136;
+    let registry = Arc::new(RtRegistry::new(cores, 128));
+    let total = 300u64;
+
+    // Targets: every core except 0.
+    let publisher = {
+        let r = Arc::clone(&registry);
+        std::thread::spawn(move || {
+            let mut published = 0u64;
+            while published < total {
+                if r.publish_broadcast(0, inv(published)).is_ok() {
+                    published += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        })
+    };
+    // Four sweeper threads, each responsible for a band of cores.
+    let done = Arc::new(AtomicBool::new(false));
+    let sweepers: Vec<_> = (0..4)
+        .map(|band| {
+            let r = Arc::clone(&registry);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let my_cores: Vec<usize> =
+                    (1..cores).filter(|c| c % 4 == band).collect();
+                let mut seen = vec![0u64; total as usize];
+                loop {
+                    let mut progress = false;
+                    for &core in &my_cores {
+                        for w in r.sweep(core) {
+                            seen[w.mm as usize] += 1;
+                            progress = true;
+                        }
+                    }
+                    if !progress && done.load(Ordering::Acquire) {
+                        // One final pass to drain stragglers.
+                        for &core in &my_cores {
+                            for w in r.sweep(core) {
+                                seen[w.mm as usize] += 1;
+                            }
+                        }
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                seen
+            })
+        })
+        .collect();
+    publisher.join().expect("publisher");
+    // Let the sweepers drain everything, then signal.
+    loop {
+        if registry.queue(0).active_count() == 0 {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    done.store(true, Ordering::Release);
+    let mut per_state = vec![0u64; total as usize];
+    for s in sweepers {
+        for (i, n) in s.join().expect("sweeper").into_iter().enumerate() {
+            per_state[i] += n;
+        }
+    }
+    // Every state must have been delivered exactly once to each of the
+    // 135 targets.
+    for (i, &n) in per_state.iter().enumerate() {
+        assert_eq!(n, (cores - 1) as u64, "state {i} delivered {n} times");
+    }
+    assert_eq!(registry.states_saved(), total);
+    assert_eq!(registry.queue(0).active_count(), 0, "all slots recycled");
+}
+
+/// Full pipeline: publisher frees "objects" through the reclaimer while
+/// sweepers tick; no object may be handed back before every core has
+/// ticked twice past its deferral.
+#[test]
+fn reclaim_pipeline_respects_grace_under_concurrency() {
+    let cores = 4;
+    let registry = Arc::new(RtRegistry::new(cores, 256));
+    let reclaimer: Arc<RtReclaimer<(u64, u64)>> = Arc::new(RtReclaimer::new(2));
+    let total = 2_000u64;
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let tickers: Vec<_> = (1..cores)
+        .map(|core| {
+            let r = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    r.sweep(core);
+                    std::thread::yield_now();
+                }
+            })
+        })
+        .collect();
+
+    let mut collected = Vec::new();
+    for i in 0..total {
+        // Defer the object recording the tick frontier at deferral time.
+        let frontier = registry.min_tick();
+        reclaimer.defer(&registry, (i, frontier));
+        registry.sweep(0);
+        for (obj, deferred_at) in reclaimer.collect(&registry) {
+            // Grace: every core ticked at least twice since deferral.
+            assert!(
+                registry.min_tick() >= deferred_at + 2,
+                "object {obj} released early: frontier {} deferred at {}",
+                registry.min_tick(),
+                deferred_at
+            );
+            collected.push(obj);
+        }
+    }
+    stop.store(true, Ordering::Release);
+    for t in tickers {
+        t.join().expect("ticker");
+    }
+    // Everything eventually comes back, in FIFO order.
+    for _ in 0..4 {
+        registry.sweep(0);
+        registry.sweep(1);
+        registry.sweep(2);
+        registry.sweep(3);
+    }
+    collected.extend(reclaimer.collect(&registry).into_iter().map(|(o, _)| o));
+    assert_eq!(collected.len() as u64, total);
+    assert!(collected.windows(2).all(|w| w[0] < w[1]), "FIFO order");
+}
+
+/// Slot recycling: a tiny queue cycled many times must never deliver a
+/// torn state (mm/start/end always belong together).
+#[test]
+fn recycled_slots_never_tear() {
+    let registry = Arc::new(RtRegistry::new(2, 2));
+    let rounds = 20_000u64;
+    let sweeper = {
+        let r = Arc::clone(&registry);
+        std::thread::spawn(move || {
+            let mut delivered = 0u64;
+            while delivered < rounds {
+                for w in r.sweep(1) {
+                    // Consistency of the payload triple.
+                    assert_eq!(w.start, w.mm * 0x1000, "torn state {w:?}");
+                    assert_eq!(w.end, w.mm * 0x1000 + 0x1000, "torn state {w:?}");
+                    delivered += 1;
+                }
+                std::thread::yield_now();
+            }
+        })
+    };
+    let mut published = 0u64;
+    while published < rounds {
+        if registry.publish(0, inv(published), 0b10).is_ok() {
+            published += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+    sweeper.join().expect("sweeper");
+    assert_eq!(registry.states_saved(), rounds);
+}
