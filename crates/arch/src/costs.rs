@@ -285,8 +285,7 @@ mod tests {
         // Linux per-shootdown CPU time ≈ 1594 ns (Table 5): one IPI send +
         // interrupt handling + invalidation + ACK receipt on the 2-socket
         // machine. Wire propagation overlaps and is not CPU time.
-        let linux_cpu_time =
-            cm.ipi_send(1) + cm.interrupt_overhead + cm.invlpg + cm.ack(1);
+        let linux_cpu_time = cm.ipi_send(1) + cm.interrupt_overhead + cm.invlpg + cm.ack(1);
         assert!(
             (1_400..1_900).contains(&linux_cpu_time),
             "Linux single shootdown CPU time {linux_cpu_time}"

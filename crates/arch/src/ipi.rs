@@ -175,10 +175,7 @@ mod tests {
     #[test]
     fn ack_and_coherence_latencies() {
         let f = fabric(MachinePreset::Commodity2S16C);
-        assert_eq!(
-            f.ack_latency(CpuId(0), CpuId(1)),
-            f.costs().ack_same_socket
-        );
+        assert_eq!(f.ack_latency(CpuId(0), CpuId(1)), f.costs().ack_same_socket);
         assert_eq!(
             f.ack_latency(CpuId(0), CpuId(9)),
             f.costs().ack_cross_socket

@@ -118,7 +118,9 @@ impl SetAssoc {
         None
     }
 
-    fn insert(&mut self, entry: TlbEntry, clock: u64) {
+    /// Returns the valid entry of a *different* page this insert displaced,
+    /// if any (a capacity eviction at this level).
+    fn insert(&mut self, entry: TlbEntry, clock: u64) -> Option<TlbEntry> {
         let range = self.set_range(entry.vpn);
         // Replace an existing mapping of the same page first.
         let mut victim = range.start;
@@ -135,11 +137,16 @@ impl SetAssoc {
                 victim = i;
             }
         }
+        let slot = &self.slots[victim];
+        let displaced = (slot.valid
+            && (slot.entry.vpn != entry.vpn || slot.entry.pcid != entry.pcid))
+            .then_some(slot.entry);
         self.slots[victim] = Slot {
             entry,
             valid: true,
             last_use: clock,
         };
+        displaced
     }
 
     fn invalidate(&mut self, pcid: u16, vpn: u64) -> bool {
@@ -169,10 +176,7 @@ impl SetAssoc {
     }
 
     fn iter_valid(&self) -> impl Iterator<Item = &TlbEntry> {
-        self.slots
-            .iter()
-            .filter(|s| s.valid)
-            .map(|s| &s.entry)
+        self.slots.iter().filter(|s| s.valid).map(|s| &s.entry)
     }
 }
 
@@ -194,6 +198,8 @@ pub struct Tlb {
     l2: SetAssoc,
     clock: u64,
     stats: TlbStats,
+    track_evictions: bool,
+    evicted: Vec<TlbEntry>,
 }
 
 impl Tlb {
@@ -210,6 +216,36 @@ impl Tlb {
             l2: SetAssoc::new(l2_entries, 8),
             clock: 0,
             stats: TlbStats::default(),
+            track_evictions: false,
+            evicted: Vec::new(),
+        }
+    }
+
+    /// Enables (or disables) capacity-eviction tracking. While enabled,
+    /// entries that fall out of *both* levels record themselves in a log
+    /// drained by [`take_evicted`](Self::take_evicted). Off by default —
+    /// the coherence oracle turns it on so its shadow TLB mirror stays
+    /// exact without scanning every slot per event.
+    pub fn set_eviction_tracking(&mut self, on: bool) {
+        self.track_evictions = on;
+        if !on {
+            self.evicted.clear();
+        }
+    }
+
+    /// Drains the pending capacity-eviction log.
+    pub fn take_evicted(&mut self) -> Vec<TlbEntry> {
+        std::mem::take(&mut self.evicted)
+    }
+
+    /// Records `displaced` victims that are now absent from both levels.
+    /// An L1 victim may well survive in L2 (the hierarchy is only mostly
+    /// inclusive), so each candidate is re-probed before being logged.
+    fn note_displaced(&mut self, displaced: [Option<TlbEntry>; 2]) {
+        for e in displaced.into_iter().flatten() {
+            if self.peek(e.pcid, e.vpn).is_none() {
+                self.evicted.push(e);
+            }
         }
     }
 
@@ -224,7 +260,10 @@ impl Tlb {
         }
         if let Some(e) = self.l2.lookup(pcid, vpn, self.clock) {
             self.stats.l2_hits += 1;
-            self.l1.insert(e, self.clock);
+            let displaced = self.l1.insert(e, self.clock);
+            if self.track_evictions {
+                self.note_displaced([displaced, None]);
+            }
             return Some(e);
         }
         self.stats.misses += 1;
@@ -249,8 +288,11 @@ impl Tlb {
     /// Installs a translation into both levels (inclusive hierarchy).
     pub fn insert(&mut self, entry: TlbEntry) {
         self.clock += 1;
-        self.l1.insert(entry, self.clock);
-        self.l2.insert(entry, self.clock);
+        let d1 = self.l1.insert(entry, self.clock);
+        let d2 = self.l2.insert(entry, self.clock);
+        if self.track_evictions {
+            self.note_displaced([d1, d2]);
+        }
     }
 
     /// Invalidates one page (`INVLPG`). Returns whether any entry was
@@ -436,5 +478,58 @@ mod tests {
     #[should_panic]
     fn zero_capacity_panics() {
         let _ = Tlb::new(0, 1024);
+    }
+
+    #[test]
+    fn eviction_tracking_reports_exactly_the_fully_evicted() {
+        let mut tlb = Tlb::new(64, 512);
+        tlb.set_eviction_tracking(true);
+        for v in 0..4096 {
+            tlb.insert(entry(v));
+        }
+        let evicted = tlb.take_evicted();
+        assert!(!evicted.is_empty(), "thrashing must evict something");
+        // Every reported victim is really gone from both levels, and every
+        // entry absent from both levels was reported exactly once.
+        for e in &evicted {
+            assert!(
+                tlb.peek(e.pcid, e.vpn).is_none(),
+                "vpn {} still cached",
+                e.vpn
+            );
+        }
+        let mut seen: Vec<u64> = evicted.iter().map(|e| e.vpn).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), evicted.len(), "a victim was double-reported");
+        let survivors = (0..4096)
+            .filter(|&v| tlb.peek(PCID_NONE, v).is_some())
+            .count();
+        assert_eq!(survivors + evicted.len(), 4096);
+        // Draining leaves the log empty; disabling clears any remainder.
+        assert!(tlb.take_evicted().is_empty());
+        tlb.set_eviction_tracking(false);
+        tlb.insert(entry(9999));
+        assert!(tlb.take_evicted().is_empty());
+    }
+
+    #[test]
+    fn l2_promotion_eviction_not_reported_while_entry_survives_in_l2() {
+        let mut tlb = Tlb::new(64, 1024);
+        tlb.set_eviction_tracking(true);
+        // Overflow L1 (64 entries) but not L2 (1024): promotions displace
+        // L1 slots whose entries still live in L2, so nothing is a *full*
+        // eviction.
+        for v in 0..512 {
+            tlb.insert(entry(v));
+        }
+        tlb.take_evicted();
+        for v in 0..512 {
+            assert!(tlb.lookup(PCID_NONE, v).is_some());
+        }
+        assert!(
+            tlb.take_evicted().is_empty(),
+            "promotion displacements must not be reported while the victim survives in L2"
+        );
     }
 }

@@ -4,7 +4,7 @@
 //! baseline (paper: 1594.2 ns for Linux's IPI round).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use latr_core::rt::{RtInvalidation, RtRegistry, RtReclaimer, SoftTlb, SoftTlbTable};
+use latr_core::rt::{RtInvalidation, RtReclaimer, RtRegistry, SoftTlb, SoftTlbTable};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};

@@ -2,7 +2,9 @@
 //! determine how fast the experiment harness itself runs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use latr_arch::{CostModel, CpuId, CpuMask, IpiFabric, MachinePreset, Tlb, TlbEntry, Topology, PCID_NONE};
+use latr_arch::{
+    CostModel, CpuId, CpuMask, IpiFabric, MachinePreset, Tlb, TlbEntry, Topology, PCID_NONE,
+};
 use latr_mem::{PageTable, Pfn, PteFlags, VaRange, Vpn};
 use latr_sim::{EventQueue, Histogram, SimRng, Time};
 use std::hint::black_box;

@@ -23,7 +23,10 @@ fn config() -> MachineConfig {
 
 fn main() {
     println!("=== Ablation 1: states per core vs fallback IPIs (publish burst) ===");
-    println!("{:<16} {:>16} {:>16}", "states/core", "states saved", "fallback rounds");
+    println!(
+        "{:<16} {:>16} {:>16}",
+        "states/core", "states saved", "fallback rounds"
+    );
     for states in [16usize, 32, 64, 128] {
         let cfg = LatrConfig {
             states_per_core: states,
@@ -31,12 +34,8 @@ fn main() {
         };
         // A zero-gap burst publishes much faster than sweeps retire.
         let wl = MunmapMicrobench::new(2, 1, 400).with_gap(0);
-        let (_, machine) = run_experiment(
-            config(),
-            PolicyKind::Latr(cfg),
-            Box::new(wl),
-            10 * SECOND,
-        );
+        let (_, machine) =
+            run_experiment(config(), PolicyKind::Latr(cfg), Box::new(wl), 10 * SECOND);
         println!(
             "{:<16} {:>16} {:>16}",
             states,
@@ -86,8 +85,7 @@ fn main() {
             .map_or(0, |h| h.max());
         // Frames still held by the shared page cache are resident file
         // pages, not leaks.
-        let leaked =
-            machine.frames.allocated_count() - machine.page_cache.resident_pages();
+        let leaked = machine.frames.allocated_count() - machine.page_cache.resident_pages();
         println!(
             "{:<8} {:>18} {:>18} {:>14}",
             ticks,

@@ -50,13 +50,21 @@ fn main() {
         model.ipi_send(1) + model.interrupt_overhead + model.invlpg + model.ack(1);
 
     println!("simulated (calibrated cost model):");
-    println!("  saving a Latr state          {:>8} ns   (paper: 132.3 ns)", model.latr_state_save);
-    println!("  single state sweep (hit)     {:>8} ns   (paper: 158.0 ns)", model.latr_sweep_hit);
-    println!("  single Linux TLB shootdown   {:>8} ns   (paper: 1594.2 ns)", linux_shootdown_cpu);
+    println!(
+        "  saving a Latr state          {:>8} ns   (paper: 132.3 ns)",
+        model.latr_state_save
+    );
+    println!(
+        "  single state sweep (hit)     {:>8} ns   (paper: 158.0 ns)",
+        model.latr_sweep_hit
+    );
+    println!(
+        "  single Linux TLB shootdown   {:>8} ns   (paper: 1594.2 ns)",
+        linux_shootdown_cpu
+    );
     println!(
         "  reduction                    {:>7.1} %   (paper: 81.8 %)",
-        (1.0 - (model.latr_state_save + model.latr_sweep_hit) as f64
-            / linux_shootdown_cpu as f64)
+        (1.0 - (model.latr_state_save + model.latr_sweep_hit) as f64 / linux_shootdown_cpu as f64)
             * 100.0
     );
     println!(

@@ -47,8 +47,28 @@ fn show(title: &str, config: MachineConfig, policy: PolicyKind, numa: bool) {
 
 fn main() {
     let base = || MachineConfig::new(Topology::preset(MachinePreset::Commodity2S16C));
-    show("Fig. 2a — munmap under Linux (IPIs + ACK wait)", base(), PolicyKind::Linux, false);
-    show("Fig. 2b — munmap under Latr (state save, lazy sweep)", base(), PolicyKind::latr_default(), false);
-    show("Fig. 3a — AutoNUMA hint-unmap under Linux", base(), PolicyKind::Linux, true);
-    show("Fig. 3b — AutoNUMA hint-unmap under Latr", base(), PolicyKind::latr_default(), true);
+    show(
+        "Fig. 2a — munmap under Linux (IPIs + ACK wait)",
+        base(),
+        PolicyKind::Linux,
+        false,
+    );
+    show(
+        "Fig. 2b — munmap under Latr (state save, lazy sweep)",
+        base(),
+        PolicyKind::latr_default(),
+        false,
+    );
+    show(
+        "Fig. 3a — AutoNUMA hint-unmap under Linux",
+        base(),
+        PolicyKind::Linux,
+        true,
+    );
+    show(
+        "Fig. 3b — AutoNUMA hint-unmap under Latr",
+        base(),
+        PolicyKind::latr_default(),
+        true,
+    );
 }

@@ -16,9 +16,9 @@
 use crate::config::LatrConfig;
 use crate::reclaim::LazyReclaimQueue;
 use crate::state::{LatrState, StateKind, StateQueue};
-use latr_kernel::{metrics, FlushKind, FlushOutcome, Machine, TlbPolicy};
-use latr_kernel::TaskId;
 use latr_arch::{CpuId, CpuMask};
+use latr_kernel::TaskId;
+use latr_kernel::{metrics, FlushKind, FlushOutcome, Machine, TlbPolicy};
 use latr_mem::{MmId, Pfn, VaRange, Vpn};
 use latr_sim::Nanos;
 
@@ -101,6 +101,7 @@ impl LatrPolicy {
                 }
                 let pages: Vec<Vpn> = range.iter().collect();
                 machine.invalidate_tlb_pages(cpu, mm, &pages);
+                machine.oracle_note_sweep(cpu, mm, range);
                 cost += machine.costs().local_invalidation(pages.len() as u32);
                 hits += 1;
             }
@@ -178,6 +179,7 @@ impl TlbPolicy for LatrPolicy {
         };
         match self.queues[initiator.index()].publish(state) {
             Some(slot) => {
+                machine.oracle_note_publish(initiator, mm, range, targets, false);
                 machine.stats.inc(metrics::LATR_STATES_SAVED);
                 machine.llc.charge_latr_save();
                 if machine.trace.is_enabled() {
@@ -212,8 +214,7 @@ impl TlbPolicy for LatrPolicy {
                 // Queue full: fall back to the IPI mechanism (§4.2).
                 machine.stats.inc(metrics::LATR_FALLBACK_IPIS);
                 let vpns: Vec<Vpn> = pages.iter().map(|&(v, _)| v).collect();
-                let txn =
-                    machine.begin_sync_shootdown(initiator, mm, vpns, targets, start_delay);
+                let txn = machine.begin_sync_shootdown(initiator, mm, vpns, targets, start_delay);
                 FlushOutcome::Sync { txn, local_ns: 0 }
             }
         }
@@ -254,13 +255,7 @@ impl TlbPolicy for LatrPolicy {
         }
     }
 
-    fn numa_hint_unmap(
-        &mut self,
-        machine: &mut Machine,
-        cpu: CpuId,
-        mm: MmId,
-        vpn: Vpn,
-    ) -> bool {
+    fn numa_hint_unmap(&mut self, machine: &mut Machine, cpu: CpuId, mm: MmId, vpn: Vpn) -> bool {
         if !self.config.lazy_migration {
             return false;
         }
@@ -281,6 +276,7 @@ impl TlbPolicy for LatrPolicy {
         };
         match self.queues[cpu.index()].publish(state) {
             Some(slot) => {
+                machine.oracle_note_publish(cpu, mm, VaRange::new(vpn, 1), targets, true);
                 machine.stats.inc(metrics::LATR_STATES_SAVED);
                 machine.llc.charge_latr_save();
                 machine.charge_debt(cpu, machine.costs().latr_state_save);

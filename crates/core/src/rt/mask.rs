@@ -5,7 +5,7 @@
 //! learns it atomically — that core retires the state, exactly the "last
 //! core resets the active flag" step of §4.1 without any lock.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::rt::sync::atomic::{AtomicU64, Ordering};
 
 const WORDS: usize = 4; // up to 256 CPUs, same as latr_arch::MAX_CPUS
 

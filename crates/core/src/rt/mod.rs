@@ -29,6 +29,7 @@ mod mask;
 mod queue;
 mod reclaim;
 mod soft_tlb;
+pub mod sync;
 
 pub use mask::AtomicCpuMask;
 pub use queue::{PublishError, RtInvalidation, RtQueue, RtRegistry};

@@ -9,7 +9,7 @@
 //! loads in the sweep.
 
 use crate::rt::mask::{mask_first_n_except, AtomicCpuMask};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use crate::rt::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// The payload of one invalidation: which address space and which virtual
 /// byte range must be flushed from the sweeper's local cache/TLB analogue.
@@ -30,7 +30,10 @@ pub struct PublishError;
 
 impl std::fmt::Display for PublishError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "latr state queue full; fall back to synchronous shootdown")
+        write!(
+            f,
+            "latr state queue full; fall back to synchronous shootdown"
+        )
     }
 }
 

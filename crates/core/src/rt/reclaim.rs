@@ -7,7 +7,7 @@
 //! TLB invalidations".
 
 use crate::rt::queue::RtRegistry;
-use parking_lot::Mutex;
+use crate::rt::sync::Mutex;
 use std::collections::VecDeque;
 
 /// A deferred-reclamation queue over arbitrary payloads.
@@ -21,6 +21,20 @@ use std::collections::VecDeque;
 /// for _ in 0..2 { registry.sweep(0); registry.sweep(1); }
 /// assert_eq!(reclaimer.collect(&registry), vec!["freed page".to_owned()]);
 /// ```
+///
+/// # Liveness assumption
+///
+/// Progress depends on **every** core sweeping: the reclamation frontier
+/// is [`RtRegistry::min_tick`], the *minimum* tick over all cores, so a
+/// single core that never calls [`RtRegistry::sweep`] pins the frontier
+/// forever and every deferred item stays parked indefinitely — memory is
+/// never handed back, but safety is never violated (nothing is reclaimed
+/// early). This mirrors the kernel setting, where the scheduler tick
+/// guarantees each online core sweeps within one tick period (§4.1); a
+/// user-space embedder must provide the same guarantee, e.g. by sweeping
+/// from an idle loop or timer on behalf of otherwise-quiescent
+/// participants. The `never_sweeping_core_pins_frontier_forever` test
+/// locks in this stall behaviour.
 #[derive(Debug)]
 pub struct RtReclaimer<T> {
     grace: u64,
@@ -87,6 +101,37 @@ mod tests {
         registry.sweep(2);
         registry.sweep(2);
         assert_eq!(rec.collect(&registry), vec![1]);
+    }
+
+    #[test]
+    fn never_sweeping_core_pins_frontier_forever() {
+        // The liveness assumption documented on RtReclaimer: one core
+        // that never sweeps pins min_tick() at 0 and parks every
+        // deferred item forever, no matter how far the others run ahead.
+        let registry = RtRegistry::new(4, 8);
+        let rec: RtReclaimer<u32> = RtReclaimer::new(2);
+        rec.defer(&registry, 7);
+        for _ in 0..1000 {
+            registry.sweep(0);
+            registry.sweep(1);
+            registry.sweep(2);
+            // Core 3 never sweeps.
+        }
+        assert_eq!(registry.min_tick(), 0, "straggler pins the frontier");
+        assert!(rec.collect(&registry).is_empty());
+        assert_eq!(rec.pending_count(), 1);
+
+        // Items deferred mid-stall park behind the same frontier.
+        rec.defer(&registry, 8);
+        assert!(rec.collect(&registry).is_empty());
+        assert_eq!(rec.pending_count(), 2);
+
+        // Only the straggler itself can unpin reclamation.
+        registry.sweep(3);
+        assert!(rec.collect(&registry).is_empty(), "one tick < grace of 2");
+        registry.sweep(3);
+        assert_eq!(rec.collect(&registry), vec![7, 8]);
+        assert_eq!(rec.pending_count(), 0);
     }
 
     #[test]

@@ -191,7 +191,7 @@ mod tests {
     fn head_advances_past_published_slot() {
         let mut q = StateQueue::new(3);
         q.publish(state(&[1])); // slot 0
-        // Retire it.
+                                // Retire it.
         for s in q.iter_active_mut() {
             s.cpus.clear(CpuId(1));
         }

@@ -1,0 +1,155 @@
+//! Interleaving-level model checks of the rt primitives.
+//!
+//! Build and run with:
+//!
+//! ```sh
+//! RUSTFLAGS="--cfg loom" cargo test -p latr-core --test loom --release
+//! ```
+//!
+//! Under `--cfg loom` the rt primitives compile against the loom shim
+//! (`crates/core/src/rt/sync.rs`): every atomic operation and lock
+//! acquisition is a scheduling point, and `loom::model` explores all
+//! interleavings up to the preemption bound (`LOOM_MAX_PREEMPTIONS`,
+//! default 2). The vendored checker models sequential consistency — it
+//! proves the *interleaving* properties (exactly-once retirement, no
+//! torn activation, grace-period gating), not memory-ordering
+//! relaxations; see `third_party/loom`.
+#![cfg(loom)]
+
+use latr_core::rt::{RtInvalidation, RtQueue, RtReclaimer, RtRegistry};
+use loom::sync::Arc;
+use loom::thread;
+
+fn inv(mm: u64) -> RtInvalidation {
+    RtInvalidation {
+        mm,
+        start: 0x1000,
+        end: 0x2000,
+    }
+}
+
+/// §4.1's activation protocol: a sweep racing a publish must see either
+/// nothing or the *complete* payload — never a torn/partial state. The
+/// publisher writes the payload fields before the activation store; the
+/// sweeper loads the payload only behind the activation load.
+#[test]
+fn activation_protocol_is_never_torn() {
+    loom::model(|| {
+        let q = Arc::new(RtQueue::new(2));
+        let q2 = Arc::clone(&q);
+        let publisher = thread::spawn(move || {
+            q2.publish(inv(7), [0b10, 0, 0, 0]).unwrap();
+        });
+        let mut seen = Vec::new();
+        q.sweep_for(1, &mut seen);
+        for s in &seen {
+            assert_eq!(*s, inv(7), "sweep observed a torn payload: {s:?}");
+        }
+        publisher.join().unwrap();
+        // Whatever interleaved, a final sweep must find the state if the
+        // racing one missed it — publishes are never lost.
+        let mut rest = Vec::new();
+        q.sweep_for(1, &mut rest);
+        assert_eq!(
+            seen.len() + rest.len(),
+            1,
+            "state must be swept exactly once"
+        );
+        assert_eq!(q.active_count(), 0, "retired after its only target swept");
+    });
+}
+
+/// Cross-word retirement: two sweepers whose bits live in *different*
+/// 64-bit words of the [`AtomicCpuMask`] race to clear the last bit.
+/// Both may observe emptiness (documented benign race) but the CAS on
+/// the slot's active flag must retire the state exactly once — the
+/// active counter ending at 0 (not underflowed) proves single
+/// decrement, and the slot must be reusable afterwards.
+#[test]
+fn cross_word_retirement_is_exactly_once() {
+    loom::model(|| {
+        let q = Arc::new(RtQueue::new(1));
+        // CPUs 0 (word 0) and 64 (word 1).
+        q.publish(inv(9), [1, 1, 0, 0]).unwrap();
+        let sweepers: Vec<_> = [0usize, 64]
+            .into_iter()
+            .map(|cpu| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut out = Vec::new();
+                    q.sweep_for(cpu, &mut out);
+                    out.len()
+                })
+            })
+            .collect();
+        let seen: usize = sweepers.into_iter().map(|s| s.join().unwrap()).sum();
+        assert_eq!(seen, 2, "each targeted cpu sweeps the state exactly once");
+        assert_eq!(
+            q.active_count(),
+            0,
+            "exactly one sweeper may retire the slot (no double fetch_sub)"
+        );
+        // The slot must be cleanly reusable after retirement.
+        q.publish(inv(10), [1, 0, 0, 0]).unwrap();
+        assert_eq!(q.active_count(), 1);
+    });
+}
+
+/// Same-word case for contrast: the fetch_and itself arbitrates, so
+/// exactly one clear observes emptiness and retires.
+#[test]
+fn same_word_retirement_is_exactly_once() {
+    loom::model(|| {
+        let q = Arc::new(RtQueue::new(1));
+        q.publish(inv(3), [0b11, 0, 0, 0]).unwrap();
+        let sweepers: Vec<_> = [0usize, 1]
+            .into_iter()
+            .map(|cpu| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut out = Vec::new();
+                    q.sweep_for(cpu, &mut out);
+                    out.len()
+                })
+            })
+            .collect();
+        let seen: usize = sweepers.into_iter().map(|s| s.join().unwrap()).sum();
+        assert_eq!(seen, 2);
+        assert_eq!(q.active_count(), 0);
+    });
+}
+
+/// §4.2's grace-period frontier: an item deferred with grace 2 must
+/// never be collected before *every* core has swept twice, no matter how
+/// sweeps and collects interleave — and it must be collected exactly
+/// once when they all have.
+#[test]
+fn grace_period_frontier_gates_collection() {
+    loom::model(|| {
+        let reg = Arc::new(RtRegistry::new(2, 2));
+        let rec: Arc<RtReclaimer<u32>> = Arc::new(RtReclaimer::new(2));
+        rec.defer(&reg, 42);
+
+        let sweeper = {
+            let reg = Arc::clone(&reg);
+            thread::spawn(move || {
+                reg.sweep(1);
+                reg.sweep(1);
+            })
+        };
+
+        reg.sweep(0);
+        // Concurrent with the sweeper: core 0 has swept once, so the
+        // frontier is at most 1 (< due = 2) — nothing may be collected.
+        let early = rec.collect(&reg);
+        assert!(
+            early.is_empty(),
+            "collected before core 0 reached the grace frontier"
+        );
+        reg.sweep(0);
+        sweeper.join().unwrap();
+        // All cores at tick 2: the item must now be due, exactly once.
+        assert_eq!(rec.collect(&reg), vec![42]);
+        assert_eq!(rec.pending_count(), 0);
+    });
+}

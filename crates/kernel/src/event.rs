@@ -62,9 +62,6 @@ mod tests {
     #[test]
     fn events_compare() {
         assert_eq!(Event::ReclaimTick, Event::ReclaimTick);
-        assert_ne!(
-            Event::TaskStep(TaskId(1)),
-            Event::TaskStep(TaskId(2))
-        );
+        assert_ne!(Event::TaskStep(TaskId(1)), Event::TaskStep(TaskId(2)));
     }
 }

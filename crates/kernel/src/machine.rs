@@ -14,9 +14,7 @@ use crate::numa::{NumaConfig, NumaRuntime, NumaStats};
 use crate::ops::{Op, OpResult, Workload};
 use crate::shootdown::{FlushKind, FlushOutcome, ShootdownTxn, TlbPolicy, TxnId};
 use crate::task::{Task, TaskId, TaskState};
-use latr_arch::{
-    CostModel, CpuId, CpuMask, IpiFabric, LlcModel, Tlb, TlbEntry, Topology,
-};
+use latr_arch::{CostModel, CpuId, CpuMask, IpiFabric, LlcModel, Tlb, TlbEntry, Topology};
 use latr_mem::{
     FileId, FrameAllocator, MapKind, MmId, MmStruct, PageCache, Pfn, Prot, PteFlags, VaRange, Vpn,
 };
@@ -47,6 +45,10 @@ pub struct MachineConfig {
     pub tickless: bool,
     /// AutoNUMA configuration.
     pub numa: NumaConfig,
+    /// Whether the translation-coherence oracle shadows the run (needs the
+    /// `oracle` cargo feature, on by default). The oracle is a pure
+    /// observer; it costs some memory and time but never changes behaviour.
+    pub oracle: bool,
 }
 
 impl MachineConfig {
@@ -63,6 +65,7 @@ impl MachineConfig {
             pcid_enabled: false,
             tickless: false,
             numa: NumaConfig::disabled(),
+            oracle: cfg!(feature = "oracle"),
         }
     }
 }
@@ -144,12 +147,17 @@ pub struct Machine {
     lock_held: HashMap<u32, LockMode>,
     // Ops waiting for the mmap_sem.
     parked: HashMap<u32, Op>,
+    // The coherence oracle shadowing this run, when enabled.
+    #[cfg(feature = "oracle")]
+    oracle: Option<latr_verify::CoherenceOracle>,
 }
 
 impl Machine {
     /// Builds a machine from its configuration.
     pub fn new(config: MachineConfig) -> Self {
         let ncpus = config.topology.num_cpus();
+        #[cfg(feature = "oracle")]
+        let oracle_on = config.oracle;
         let cores = (0..ncpus)
             .map(|i| Core {
                 id: CpuId(i as u16),
@@ -165,7 +173,8 @@ impl Machine {
             })
             .collect();
         let frames = FrameAllocator::new(config.topology.num_nodes(), config.frames_per_node);
-        Machine {
+        #[allow(unused_mut)]
+        let mut machine = Machine {
             fabric: IpiFabric::new(config.topology.clone(), config.costs.clone()),
             queue: EventQueue::new(),
             cores,
@@ -196,7 +205,18 @@ impl Machine {
             locks: Vec::new(),
             lock_held: HashMap::new(),
             parked: HashMap::new(),
+            #[cfg(feature = "oracle")]
+            oracle: oracle_on.then(|| latr_verify::CoherenceOracle::new(ncpus)),
+        };
+        #[cfg(feature = "oracle")]
+        if machine.oracle.is_some() {
+            // Exact shadow mirroring needs the TLB to report capacity
+            // evictions; the wrappers drain the log after every fill.
+            for core in &mut machine.cores {
+                core.tlb.set_eviction_tracking(true);
+            }
         }
+        machine
     }
 
     // ---- accessors --------------------------------------------------------
@@ -262,6 +282,210 @@ impl Machine {
         self.numa.stats()
     }
 
+    // ---- coherence oracle --------------------------------------------------
+    //
+    // Every TLB and frame-lifetime mutation below goes through a thin
+    // wrapper that mirrors the action into the shadow oracle
+    // (crates/verify) when it is enabled. The `oracle_note_*` methods are
+    // always present — policies call them unconditionally — but compile to
+    // no-ops without the `oracle` feature.
+
+    /// The oracle's verdict: the first coherence violation detected, if
+    /// any. `None` when the run is clean (or the oracle is disabled).
+    #[cfg(feature = "oracle")]
+    pub fn oracle_violation(&self) -> Option<&latr_verify::Violation> {
+        self.oracle.as_ref().and_then(|o| o.violation())
+    }
+
+    /// How many events the oracle observed (0 when disabled); lets tests
+    /// assert the oracle actually shadowed the run.
+    #[cfg(feature = "oracle")]
+    pub fn oracle_events_observed(&self) -> u64 {
+        self.oracle.as_ref().map_or(0, |o| o.events_observed())
+    }
+
+    /// Called by the policy when it publishes a Latr state, so the oracle
+    /// tracks the pending bitmask and the publish→sweep ordering edge.
+    pub fn oracle_note_publish(
+        &mut self,
+        initiator: CpuId,
+        mm: MmId,
+        range: VaRange,
+        targets: CpuMask,
+        migration: bool,
+    ) {
+        #[cfg(feature = "oracle")]
+        {
+            let now = self.now();
+            if let Some(o) = self.oracle.as_mut() {
+                o.note_publish(initiator, mm, range, targets, migration, now);
+            }
+        }
+        #[cfg(not(feature = "oracle"))]
+        let _ = (initiator, mm, range, targets, migration);
+    }
+
+    /// Called by the policy when `cpu` sweeps the states covering
+    /// `(mm, range)`: its local invalidations are done and its bits clear.
+    pub fn oracle_note_sweep(&mut self, cpu: CpuId, mm: MmId, range: VaRange) {
+        #[cfg(feature = "oracle")]
+        {
+            let now = self.now();
+            if let Some(o) = self.oracle.as_mut() {
+                o.note_sweep(cpu, mm, range, now);
+            }
+        }
+        #[cfg(not(feature = "oracle"))]
+        let _ = (cpu, mm, range);
+    }
+
+    /// Installs a translation into `cpu`'s TLB, mirroring the fill — and
+    /// any capacity evictions it displaced — into the oracle.
+    fn tlb_insert(&mut self, cpu: CpuId, entry: TlbEntry) {
+        self.cores[cpu.index()].tlb.insert(entry);
+        #[cfg(feature = "oracle")]
+        if self.oracle.is_some() {
+            let now = self.now();
+            let evicted = self.cores[cpu.index()].tlb.take_evicted();
+            let allocated = self.frames.is_allocated(Pfn(entry.pfn));
+            if let Some(o) = self.oracle.as_mut() {
+                o.note_evictions(cpu, &evicted, now);
+                o.note_fill(
+                    cpu,
+                    entry.pcid,
+                    Vpn(entry.vpn),
+                    Pfn(entry.pfn),
+                    allocated,
+                    now,
+                );
+            }
+        }
+    }
+
+    /// TLB lookup on `cpu`; a hit is mirrored as an access through the
+    /// cached translation (the oracle checks the frame is still live).
+    fn tlb_lookup(&mut self, cpu: CpuId, pcid: u16, vpn: Vpn) -> Option<TlbEntry> {
+        let hit = self.cores[cpu.index()].tlb.lookup(pcid, vpn.0);
+        #[cfg(feature = "oracle")]
+        if self.oracle.is_some() {
+            let now = self.now();
+            // An L2→L1 promotion can itself displace an L1 slot.
+            let evicted = self.cores[cpu.index()].tlb.take_evicted();
+            let allocated = hit.map(|e| self.frames.is_allocated(Pfn(e.pfn)));
+            if let Some(o) = self.oracle.as_mut() {
+                o.note_evictions(cpu, &evicted, now);
+                if let (Some(e), Some(allocated)) = (hit, allocated) {
+                    o.note_hit(cpu, pcid, vpn, Pfn(e.pfn), allocated, now);
+                }
+            }
+        }
+        hit
+    }
+
+    /// Invalidates one page of `cpu`'s TLB (`INVLPG`).
+    fn tlb_invalidate(&mut self, cpu: CpuId, pcid: u16, vpn: Vpn) -> bool {
+        let any = self.cores[cpu.index()].tlb.invalidate_page(pcid, vpn.0);
+        #[cfg(feature = "oracle")]
+        {
+            let now = self.now();
+            if let Some(o) = self.oracle.as_mut() {
+                o.note_invalidate(cpu, pcid, vpn, now);
+            }
+        }
+        any
+    }
+
+    /// Flushes `cpu`'s whole TLB.
+    fn tlb_flush_all(&mut self, cpu: CpuId) {
+        self.cores[cpu.index()].tlb.flush_all();
+        #[cfg(feature = "oracle")]
+        {
+            let now = self.now();
+            if let Some(o) = self.oracle.as_mut() {
+                o.note_flush_all(cpu, now);
+            }
+        }
+    }
+
+    /// Allocates a frame near `node` on behalf of `cpu`, checking reuse
+    /// against the oracle's shadow TLBs.
+    fn frame_alloc(&mut self, cpu: CpuId, node: latr_arch::NodeId) -> Option<Pfn> {
+        let pfn = self.frames.alloc(node);
+        #[cfg(feature = "oracle")]
+        if let Some(p) = pfn {
+            let now = self.now();
+            if let Some(o) = self.oracle.as_mut() {
+                o.note_alloc(latr_verify::Ctx::Cpu(cpu), p, now);
+            }
+        }
+        #[cfg(not(feature = "oracle"))]
+        let _ = cpu;
+        pfn
+    }
+
+    /// Like [`frame_alloc`](Self::frame_alloc) but with no fallback node.
+    fn frame_alloc_exact(&mut self, cpu: CpuId, node: latr_arch::NodeId) -> Option<Pfn> {
+        let pfn = self.frames.alloc_exact(node);
+        #[cfg(feature = "oracle")]
+        if let Some(p) = pfn {
+            let now = self.now();
+            if let Some(o) = self.oracle.as_mut() {
+                o.note_alloc(latr_verify::Ctx::Cpu(cpu), p, now);
+            }
+        }
+        #[cfg(not(feature = "oracle"))]
+        let _ = cpu;
+        pfn
+    }
+
+    /// Drops one reference to `pfn`, attributed to `cpu` (or to the
+    /// reclamation kthread when `None`). A drop to refcount zero makes the
+    /// frame reusable — the moment the oracle checks nothing still caches
+    /// a translation to it.
+    fn frame_dec_ref(&mut self, cpu: Option<CpuId>, pfn: Pfn) -> u32 {
+        let rc = self.frames.dec_ref(pfn);
+        #[cfg(feature = "oracle")]
+        if rc == 0 {
+            let now = self.now();
+            let ctx = cpu.map_or(latr_verify::Ctx::Kthread, latr_verify::Ctx::Cpu);
+            if let Some(o) = self.oracle.as_mut() {
+                o.note_free(ctx, pfn, now);
+            }
+        }
+        #[cfg(not(feature = "oracle"))]
+        let _ = cpu;
+        rc
+    }
+
+    /// [`PageCache::frame_for`] with alloc mirroring: a first-touch fill
+    /// allocates the backing frame inside the cache, detected via the
+    /// allocator's total-allocation counter.
+    fn page_cache_frame_for(
+        &mut self,
+        cpu: CpuId,
+        file: FileId,
+        page: u64,
+        node: latr_arch::NodeId,
+    ) -> Option<Pfn> {
+        #[cfg(feature = "oracle")]
+        let before = self.frames.total_allocations();
+        let pfn = self
+            .page_cache
+            .frame_for(file, page, node, &mut self.frames);
+        #[cfg(feature = "oracle")]
+        if let Some(p) = pfn {
+            if self.frames.total_allocations() > before {
+                let now = self.now();
+                if let Some(o) = self.oracle.as_mut() {
+                    o.note_alloc(latr_verify::Ctx::Cpu(cpu), p, now);
+                }
+            }
+        }
+        #[cfg(not(feature = "oracle"))]
+        let _ = cpu;
+        pfn
+    }
+
     // ---- setup -------------------------------------------------------------
 
     /// Creates a new process (address space). When PCIDs are enabled each
@@ -320,7 +544,8 @@ impl Machine {
 
         // Kick every task.
         for i in 0..self.tasks.len() {
-            self.queue.schedule_after(0, Event::TaskStep(TaskId(i as u32)));
+            self.queue
+                .schedule_after(0, Event::TaskStep(TaskId(i as u32)));
         }
         // Staggered scheduler ticks: "these scheduler ticks are not
         // synchronized across all the cores" (§3).
@@ -349,6 +574,12 @@ impl Machine {
             self.handle(event);
         }
 
+        // The run is over: the shutdown drain below frees parked frames
+        // "after the final event", which is not a race — stop checking.
+        #[cfg(feature = "oracle")]
+        if let Some(o) = self.oracle.as_mut() {
+            o.close();
+        }
         let mut policy = self.policy.take().expect("policy present");
         policy.on_shutdown(self);
         // Reap forked-but-never-run address spaces so leak checks see a
@@ -356,7 +587,7 @@ impl Machine {
         // cache their translations).
         for i in 0..self.mms.len() {
             if self.mms[i].cpumask.is_empty() {
-                self.exit_mmap(MmId(i as u32));
+                self.exit_mmap(MmId(i as u32), None);
             }
         }
         let workload = self.workload.take().expect("workload present");
@@ -516,14 +747,7 @@ impl Machine {
                 // op as complete immediately.
                 self.tasks[task_id.index()].ops_completed += 1;
                 self.with_workload(|w, m| {
-                    w.on_op_complete(
-                        m,
-                        task_id,
-                        OpResult {
-                            op,
-                            latency: ns,
-                        },
-                    )
+                    w.on_op_complete(m, task_id, OpResult { op, latency: ns })
                 });
                 self.queue
                     .schedule_after(ns.max(1), Event::TaskStep(task_id));
@@ -534,7 +758,7 @@ impl Machine {
                 cost += self.with_policy(|p, m| p.on_context_switch(m, cpu));
                 if !self.pcid_enabled {
                     // CR3 write on the way back flushes the TLB (§4.5).
-                    self.cores[cpu.index()].tlb.flush_all();
+                    self.tlb_flush_all(cpu);
                     cost += self.costs.full_flush;
                 }
                 self.begin_op(cpu, task_id, op, cost.max(1));
@@ -616,12 +840,12 @@ impl Machine {
                 // Leaving a core idle flushes its TLB on the way out
                 // (idle lazy-TLB would defer this; either way no stale
                 // user entries survive for the next owner).
-                self.cores[core.index()].tlb.flush_all();
+                self.tlb_flush_all(core);
                 // Last thread out tears the address space down
                 // (exit_mmap): with an empty mm_cpumask no remote TLBs can
                 // cache its translations, so frames free immediately.
                 if self.mms[mm.0 as usize].cpumask.is_empty() {
-                    self.exit_mmap(mm);
+                    self.exit_mmap(mm, Some(core));
                 }
                 self.live_tasks -= 1;
             }
@@ -698,13 +922,13 @@ impl Machine {
         let pcid = self.mms[mm_id.0 as usize].pcid;
         self.llc.charge_app_accesses(1);
 
-        if let Some(entry) = self.cores[cpu.index()].tlb.lookup(pcid, vpn.0) {
+        if let Some(entry) = self.tlb_lookup(cpu, pcid, vpn) {
             if !write || entry.writable {
                 return AccessOutcome::Done(2); // TLB hit: ~free
             }
             // Write through a read-only entry: fall through to the fault
             // path after invalidating the stale entry.
-            self.cores[cpu.index()].tlb.invalidate_page(pcid, vpn.0);
+            self.tlb_invalidate(cpu, pcid, vpn);
         }
 
         let mut cost = self.costs.tlb_miss_walk;
@@ -713,8 +937,7 @@ impl Machine {
             Some(pte) if pte.flags.numa_hint => {
                 // NUMA hint fault (§4.3).
                 self.stats.inc(crate::metrics::HINT_FAULTS);
-                let proceed =
-                    self.with_policy(|p, m| p.numa_fault_may_proceed(m, mm_id, vpn));
+                let proceed = self.with_policy(|p, m| p.numa_fault_may_proceed(m, mm_id, vpn));
                 if !proceed {
                     return AccessOutcome::BlockedOnNuma;
                 }
@@ -749,12 +972,15 @@ impl Machine {
                         p.flags.dirty = true;
                     }
                 });
-                self.cores[cpu.index()].tlb.insert(TlbEntry {
-                    pcid,
-                    vpn: vpn.0,
-                    pfn: pte.pfn.0,
-                    writable,
-                });
+                self.tlb_insert(
+                    cpu,
+                    TlbEntry {
+                        pcid,
+                        vpn: vpn.0,
+                        pfn: pte.pfn.0,
+                        writable,
+                    },
+                );
                 AccessOutcome::Done(cost)
             }
             None => {
@@ -778,12 +1004,12 @@ impl Machine {
         self.stats.inc("cow_breaks");
         let old = pte.pfn;
         if self.frames.refcount(old) > 1 {
-            let Some(new) = self.frames.alloc(node) else {
+            let Some(new) = self.frame_alloc(cpu, node) else {
                 self.stats.inc("oom_events");
                 return cost;
             };
             cost += self.costs.page_copy + self.costs.frame_op;
-            self.frames.dec_ref(old);
+            self.frame_dec_ref(Some(cpu), old);
             pte.pfn = new;
         }
         pte.flags.writable = true;
@@ -794,15 +1020,13 @@ impl Machine {
         });
         cost += self.costs.pte_op;
         let pcid = self.mms[mm_id.0 as usize].pcid;
-        self.cores[cpu.index()].tlb.invalidate_page(pcid, vpn.0);
+        self.tlb_invalidate(cpu, pcid, vpn);
         // Remote read-only translations of the old frame must go before
         // the writer proceeds.
         let sharers: Vec<CpuId> = self.mms[mm_id.0 as usize].cpumask.iter().collect();
         let remote = sharers.len().saturating_sub(1);
         if remote > 0 {
-            cost += self
-                .costs
-                .estimate_linux_shootdown(&self.topology, remote);
+            cost += self.costs.estimate_linux_shootdown(&self.topology, remote);
             for sharer in sharers {
                 if sharer != cpu {
                     self.invalidate_tlb_pages(sharer, mm_id, &[vpn]);
@@ -837,7 +1061,7 @@ impl Machine {
             self.stats.inc("swap_ins");
         }
         let pfn = match vma.kind {
-            MapKind::Anon => match self.frames.alloc(node) {
+            MapKind::Anon => match self.frame_alloc(cpu, node) {
                 Some(p) => p,
                 None => {
                     self.stats.inc("oom_events");
@@ -846,7 +1070,7 @@ impl Machine {
             },
             MapKind::File { .. } => {
                 let (file, page) = vma.file_page_of(vpn).expect("file vma");
-                match self.page_cache.frame_for(file, page, node, &mut self.frames) {
+                match self.page_cache_frame_for(cpu, file, page, node) {
                     Some(p) => {
                         // The mapping holds its own reference.
                         self.frames.inc_ref(p);
@@ -873,12 +1097,15 @@ impl Machine {
             },
         );
         let pcid = mm.pcid;
-        self.cores[cpu.index()].tlb.insert(TlbEntry {
-            pcid,
-            vpn: vpn.0,
-            pfn: pfn.0,
-            writable,
-        });
+        self.tlb_insert(
+            cpu,
+            TlbEntry {
+                pcid,
+                vpn: vpn.0,
+                pfn: pfn.0,
+                writable,
+            },
+        );
         cost
     }
 
@@ -916,10 +1143,10 @@ impl Machine {
         local += self.costs.local_invalidation(removed.len() as u32);
         let pcid = self.mms[mm_id.0 as usize].pcid;
         if removed.len() as u32 > self.costs.full_flush_threshold {
-            self.cores[cpu.index()].tlb.flush_all();
+            self.tlb_flush_all(cpu);
         } else {
             for &(vpn, _) in &removed {
-                self.cores[cpu.index()].tlb.invalidate_page(pcid, vpn.0);
+                self.tlb_invalidate(cpu, pcid, vpn);
             }
         }
 
@@ -964,7 +1191,7 @@ impl Machine {
         local += self.costs.local_invalidation(count);
         let pcid = self.mms[mm_id.0 as usize].pcid;
         for &(vpn, _) in &pages {
-            self.cores[cpu.index()].tlb.invalidate_page(pcid, vpn.0);
+            self.tlb_invalidate(cpu, pcid, vpn);
         }
         // Permission changes must reach the whole system synchronously
         // (Table 1); frames are untouched.
@@ -1074,10 +1301,10 @@ impl Machine {
         local += 2 * self.costs.pte_op * moved.len() as u64;
         local += self.costs.local_invalidation(moved.len() as u32);
         if moved.len() as u32 > self.costs.full_flush_threshold {
-            self.cores[cpu.index()].tlb.flush_all();
+            self.tlb_flush_all(cpu);
         } else {
             for &(vpn, _) in &moved {
-                self.cores[cpu.index()].tlb.invalidate_page(pcid, vpn.0);
+                self.tlb_invalidate(cpu, pcid, vpn);
             }
         }
         let pages: Vec<(Vpn, Pfn)> = moved.iter().map(|&(v, p)| (v, p.pfn)).collect();
@@ -1120,10 +1347,10 @@ impl Machine {
         local += (self.costs.pte_op + self.costs.swap_out) * removed.len() as u64;
         local += self.costs.local_invalidation(removed.len() as u32);
         if removed.len() as u32 > self.costs.full_flush_threshold {
-            self.cores[cpu.index()].tlb.flush_all();
+            self.tlb_flush_all(cpu);
         } else {
             for &(vpn, _) in &removed {
-                self.cores[cpu.index()].tlb.invalidate_page(pcid, vpn.0);
+                self.tlb_invalidate(cpu, pcid, vpn);
             }
         }
         let pages: Vec<(Vpn, Pfn)> = removed.iter().map(|&(v, p)| (v, p.pfn)).collect();
@@ -1185,7 +1412,7 @@ impl Machine {
                     .expect("present above");
                 let _ = pte;
                 protected += 1;
-                self.cores[cpu.index()].tlb.invalidate_page(pcid, vpn.0);
+                self.tlb_invalidate(cpu, pcid, vpn);
             }
             // Merge b onto a's frame; the duplicate frame frees lazily.
             self.frames.inc_ref(pa.pfn);
@@ -1201,21 +1428,15 @@ impl Machine {
         // The protection change must be system-wide before merging is
         // safe; charge the synchronous round analytically (identical for
         // every policy — Table 1's ownership row).
-        let remote = self.mms[mm_id.0 as usize]
-            .cpumask
-            .count()
-            .saturating_sub(1);
+        let remote = self.mms[mm_id.0 as usize].cpumask.count().saturating_sub(1);
         if protected > 0 && remote > 0 {
-            local += self
-                .costs
-                .estimate_linux_shootdown(&self.topology, remote);
+            local += self.costs.estimate_linux_shootdown(&self.topology, remote);
             // Remote cores drop the protected translations now.
             let vpns: Vec<Vpn> = lazy_pages
                 .iter()
                 .flat_map(|&(b, _)| [Vpn(b.0 - 1), b])
                 .collect();
-            let sharers: Vec<CpuId> =
-                self.mms[mm_id.0 as usize].cpumask.iter().collect();
+            let sharers: Vec<CpuId> = self.mms[mm_id.0 as usize].cpumask.iter().collect();
             for sharer in sharers {
                 if sharer != cpu {
                     self.invalidate_tlb_pages(sharer, mm_id, &vpns);
@@ -1282,8 +1503,7 @@ impl Machine {
         let child = self.create_process();
         self.stats.inc("forks");
 
-        let vmas: Vec<latr_mem::Vma> =
-            self.mms[parent.0 as usize].vmas.iter().copied().collect();
+        let vmas: Vec<latr_mem::Vma> = self.mms[parent.0 as usize].vmas.iter().copied().collect();
         let mut downgraded: Vec<(Vpn, Pfn)> = Vec::new();
         let mut local = self.costs.syscall_overhead + self.costs.vma_op * vmas.len() as u64;
         for vma in vmas {
@@ -1298,13 +1518,15 @@ impl Machine {
                 let mut flags = pte.flags;
                 let was_writable = flags.writable;
                 flags.writable = false;
-                self.mms[child.0 as usize].page_table.map(vpn, pte.pfn, flags);
+                self.mms[child.0 as usize]
+                    .page_table
+                    .map(vpn, pte.pfn, flags);
                 local += 2 * self.costs.pte_op;
                 if was_writable {
                     self.mms[parent.0 as usize]
                         .page_table
                         .update(vpn, |p| p.flags.writable = false);
-                    self.cores[cpu.index()].tlb.invalidate_page(pcid, vpn.0);
+                    self.tlb_invalidate(cpu, pcid, vpn);
                     downgraded.push((vpn, pte.pfn));
                 }
             }
@@ -1373,6 +1595,13 @@ impl Machine {
             self.queue
                 .schedule(at, Event::IpiDeliver { target, txn: id });
         }
+        #[cfg(feature = "oracle")]
+        {
+            let now = self.now();
+            if let Some(o) = self.oracle.as_mut() {
+                o.note_ipi_send(initiator, id.0, targets, now);
+            }
+        }
         let reclaim = self.pending_reclaim.take();
         let (frames_to_release, va_to_unblock) = match reclaim {
             Some(pkg) => (pkg.frames, pkg.va),
@@ -1401,7 +1630,10 @@ impl Machine {
             self.trace.push(
                 self.now(),
                 "ipi",
-                format!("{initiator} multicasts shootdown to {} cores", targets.count()),
+                format!(
+                    "{initiator} multicasts shootdown to {} cores",
+                    targets.count()
+                ),
             );
         }
         id
@@ -1424,17 +1656,26 @@ impl Machine {
         } else {
             0
         };
-        let core = &mut self.cores[target.index()];
+        // The handler happens-after the initiator's send: join clocks
+        // before mirroring the handler's invalidations.
+        #[cfg(feature = "oracle")]
+        {
+            let now = self.now();
+            if let Some(o) = self.oracle.as_mut() {
+                o.note_ipi_deliver(target, txn_id.0, now);
+            }
+        }
         if pages.len() as u32 > self.costs.full_flush_threshold {
-            core.tlb.flush_all();
+            self.tlb_flush_all(target);
         } else {
             for vpn in &pages {
-                core.tlb.invalidate_page(pcid, vpn.0);
+                self.tlb_invalidate(target, pcid, *vpn);
             }
         }
         let handler =
             self.costs.interrupt_overhead + self.costs.local_invalidation(pages.len() as u32);
         // The handler steals time from whatever the core was doing.
+        let core = &mut self.cores[target.index()];
         if core.busy {
             core.debt += handler;
         }
@@ -1456,25 +1697,40 @@ impl Machine {
     }
 
     fn ack_arrive(&mut self, txn_id: TxnId, from: CpuId) {
-        let done = {
+        let (initiator, done) = {
             let txn = match self.txns.get_mut(&txn_id.0) {
                 Some(t) => t,
                 None => return,
             };
             txn.pending.clear(from);
-            txn.pending.is_empty()
+            (txn.initiator, txn.pending.is_empty())
         };
+        // The initiator happens-after the acknowledging core's handler.
+        #[cfg(feature = "oracle")]
+        {
+            let now = self.now();
+            if let Some(o) = self.oracle.as_mut() {
+                o.note_ack(initiator, from, txn_id.0, done, now);
+            }
+        }
+        #[cfg(not(feature = "oracle"))]
+        let _ = initiator;
         if !done {
             return;
         }
         let txn = self.txns.remove(&txn_id.0).expect("txn present");
         let wait = self.now().saturating_since(txn.wait_started);
         self.stats.record(crate::metrics::SHOOTDOWN_NS, wait);
-        self.release_reclaim(ReclaimPackage {
-            mm: txn.mm,
-            frames: txn.frames_to_release,
-            va: txn.va_to_unblock,
-        });
+        // Frames free on the initiating core, after every ACK (the sync
+        // protocol's guarantee).
+        self.release_reclaim_on(
+            Some(txn.initiator),
+            ReclaimPackage {
+                mm: txn.mm,
+                frames: txn.frames_to_release,
+                va: txn.va_to_unblock,
+            },
+        );
         if let Some(task_id) = txn.blocked_task {
             self.tasks[task_id.index()].state = TaskState::Running;
             let cpu = txn.initiator;
@@ -1494,7 +1750,7 @@ impl Machine {
 
     /// Tears down an address space whose last task exited: unmaps every
     /// VMA and drops the mapping references on their frames.
-    fn exit_mmap(&mut self, mm_id: MmId) {
+    fn exit_mmap(&mut self, mm_id: MmId, on: Option<CpuId>) {
         let ranges: Vec<VaRange> = self.mms[mm_id.0 as usize]
             .vmas
             .iter()
@@ -1504,7 +1760,7 @@ impl Machine {
             self.mms[mm_id.0 as usize].munmap_vmas(&range);
             let removed = self.mms[mm_id.0 as usize].page_table.unmap_range(&range);
             for (_, pte) in removed {
-                self.frames.dec_ref(pte.pfn);
+                self.frame_dec_ref(on, pte.pfn);
             }
             for vpn in range.iter() {
                 self.swapped.remove(&(mm_id.0, vpn.0));
@@ -1523,10 +1779,19 @@ impl Machine {
     }
 
     /// Releases a reclaim package: drops one reference per frame and
-    /// unblocks the VA range.
+    /// unblocks the VA range. Frees are attributed to the reclamation
+    /// kthread (callers are `kreclaimd`-style deferred paths; the
+    /// synchronous-ACK path uses [`release_reclaim_on`](Self::release_reclaim_on)
+    /// internally).
     pub fn release_reclaim(&mut self, pkg: ReclaimPackage) {
+        self.release_reclaim_on(None, pkg);
+    }
+
+    /// [`release_reclaim`](Self::release_reclaim) with an explicit
+    /// releasing core (`None` = the reclamation kthread).
+    fn release_reclaim_on(&mut self, on: Option<CpuId>, pkg: ReclaimPackage) {
         for pfn in pkg.frames {
-            self.frames.dec_ref(pfn);
+            self.frame_dec_ref(on, pfn);
         }
         if let Some(va) = pkg.va {
             self.mms[pkg.mm.0 as usize].unblock_va(&va);
@@ -1538,14 +1803,13 @@ impl Machine {
     /// Latr's state sweep.
     pub fn invalidate_tlb_pages(&mut self, cpu: CpuId, mm: MmId, pages: &[Vpn]) -> usize {
         let pcid = self.mms[mm.0 as usize].pcid;
-        let core = &mut self.cores[cpu.index()];
         if pages.len() as u32 > self.costs.full_flush_threshold {
-            core.tlb.flush_all();
+            self.tlb_flush_all(cpu);
             pages.len()
         } else {
             pages
                 .iter()
-                .filter(|vpn| core.tlb.invalidate_page(pcid, vpn.0))
+                .filter(|&&vpn| self.tlb_invalidate(cpu, pcid, vpn))
                 .count()
         }
     }
@@ -1585,7 +1849,9 @@ impl Machine {
     // ---- AutoNUMA ------------------------------------------------------------------
 
     fn numa_scan(&mut self, mm_id: MmId) {
-        let batch = self.numa.next_scan_batch(mm_id, &self.mms[mm_id.0 as usize]);
+        let batch = self
+            .numa
+            .next_scan_batch(mm_id, &self.mms[mm_id.0 as usize]);
         if !batch.is_empty() {
             // task_numa_work runs in the context of one of the process'
             // tasks; charge the first CPU in the cpumask.
@@ -1594,8 +1860,7 @@ impl Machine {
                 .first()
                 .unwrap_or(CpuId(0));
             for vpn in batch {
-                let handled =
-                    self.with_policy(|p, m| p.numa_hint_unmap(m, cpu, mm_id, vpn));
+                let handled = self.with_policy(|p, m| p.numa_hint_unmap(m, cpu, mm_id, vpn));
                 if !handled {
                     self.sync_numa_hint_unmap(cpu, mm_id, vpn);
                 }
@@ -1632,7 +1897,7 @@ impl Machine {
         self.mms[mm_id.0 as usize]
             .page_table
             .update(vpn, |p| p.flags.numa_hint = true);
-        self.cores[cpu.index()].tlb.invalidate_page(pcid, vpn.0);
+        self.tlb_invalidate(cpu, pcid, vpn);
     }
 
     fn numa_fault_retry(&mut self, task_id: TaskId, vpn: Vpn) {
@@ -1681,6 +1946,16 @@ impl Machine {
         let mm_id = task.mm;
         let node = self.topology.node_of(cpu);
         let mut cost = self.costs.page_fault;
+        // The policy has just allowed this hint fault to proceed; the
+        // oracle checks every bit of any covering migration state cleared
+        // first (§4.4).
+        #[cfg(feature = "oracle")]
+        {
+            let now = self.now();
+            if let Some(o) = self.oracle.as_mut() {
+                o.note_migration_proceed(cpu, mm_id, vpn, now);
+            }
+        }
 
         let Some(pte) = self.mms[mm_id.0 as usize].page_table.lookup(vpn) else {
             return cost;
@@ -1692,7 +1967,7 @@ impl Machine {
         let target = if force_compact { home } else { node };
         let migrate = force_compact || self.numa.should_migrate(mm_id, vpn, node, home);
         if migrate {
-            if let Some(new_pfn) = self.frames.alloc_exact(target) {
+            if let Some(new_pfn) = self.frame_alloc_exact(cpu, target) {
                 // Copy, remap, release the old frame. The migration itself
                 // performs a synchronous unmap+flush in both Linux and Latr
                 // (§4.3 leaves the migration path unmodified); charge its
@@ -1700,9 +1975,7 @@ impl Machine {
                 cost += self.costs.page_copy + self.costs.pte_op + self.costs.frame_op;
                 let remote = self.mms[mm_id.0 as usize].cpumask.count().saturating_sub(1);
                 if remote > 0 {
-                    cost += self
-                        .costs
-                        .estimate_linux_shootdown(&self.topology, remote);
+                    cost += self.costs.estimate_linux_shootdown(&self.topology, remote);
                 }
                 let old = pte.pfn;
                 self.mms[mm_id.0 as usize].page_table.update(vpn, |p| {
@@ -1710,7 +1983,7 @@ impl Machine {
                     p.flags.numa_hint = false;
                     p.flags.accessed = true;
                 });
-                self.frames.dec_ref(old);
+                self.frame_dec_ref(Some(cpu), old);
                 self.stats.inc(crate::metrics::MIGRATIONS);
                 self.numa.note_migration();
             } else {
@@ -1726,12 +1999,15 @@ impl Machine {
         }
         let pte = self.mms[mm_id.0 as usize].page_table.lookup(vpn).unwrap();
         let pcid = self.mms[mm_id.0 as usize].pcid;
-        self.cores[cpu.index()].tlb.insert(TlbEntry {
-            pcid,
-            vpn: vpn.0,
-            pfn: pte.pfn.0,
-            writable: pte.flags.writable,
-        });
+        self.tlb_insert(
+            cpu,
+            TlbEntry {
+                pcid,
+                vpn: vpn.0,
+                pfn: pte.pfn.0,
+                writable: pte.flags.writable,
+            },
+        );
         if write {
             self.mms[mm_id.0 as usize]
                 .page_table

@@ -73,8 +73,7 @@ impl MmLock {
         let can = match mode {
             // Writer-preference: a queued writer blocks new readers.
             LockMode::Read => {
-                self.writer.is_none()
-                    && !self.queue.iter().any(|&(_, m)| m == LockMode::Write)
+                self.writer.is_none() && !self.queue.iter().any(|&(_, m)| m == LockMode::Write)
             }
             LockMode::Write => self.writer.is_none() && self.readers.is_empty(),
         };

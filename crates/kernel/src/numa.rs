@@ -182,8 +182,7 @@ mod tests {
         let mut mm = MmStruct::new(MmId(0));
         let range = mm.mmap_anon(n, Prot::READ_WRITE);
         for (i, vpn) in range.iter().enumerate() {
-            mm.page_table
-                .map(vpn, Pfn(i as u64), PteFlags::default());
+            mm.page_table.map(vpn, Pfn(i as u64), PteFlags::default());
         }
         mm
     }
@@ -212,7 +211,15 @@ mod tests {
     fn scan_skips_already_hinted_pages() {
         let mut rt = runtime();
         let mut mm = mm_with_pages(4);
-        for vpn in mm.vmas.iter().next().unwrap().range.iter().collect::<Vec<_>>() {
+        for vpn in mm
+            .vmas
+            .iter()
+            .next()
+            .unwrap()
+            .range
+            .iter()
+            .collect::<Vec<_>>()
+        {
             mm.page_table.update(vpn, |p| p.flags.numa_hint = true);
         }
         assert!(rt.next_scan_batch(MmId(0), &mm).is_empty());

@@ -32,12 +32,7 @@ impl AbisPolicy {
 
     /// Computes the sharer set of `pages` among `mm`'s CPUs (excluding the
     /// initiator) from TLB residency.
-    fn sharers(
-        machine: &Machine,
-        initiator: CpuId,
-        mm: MmId,
-        pages: &[(Vpn, Pfn)],
-    ) -> CpuMask {
+    fn sharers(machine: &Machine, initiator: CpuId, mm: MmId, pages: &[(Vpn, Pfn)]) -> CpuMask {
         let mm_struct = machine.mm(mm);
         let pcid = mm_struct.pcid;
         let mut targets = CpuMask::empty();
@@ -46,7 +41,10 @@ impl AbisPolicy {
                 continue;
             }
             let tlb = &machine.cores[cpu.index()].tlb;
-            if pages.iter().any(|&(vpn, _)| tlb.peek(pcid, vpn.0).is_some()) {
+            if pages
+                .iter()
+                .any(|&(vpn, _)| tlb.peek(pcid, vpn.0).is_some())
+            {
                 targets.set(cpu);
             }
         }

@@ -134,7 +134,13 @@ mod tests {
         let m = run_linux(1, 10);
         assert_eq!(m.stats.counter(crate::metrics::SHOOTDOWNS), 0);
         assert_eq!(m.stats.counter(crate::metrics::IPIS_SENT), 0);
-        assert_eq!(m.stats.histogram(crate::metrics::MUNMAP_NS).unwrap().count(), 10);
+        assert_eq!(
+            m.stats
+                .histogram(crate::metrics::MUNMAP_NS)
+                .unwrap()
+                .count(),
+            10
+        );
     }
 
     #[test]
@@ -153,7 +159,11 @@ mod tests {
     fn munmap_latency_grows_with_cores() {
         let m2 = run_linux(2, 20);
         let m16 = run_linux(16, 20);
-        let l2 = m2.stats.histogram(crate::metrics::MUNMAP_NS).unwrap().mean();
+        let l2 = m2
+            .stats
+            .histogram(crate::metrics::MUNMAP_NS)
+            .unwrap()
+            .mean();
         let l16 = m16
             .stats
             .histogram(crate::metrics::MUNMAP_NS)

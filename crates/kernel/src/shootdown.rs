@@ -137,13 +137,7 @@ pub trait TlbPolicy: std::any::Any {
     /// The AutoNUMA scanner wants to hint-unmap `vpn` of `mm` from `cpu`.
     /// Returns `true` if the policy handled it lazily; `false` means the
     /// machine should perform the synchronous hint-unmap itself.
-    fn numa_hint_unmap(
-        &mut self,
-        machine: &mut Machine,
-        cpu: CpuId,
-        mm: MmId,
-        vpn: Vpn,
-    ) -> bool {
+    fn numa_hint_unmap(&mut self, machine: &mut Machine, cpu: CpuId, mm: MmId, vpn: Vpn) -> bool {
         let _ = (machine, cpu, mm, vpn);
         false
     }

@@ -45,16 +45,16 @@ impl FrameAllocator {
     ///
     /// Panics if there are no nodes or no frames.
     pub fn new(nodes: usize, frames_per_node: u64) -> Self {
-        assert!(nodes > 0 && frames_per_node > 0, "allocator must own memory");
+        assert!(
+            nodes > 0 && frames_per_node > 0,
+            "allocator must own memory"
+        );
         let free = (0..nodes)
             .map(|n| {
                 // Stack ordered so low frame numbers pop first; purely
                 // cosmetic but keeps runs deterministic and debuggable.
                 let base = n as u64 * frames_per_node;
-                (0..frames_per_node)
-                    .rev()
-                    .map(|i| Pfn(base + i))
-                    .collect()
+                (0..frames_per_node).rev().map(|i| Pfn(base + i)).collect()
             })
             .collect();
         FrameAllocator {

@@ -254,10 +254,7 @@ impl StatsRegistry {
 
     /// Adds `n` to the named counter, creating it if needed.
     pub fn add(&mut self, name: &str, n: u64) {
-        self.counters
-            .entry(name.to_owned())
-            .or_default()
-            .add(n);
+        self.counters.entry(name.to_owned()).or_default().add(n);
     }
 
     /// Current value of the named counter (0 if never written).

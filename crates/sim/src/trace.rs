@@ -21,7 +21,13 @@ pub struct TraceEntry {
 
 impl fmt::Display for TraceEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>12}] {:<6} {}", self.time.to_string(), self.tag, self.message)
+        write!(
+            f,
+            "[{:>12}] {:<6} {}",
+            self.time.to_string(),
+            self.tag,
+            self.message
+        )
     }
 }
 

@@ -2,9 +2,7 @@
 
 use latr_arch::Topology;
 use latr_core::{LatrConfig, LatrPolicy};
-use latr_kernel::{
-    metrics, AbisPolicy, LinuxPolicy, Machine, MachineConfig, TlbPolicy, Workload,
-};
+use latr_kernel::{metrics, AbisPolicy, LinuxPolicy, Machine, MachineConfig, TlbPolicy, Workload};
 use latr_sim::{Nanos, Summary};
 
 /// Which TLB-coherence policy to run an experiment under.
@@ -98,7 +96,10 @@ pub fn run_experiment(
         throughput: work_units as f64 / secs,
         shootdowns_per_sec: (sync_shootdowns + lazy_shootdowns) as f64 / secs,
         migrations_per_sec: machine.stats.counter(metrics::MIGRATIONS) as f64 / secs,
-        munmap_ns: machine.stats.histogram(metrics::MUNMAP_NS).map(|h| h.summary()),
+        munmap_ns: machine
+            .stats
+            .histogram(metrics::MUNMAP_NS)
+            .map(|h| h.summary()),
         shootdown_wait_ns: machine
             .stats
             .histogram(metrics::SHOOTDOWN_NS)

@@ -20,11 +20,8 @@ pub mod microbench;
 pub mod migration;
 pub mod parsec;
 
-
 pub use apache::ApacheWorkload;
 pub use harness::{run_experiment, ExperimentResult, PolicyKind};
 pub use microbench::MunmapMicrobench;
 pub use migration::{MigrationProfile, MigrationWorkload};
 pub use parsec::{ParsecProfile, ParsecWorkload};
-
-

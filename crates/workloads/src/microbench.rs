@@ -9,9 +9,9 @@
 //! 0 then unmaps. The machine's `munmap_ns` / `shootdown_ns` histograms
 //! are the measurements the figures plot.
 
+use latr_arch::CpuId;
 use latr_kernel::{metrics, Machine, Op, OpResult, TaskId, Workload};
 use latr_mem::VaRange;
-use latr_arch::CpuId;
 use latr_sim::Nanos;
 
 const POLL: Nanos = 2_000;
@@ -39,7 +39,10 @@ impl MunmapMicrobench {
     ///
     /// Panics if `sharers` or `pages` is zero.
     pub fn new(sharers: usize, pages: u64, iterations: u64) -> Self {
-        assert!(sharers > 0 && pages > 0, "need at least one sharer and page");
+        assert!(
+            sharers > 0 && pages > 0,
+            "need at least one sharer and page"
+        );
         MunmapMicrobench {
             sharers,
             pages,
@@ -201,8 +204,7 @@ mod tests {
     fn fig6_latr_improvement_is_about_70_percent() {
         let linux = run(PolicyKind::Linux, 16, 1, 150);
         let latr = run(PolicyKind::latr_default(), 16, 1, 150);
-        let improvement = 1.0
-            - latr.munmap_ns.unwrap().mean / linux.munmap_ns.unwrap().mean;
+        let improvement = 1.0 - latr.munmap_ns.unwrap().mean / linux.munmap_ns.unwrap().mean;
         assert!(
             (0.55..0.85).contains(&improvement),
             "improvement {improvement:.2}, paper reports 70.8%"

@@ -49,11 +49,51 @@ impl MigrationProfile {
         // rarely hit — matching the regime in which the paper's lazy
         // migration wins.
         vec![
-            MigrationProfile { name: "fluidanimate", grain_ns: 170_000, accesses_per_iter: 1, region_pages: 3_072, rotate_every: 0, pages_per_scan: 24, scan_period: 4 * MILLISECOND },
-            MigrationProfile { name: "ocean_cp", grain_ns: 160_000, accesses_per_iter: 1, region_pages: 3_072, rotate_every: 0, pages_per_scan: 32, scan_period: 3 * MILLISECOND },
-            MigrationProfile { name: "graph500", grain_ns: 150_000, accesses_per_iter: 1, region_pages: 4_096, rotate_every: 0, pages_per_scan: 48, scan_period: 2 * MILLISECOND },
-            MigrationProfile { name: "pbzip2", grain_ns: 200_000, accesses_per_iter: 1, region_pages: 2_048, rotate_every: 0, pages_per_scan: 8, scan_period: 6 * MILLISECOND },
-            MigrationProfile { name: "metis", grain_ns: 150_000, accesses_per_iter: 1, region_pages: 4_096, rotate_every: 0, pages_per_scan: 40, scan_period: 2 * MILLISECOND },
+            MigrationProfile {
+                name: "fluidanimate",
+                grain_ns: 170_000,
+                accesses_per_iter: 1,
+                region_pages: 3_072,
+                rotate_every: 0,
+                pages_per_scan: 24,
+                scan_period: 4 * MILLISECOND,
+            },
+            MigrationProfile {
+                name: "ocean_cp",
+                grain_ns: 160_000,
+                accesses_per_iter: 1,
+                region_pages: 3_072,
+                rotate_every: 0,
+                pages_per_scan: 32,
+                scan_period: 3 * MILLISECOND,
+            },
+            MigrationProfile {
+                name: "graph500",
+                grain_ns: 150_000,
+                accesses_per_iter: 1,
+                region_pages: 4_096,
+                rotate_every: 0,
+                pages_per_scan: 48,
+                scan_period: 2 * MILLISECOND,
+            },
+            MigrationProfile {
+                name: "pbzip2",
+                grain_ns: 200_000,
+                accesses_per_iter: 1,
+                region_pages: 2_048,
+                rotate_every: 0,
+                pages_per_scan: 8,
+                scan_period: 6 * MILLISECOND,
+            },
+            MigrationProfile {
+                name: "metis",
+                grain_ns: 150_000,
+                accesses_per_iter: 1,
+                region_pages: 4_096,
+                rotate_every: 0,
+                pages_per_scan: 40,
+                scan_period: 2 * MILLISECOND,
+            },
         ]
     }
 
@@ -205,8 +245,7 @@ mod tests {
 
     fn run(name: &str, policy: PolicyKind, iters: u64) -> (f64, crate::ExperimentResult) {
         let profile = MigrationProfile::by_name(name).unwrap();
-        let config =
-            profile.machine_config(Topology::preset(MachinePreset::Commodity2S16C));
+        let config = profile.machine_config(Topology::preset(MachinePreset::Commodity2S16C));
         let (res, machine) = run_experiment(
             config,
             policy,

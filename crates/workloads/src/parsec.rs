@@ -45,19 +45,136 @@ impl ParsecProfile {
     /// vips ≈ 8 k/s, most others near zero) and Table 4's miss ratios.
     pub fn all() -> Vec<ParsecProfile> {
         vec![
-            ParsecProfile { name: "blackscholes", grain_ns: 42_000, accesses_per_iter: 24, ws_pages: 1_024, madvise_every: 0, scratch_pages: 0, yield_every: 0, llc_miss: 0.06 },
-            ParsecProfile { name: "bodytrack", grain_ns: 30_000, accesses_per_iter: 24, ws_pages: 2_048, madvise_every: 160, scratch_pages: 8, yield_every: 120, llc_miss: 0.08 },
-            ParsecProfile { name: "canneal", grain_ns: 26_000, accesses_per_iter: 48, ws_pages: 16_384, madvise_every: 0, scratch_pages: 0, yield_every: 2, llc_miss: 0.805 },
-            ParsecProfile { name: "dedup", grain_ns: 26_000, accesses_per_iter: 32, ws_pages: 768, madvise_every: 12, scratch_pages: 64, yield_every: 0, llc_miss: 0.183 },
-            ParsecProfile { name: "facesim", grain_ns: 48_000, accesses_per_iter: 32, ws_pages: 4_096, madvise_every: 400, scratch_pages: 4, yield_every: 0, llc_miss: 0.12 },
-            ParsecProfile { name: "ferret", grain_ns: 30_000, accesses_per_iter: 32, ws_pages: 4_096, madvise_every: 220, scratch_pages: 6, yield_every: 60, llc_miss: 0.48 },
-            ParsecProfile { name: "fluidanimate", grain_ns: 38_000, accesses_per_iter: 32, ws_pages: 8_192, madvise_every: 300, scratch_pages: 4, yield_every: 0, llc_miss: 0.10 },
-            ParsecProfile { name: "freqmine", grain_ns: 44_000, accesses_per_iter: 24, ws_pages: 4_096, madvise_every: 0, scratch_pages: 0, yield_every: 0, llc_miss: 0.09 },
-            ParsecProfile { name: "netdedup", grain_ns: 28_000, accesses_per_iter: 32, ws_pages: 768, madvise_every: 22, scratch_pages: 64, yield_every: 0, llc_miss: 0.17 },
-            ParsecProfile { name: "raytrace", grain_ns: 40_000, accesses_per_iter: 24, ws_pages: 2_048, madvise_every: 500, scratch_pages: 2, yield_every: 0, llc_miss: 0.07 },
-            ParsecProfile { name: "streamcluster", grain_ns: 36_000, accesses_per_iter: 64, ws_pages: 8_192, madvise_every: 0, scratch_pages: 0, yield_every: 90, llc_miss: 0.954 },
-            ParsecProfile { name: "swaptions", grain_ns: 32_000, accesses_per_iter: 24, ws_pages: 1_024, madvise_every: 600, scratch_pages: 2, yield_every: 0, llc_miss: 0.475 },
-            ParsecProfile { name: "vips", grain_ns: 30_000, accesses_per_iter: 24, ws_pages: 2_048, madvise_every: 70, scratch_pages: 6, yield_every: 0, llc_miss: 0.14 },
+            ParsecProfile {
+                name: "blackscholes",
+                grain_ns: 42_000,
+                accesses_per_iter: 24,
+                ws_pages: 1_024,
+                madvise_every: 0,
+                scratch_pages: 0,
+                yield_every: 0,
+                llc_miss: 0.06,
+            },
+            ParsecProfile {
+                name: "bodytrack",
+                grain_ns: 30_000,
+                accesses_per_iter: 24,
+                ws_pages: 2_048,
+                madvise_every: 160,
+                scratch_pages: 8,
+                yield_every: 120,
+                llc_miss: 0.08,
+            },
+            ParsecProfile {
+                name: "canneal",
+                grain_ns: 26_000,
+                accesses_per_iter: 48,
+                ws_pages: 16_384,
+                madvise_every: 0,
+                scratch_pages: 0,
+                yield_every: 2,
+                llc_miss: 0.805,
+            },
+            ParsecProfile {
+                name: "dedup",
+                grain_ns: 26_000,
+                accesses_per_iter: 32,
+                ws_pages: 768,
+                madvise_every: 12,
+                scratch_pages: 64,
+                yield_every: 0,
+                llc_miss: 0.183,
+            },
+            ParsecProfile {
+                name: "facesim",
+                grain_ns: 48_000,
+                accesses_per_iter: 32,
+                ws_pages: 4_096,
+                madvise_every: 400,
+                scratch_pages: 4,
+                yield_every: 0,
+                llc_miss: 0.12,
+            },
+            ParsecProfile {
+                name: "ferret",
+                grain_ns: 30_000,
+                accesses_per_iter: 32,
+                ws_pages: 4_096,
+                madvise_every: 220,
+                scratch_pages: 6,
+                yield_every: 60,
+                llc_miss: 0.48,
+            },
+            ParsecProfile {
+                name: "fluidanimate",
+                grain_ns: 38_000,
+                accesses_per_iter: 32,
+                ws_pages: 8_192,
+                madvise_every: 300,
+                scratch_pages: 4,
+                yield_every: 0,
+                llc_miss: 0.10,
+            },
+            ParsecProfile {
+                name: "freqmine",
+                grain_ns: 44_000,
+                accesses_per_iter: 24,
+                ws_pages: 4_096,
+                madvise_every: 0,
+                scratch_pages: 0,
+                yield_every: 0,
+                llc_miss: 0.09,
+            },
+            ParsecProfile {
+                name: "netdedup",
+                grain_ns: 28_000,
+                accesses_per_iter: 32,
+                ws_pages: 768,
+                madvise_every: 22,
+                scratch_pages: 64,
+                yield_every: 0,
+                llc_miss: 0.17,
+            },
+            ParsecProfile {
+                name: "raytrace",
+                grain_ns: 40_000,
+                accesses_per_iter: 24,
+                ws_pages: 2_048,
+                madvise_every: 500,
+                scratch_pages: 2,
+                yield_every: 0,
+                llc_miss: 0.07,
+            },
+            ParsecProfile {
+                name: "streamcluster",
+                grain_ns: 36_000,
+                accesses_per_iter: 64,
+                ws_pages: 8_192,
+                madvise_every: 0,
+                scratch_pages: 0,
+                yield_every: 90,
+                llc_miss: 0.954,
+            },
+            ParsecProfile {
+                name: "swaptions",
+                grain_ns: 32_000,
+                accesses_per_iter: 24,
+                ws_pages: 1_024,
+                madvise_every: 600,
+                scratch_pages: 2,
+                yield_every: 0,
+                llc_miss: 0.475,
+            },
+            ParsecProfile {
+                name: "vips",
+                grain_ns: 30_000,
+                accesses_per_iter: 24,
+                ws_pages: 2_048,
+                madvise_every: 70,
+                scratch_pages: 6,
+                yield_every: 0,
+                llc_miss: 0.14,
+            },
         ]
     }
 

@@ -15,18 +15,16 @@ use latr_workloads::{run_experiment, ApacheWorkload, PolicyKind};
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let window = if quick { 120 } else { 300 } * MILLISECOND;
-    let policies = [PolicyKind::Linux, PolicyKind::Abis, PolicyKind::latr_default()];
+    let policies = [
+        PolicyKind::Linux,
+        PolicyKind::Abis,
+        PolicyKind::latr_default(),
+    ];
 
     println!("Apache serving a 10 KB static page (mmap + touch + munmap per request)\n");
     println!(
         "{:<7} {:>14} {:>14} {:>14}   {:>14} {:>14} {:>14}",
-        "cores",
-        "linux req/s",
-        "abis req/s",
-        "latr req/s",
-        "linux sd/s",
-        "abis sd/s",
-        "latr sd/s"
+        "cores", "linux req/s", "abis req/s", "latr req/s", "linux sd/s", "abis sd/s", "latr sd/s"
     );
     for cores in [1usize, 2, 4, 6, 8, 10, 12] {
         let mut reqs = Vec::new();

@@ -18,11 +18,18 @@ fn main() {
             &[2, 15, 30, 45, 60, 75, 90, 105, 120],
         )
     } else {
-        (MachinePreset::Commodity2S16C, &[1, 2, 4, 6, 8, 10, 12, 14, 16])
+        (
+            MachinePreset::Commodity2S16C,
+            &[1, 2, 4, 6, 8, 10, 12, 14, 16],
+        )
     };
     println!(
         "munmap() of one page shared by N cores on the {} machine\n",
-        if large { "8-socket/120-core" } else { "2-socket/16-core" }
+        if large {
+            "8-socket/120-core"
+        } else {
+            "2-socket/16-core"
+        }
     );
     println!(
         "{:<7} {:>16} {:>20} {:>16} {:>12}",

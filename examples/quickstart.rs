@@ -16,7 +16,11 @@ fn main() {
         "{:<8} {:>14} {:>18} {:>12} {:>12}",
         "policy", "munmap (µs)", "shootdown wait(µs)", "IPIs sent", "states"
     );
-    for policy in [PolicyKind::Linux, PolicyKind::Abis, PolicyKind::latr_default()] {
+    for policy in [
+        PolicyKind::Linux,
+        PolicyKind::Abis,
+        PolicyKind::latr_default(),
+    ] {
         let config = MachineConfig::new(Topology::preset(MachinePreset::Commodity2S16C));
         let workload = MunmapMicrobench::new(16, 1, 200);
         let (res, machine) = run_experiment(config, policy, Box::new(workload), 30 * SECOND);

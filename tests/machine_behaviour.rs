@@ -289,8 +289,7 @@ fn pcid_preserves_tlb_across_context_switch() {
                 4 => {
                     let vpn = machine.task(task).last_mmap.expect("mapped").start;
                     let pcid = machine.mm(machine.task(task).mm).pcid;
-                    self.hit_after_yield =
-                        Some(machine.cores[0].tlb.peek(pcid, vpn.0).is_some());
+                    self.hit_after_yield = Some(machine.cores[0].tlb.peek(pcid, vpn.0).is_some());
                     Op::Exit
                 }
                 _ => Op::Exit,
@@ -318,6 +317,9 @@ fn pcid_preserves_tlb_across_context_switch() {
         );
         // PCID_NONE is only used when PCIDs are off.
         let expected_pcid_none = !pcid_enabled;
-        assert_eq!(m.mm(latr_mem::MmId(0)).pcid == PCID_NONE, expected_pcid_none);
+        assert_eq!(
+            m.mm(latr_mem::MmId(0)).pcid == PCID_NONE,
+            expected_pcid_none
+        );
     }
 }

@@ -90,11 +90,26 @@ fn noop_policy_breaks_the_reclamation_invariant() {
     let any: Box<dyn std::any::Any> = workload;
     let w = any.downcast::<UnsafeFree>().expect("same type");
     let violation = w.violation.expect("checker ran after munmap");
-    let message = violation.expect(
-        "NoopPolicy must violate the invariant: a remote TLB caches a freed frame",
-    );
+    let message = violation
+        .expect("NoopPolicy must violate the invariant: a remote TLB caches a freed frame");
     assert!(
         message.contains("cpu1"),
         "the violation should name the stale core: {message}"
+    );
+    // The coherence oracle must catch the same bug on its own, from the
+    // event stream alone: the free is not ordered after core 1's fill by
+    // any publish/sweep/IPI edge.
+    let oracle = machine
+        .oracle_violation()
+        .expect("the oracle must flag NoopPolicy's immediate free");
+    assert!(
+        oracle.headline.contains("cpu1"),
+        "the oracle should name the stale core: {}",
+        oracle.headline
+    );
+    assert!(
+        oracle.race.contains("data race"),
+        "no happens-before edge orders this free: {}",
+        oracle.race
     );
 }

@@ -3,7 +3,9 @@
 //! against a trivially-correct reference model.
 
 use latr_arch::{CpuId, CpuMask, Tlb, TlbEntry, PCID_NONE};
-use latr_mem::{FrameAllocator, MapKind, PageTable, Pfn, Prot, PteFlags, VaRange, Vma, VmaTree, Vpn};
+use latr_mem::{
+    FrameAllocator, MapKind, PageTable, Pfn, Prot, PteFlags, VaRange, Vma, VmaTree, Vpn,
+};
 use latr_sim::Histogram;
 use proptest::prelude::*;
 use std::collections::{BTreeMap, HashSet};

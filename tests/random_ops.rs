@@ -129,6 +129,9 @@ proptest! {
         let m = run_random(seed, cores, PolicyKind::Linux);
         prop_assert_eq!(m.check_reclamation_invariant(), None);
         prop_assert_eq!(m.check_mapping_coherence(), None);
+        if let Some(v) = m.oracle_violation() {
+            prop_assert!(false, "oracle violation: {}", v);
+        }
     }
 
     #[test]
@@ -136,6 +139,9 @@ proptest! {
         let m = run_random(seed, cores, PolicyKind::Abis);
         prop_assert_eq!(m.check_reclamation_invariant(), None);
         prop_assert_eq!(m.check_mapping_coherence(), None);
+        if let Some(v) = m.oracle_violation() {
+            prop_assert!(false, "oracle violation: {}", v);
+        }
     }
 
     #[test]
@@ -143,6 +149,9 @@ proptest! {
         let m = run_random(seed, cores, PolicyKind::Latr(LatrConfig::default()));
         prop_assert_eq!(m.check_reclamation_invariant(), None);
         prop_assert_eq!(m.check_mapping_coherence(), None);
+        if let Some(v) = m.oracle_violation() {
+            prop_assert!(false, "oracle violation: {}", v);
+        }
     }
 
     #[test]
@@ -153,6 +162,9 @@ proptest! {
         let m = run_random(seed, 8, PolicyKind::Latr(cfg));
         prop_assert_eq!(m.check_reclamation_invariant(), None);
         prop_assert_eq!(m.check_mapping_coherence(), None);
+        if let Some(v) = m.oracle_violation() {
+            prop_assert!(false, "oracle violation: {}", v);
+        }
     }
 
     #[test]
@@ -176,11 +188,8 @@ fn runs_are_deterministic() {
         let a = run_random(42, 8, policy);
         let b = run_random(42, 8, policy);
         assert_eq!(a.now(), b.now(), "{}", policy.label());
-        let counters_a: Vec<(String, u64)> = a
-            .stats
-            .counters()
-            .map(|(k, v)| (k.to_owned(), v))
-            .collect();
+        let counters_a: Vec<(String, u64)> =
+            a.stats.counters().map(|(k, v)| (k.to_owned(), v)).collect();
         let counters_b: Vec<(String, u64)> =
             b.stats.counters().map(|(k, v)| (k.to_owned(), v)).collect();
         assert_eq!(counters_a, counters_b, "{}", policy.label());

@@ -3,7 +3,7 @@
 //! retirement race, publisher/sweeper/reclaimer pipelines, and queue-slot
 //! recycling under pressure.
 
-use latr_core::rt::{RtInvalidation, RtRegistry, RtReclaimer};
+use latr_core::rt::{RtInvalidation, RtReclaimer, RtRegistry};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -45,8 +45,7 @@ fn wide_mask_retirement_is_exactly_once() {
             let r = Arc::clone(&registry);
             let done = Arc::clone(&done);
             std::thread::spawn(move || {
-                let my_cores: Vec<usize> =
-                    (1..cores).filter(|c| c % 4 == band).collect();
+                let my_cores: Vec<usize> = (1..cores).filter(|c| c % 4 == band).collect();
                 let mut seen = vec![0u64; total as usize];
                 loop {
                     let mut progress = false;

@@ -146,15 +146,12 @@ impl Workload for StaleWindow {
         } else {
             match (self.step1, &result.op) {
                 (2, Op::Access { .. }) => {
-                    self.obs.segfaults_after_early_touch =
-                        Some(machine.stats.counter("segfaults"));
-                    self.obs.invariant_after_early_touch =
-                        machine.check_reclamation_invariant();
+                    self.obs.segfaults_after_early_touch = Some(machine.stats.counter("segfaults"));
+                    self.obs.invariant_after_early_touch = machine.check_reclamation_invariant();
                     self.early_touch_done = true;
                 }
                 (4, Op::Access { .. }) => {
-                    self.obs.segfaults_after_late_touch =
-                        Some(machine.stats.counter("segfaults"));
+                    self.obs.segfaults_after_late_touch = Some(machine.stats.counter("segfaults"));
                 }
                 _ => {}
             }
@@ -162,23 +159,38 @@ impl Workload for StaleWindow {
     }
 }
 
-fn run(policy: PolicyKind) -> Observations {
+/// The oracle's verdict for a finished run: a rendered violation (if any)
+/// and how many events the oracle shadowed, proving it was live.
+struct OracleVerdict {
+    violation: Option<String>,
+    events: u64,
+}
+
+fn run(policy: PolicyKind) -> (Observations, OracleVerdict) {
     let mut machine = Machine::new(MachineConfig::new(Topology::preset(
         MachinePreset::Commodity2S16C,
     )));
     let workload = Box::new(StaleWindow::new());
     let (workload, _) = machine.run(workload, policy.build(), SECOND);
+    let verdict = OracleVerdict {
+        violation: machine.oracle_violation().map(|v| v.to_string()),
+        events: machine.oracle_events_observed(),
+    };
     // Read the observations back out of the returned box.
     let any: Box<dyn std::any::Any> = workload;
     let concrete = any
         .downcast::<StaleWindow>()
         .expect("run returns the workload we passed in");
-    concrete.obs
+    (concrete.obs, verdict)
 }
 
 #[test]
 fn latr_serves_stale_access_then_faults_after_sweep() {
-    let obs = run(PolicyKind::Latr(LatrConfig::default()));
+    let (obs, oracle) = run(PolicyKind::Latr(LatrConfig::default()));
+    // The stale-window dance is exactly what the coherence oracle watches:
+    // it must have shadowed the run and found it clean.
+    assert_eq!(oracle.violation, None);
+    assert!(oracle.events > 0, "the oracle must have been shadowing");
     // Inside the window: the stale TLB entry serves the access — no
     // segfault — and the frame is still allocated (invariant holds).
     assert_eq!(
@@ -197,7 +209,10 @@ fn latr_serves_stale_access_then_faults_after_sweep() {
 
 #[test]
 fn linux_faults_immediately_after_sync_shootdown() {
-    let obs = run(PolicyKind::Linux);
+    let (obs, oracle) = run(PolicyKind::Linux);
+    // Synchronous shootdowns order every free after the IPI acks; the
+    // oracle's IPI edges must make the run clean.
+    assert_eq!(oracle.violation, None);
     assert_eq!(
         obs.segfaults_after_early_touch,
         Some(1),
@@ -211,7 +226,7 @@ fn linux_faults_immediately_after_sync_shootdown() {
 
 #[test]
 fn latr_blocks_va_reuse_until_reclamation() {
-    let obs = run(PolicyKind::Latr(LatrConfig::default()));
+    let (obs, _) = run(PolicyKind::Latr(LatrConfig::default()));
     let victim_remap = obs.remap_during_window.expect("remap happened");
     let after = obs.remap_after_reclaim.expect("second remap happened");
     // During the window a fresh range must be chosen...
@@ -223,7 +238,7 @@ fn latr_blocks_va_reuse_until_reclamation() {
 
 #[test]
 fn linux_reuses_va_immediately() {
-    let obs = run(PolicyKind::Linux);
+    let (obs, _) = run(PolicyKind::Linux);
     // Linux's shootdown is synchronous: by the time munmap returns the VA
     // is safe to hand out again — the immediate remap gets the same range.
     let during = obs.remap_during_window.expect("remap happened");

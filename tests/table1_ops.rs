@@ -60,7 +60,7 @@ impl Workload for Scripted {
         machine.spawn_task(mm, CpuId(1));
     }
 
-    fn next_op(&mut self, machine: &mut Machine, task: TaskId) -> Op {
+    fn next_op(&mut self, _machine: &mut Machine, task: TaskId) -> Op {
         if task.index() == 1 {
             // The sharer: touch the victim once it exists, then idle (but
             // stay alive so the mm_cpumask keeps both cores).
@@ -316,7 +316,7 @@ fn forked_child_shares_frames_until_write() {
             let mm = machine.create_process();
             machine.spawn_task(mm, CpuId(0));
         }
-        fn next_op(&mut self, machine: &mut Machine, task: TaskId) -> Op {
+        fn next_op(&mut self, machine: &mut Machine, _task: TaskId) -> Op {
             let _ = machine;
             self.step += 1;
             match self.step {

@@ -74,8 +74,7 @@ fn idle_cores_skip_ticks_when_tickless() {
         "12 idle cores must skip ticks"
     );
     assert!(
-        tickless.stats.counter(metrics::SCHED_TICKS)
-            < ticking.stats.counter(metrics::SCHED_TICKS),
+        tickless.stats.counter(metrics::SCHED_TICKS) < ticking.stats.counter(metrics::SCHED_TICKS),
         "tickless must deliver fewer real ticks: {} vs {}",
         tickless.stats.counter(metrics::SCHED_TICKS),
         ticking.stats.counter(metrics::SCHED_TICKS)

@@ -1,0 +1,92 @@
+//! Minimal stand-in for `criterion`: wall-clock timing with a fixed
+//! warm-up and measurement budget, reporting mean ns/iter. No statistics,
+//! plots, or baselines — just enough to run the workspace's `harness =
+//! false` benches offline.
+
+use std::time::{Duration, Instant};
+
+/// Drives individual benchmark functions.
+pub struct Criterion {
+    measurement_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_budget: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks `f`, printing a mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Warm-up & calibration: find an iteration count that fills the
+        // measurement budget.
+        f(&mut b);
+        let per_iter = (b.elapsed.as_nanos().max(1)) as u64 / b.iters;
+        let target = self.measurement_budget.as_nanos() as u64;
+        b.iters = (target / per_iter.max(1)).clamp(1, 10_000_000);
+        b.elapsed = Duration::ZERO;
+        f(&mut b);
+        let mean = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        println!("{id:<55} {mean:>12.1} ns/iter ({} iters)", b.iters);
+        self
+    }
+
+    /// Accepted for CLI compatibility; a no-op here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs registered group functions (used by `criterion_main!`).
+    pub fn final_summary(&self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Defines a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` running one or more criterion groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,219 @@
+//! A small bounded model checker with a loom-compatible API surface.
+//!
+//! [`model`] runs a closure repeatedly, exploring thread interleavings
+//! exhaustively up to a preemption bound (CHESS-style iterative context
+//! bounding): every atomic operation and lock acquisition/release is a
+//! scheduling point; at each point the scheduler either continues the
+//! running thread for free or preempts it, consuming one unit of the
+//! preemption budget. All schedules within the budget are enumerated by
+//! depth-first search over the decision log; a failing execution panics
+//! with its schedule so it can be studied.
+//!
+//! ## Fidelity and limitations
+//!
+//! * **Sequential consistency only.** Atomics are modeled as
+//!   sequentially consistent regardless of the `Ordering` argument:
+//!   interleaving bugs (lost updates, double retirement, torn
+//!   check-then-act sequences) are found; *memory-ordering* relaxation
+//!   bugs (a `Relaxed` store where `Release` is needed) are not. The
+//!   real loom crate models the C11 memory model; this vendored stand-in
+//!   trades that for zero dependencies.
+//! * **Preemption bounding.** `LOOM_MAX_PREEMPTIONS` (default 2) bounds
+//!   context switches at points where the running thread could have
+//!   continued; empirically most concurrency bugs need very few
+//!   preemptions. `LOOM_MAX_PREEMPTIONS=0` still explores all orderings
+//!   of blocking/termination points. Raise it for deeper searches.
+//! * `LOOM_MAX_ITERATIONS` (default 50000) caps explored executions; a
+//!   warning is printed if the search is truncated.
+//!
+//! Only one `model` may run at a time per process (enforced with a
+//! global lock); Rust's test harness parallelism is compatible with
+//! that.
+
+mod sched;
+
+/// Explores interleavings of `f` under the configured bounds, panicking
+/// if any execution panics (assertion failure, deadlock, …).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    sched::run_model(std::sync::Arc::new(f));
+}
+
+/// Model-checked threads.
+pub mod thread {
+    use super::sched;
+
+    pub use super::sched::JoinHandle;
+
+    /// Spawns a model-checked thread. Must be called inside [`model`].
+    ///
+    /// [`model`]: super::model
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        sched::spawn(f)
+    }
+
+    /// A voluntary scheduling point.
+    pub fn yield_now() {
+        sched::yield_point();
+    }
+}
+
+/// Spin-loop hint: a scheduling point under the model.
+pub mod hint {
+    /// Scheduling point standing in for `std::hint::spin_loop`.
+    pub fn spin_loop() {
+        super::sched::yield_point();
+    }
+}
+
+/// Model-checked synchronization primitives.
+pub mod sync {
+    pub use std::sync::Arc;
+
+    /// Model-checked atomics (sequentially consistent; see crate docs).
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        use super::super::sched::yield_point;
+
+        macro_rules! atomic_type {
+            ($name:ident, $std:ident, $t:ty) => {
+                /// Model-checked atomic: every operation is a scheduling
+                /// point; storage is a real `std` atomic so even
+                /// free-running teardown cannot cause a data race.
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    v: std::sync::atomic::$std,
+                }
+
+                impl $name {
+                    /// Creates a new atomic.
+                    pub const fn new(v: $t) -> Self {
+                        $name {
+                            v: std::sync::atomic::$std::new(v),
+                        }
+                    }
+
+                    /// Loads the value (scheduling point).
+                    pub fn load(&self, _order: Ordering) -> $t {
+                        yield_point();
+                        self.v.load(Ordering::SeqCst)
+                    }
+
+                    /// Stores a value (scheduling point).
+                    pub fn store(&self, val: $t, _order: Ordering) {
+                        yield_point();
+                        self.v.store(val, Ordering::SeqCst)
+                    }
+
+                    /// Swaps the value (scheduling point).
+                    pub fn swap(&self, val: $t, _order: Ordering) -> $t {
+                        yield_point();
+                        self.v.swap(val, Ordering::SeqCst)
+                    }
+
+                    /// Compare-and-exchange (scheduling point).
+                    pub fn compare_exchange(
+                        &self,
+                        current: $t,
+                        new: $t,
+                        _success: Ordering,
+                        _failure: Ordering,
+                    ) -> Result<$t, $t> {
+                        yield_point();
+                        self.v
+                            .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                    }
+
+                    /// Weak compare-and-exchange; never fails spuriously
+                    /// here (scheduling point).
+                    pub fn compare_exchange_weak(
+                        &self,
+                        current: $t,
+                        new: $t,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$t, $t> {
+                        self.compare_exchange(current, new, success, failure)
+                    }
+
+                    /// Unsynchronized read for post-model inspection.
+                    pub fn into_inner(self) -> $t {
+                        self.v.into_inner()
+                    }
+                }
+            };
+        }
+
+        macro_rules! atomic_fetch_ops {
+            ($name:ident, $t:ty) => {
+                impl $name {
+                    /// Adds, returning the previous value (scheduling point).
+                    pub fn fetch_add(&self, val: $t, _order: Ordering) -> $t {
+                        yield_point();
+                        self.v.fetch_add(val, Ordering::SeqCst)
+                    }
+
+                    /// Subtracts, returning the previous value (scheduling point).
+                    pub fn fetch_sub(&self, val: $t, _order: Ordering) -> $t {
+                        yield_point();
+                        self.v.fetch_sub(val, Ordering::SeqCst)
+                    }
+
+                    /// Bitwise-ANDs, returning the previous value (scheduling point).
+                    pub fn fetch_and(&self, val: $t, _order: Ordering) -> $t {
+                        yield_point();
+                        self.v.fetch_and(val, Ordering::SeqCst)
+                    }
+
+                    /// Bitwise-ORs, returning the previous value (scheduling point).
+                    pub fn fetch_or(&self, val: $t, _order: Ordering) -> $t {
+                        yield_point();
+                        self.v.fetch_or(val, Ordering::SeqCst)
+                    }
+
+                    /// Bitwise-XORs, returning the previous value (scheduling point).
+                    pub fn fetch_xor(&self, val: $t, _order: Ordering) -> $t {
+                        yield_point();
+                        self.v.fetch_xor(val, Ordering::SeqCst)
+                    }
+                }
+            };
+        }
+
+        atomic_type!(AtomicBool, AtomicBool, bool);
+        atomic_type!(AtomicU32, AtomicU32, u32);
+        atomic_type!(AtomicU64, AtomicU64, u64);
+        atomic_type!(AtomicUsize, AtomicUsize, usize);
+        atomic_fetch_ops!(AtomicU32, u32);
+        atomic_fetch_ops!(AtomicU64, u64);
+        atomic_fetch_ops!(AtomicUsize, usize);
+
+        impl AtomicBool {
+            /// Bitwise-ANDs, returning the previous value (scheduling point).
+            pub fn fetch_and(&self, val: bool, _order: Ordering) -> bool {
+                yield_point();
+                self.v.fetch_and(val, Ordering::SeqCst)
+            }
+
+            /// Bitwise-ORs, returning the previous value (scheduling point).
+            pub fn fetch_or(&self, val: bool, _order: Ordering) -> bool {
+                yield_point();
+                self.v.fetch_or(val, Ordering::SeqCst)
+            }
+        }
+
+        /// Memory fence: modeled as a plain scheduling point.
+        pub fn fence(_order: Ordering) {
+            yield_point();
+        }
+    }
+
+    pub use super::sched::{Mutex, MutexGuard};
+}

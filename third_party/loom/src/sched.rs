@@ -1,0 +1,567 @@
+//! The cooperative scheduler + DFS schedule explorer behind [`model`].
+//!
+//! One logical thread runs at a time. Every scheduling point funnels into
+//! [`decide`], which consults the execution's decision log: within the
+//! replayed prefix it follows the recorded choice; past the prefix it
+//! takes the first option (continue the current thread when possible) and
+//! records the alternatives. After each execution the driver backtracks
+//! the log depth-first to the last decision with an untried alternative.
+//!
+//! [`model`]: crate::model
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
+
+/// One logical thread's scheduler-visible state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    Runnable,
+    BlockedJoin(usize),
+    BlockedMutex(usize),
+    Finished,
+}
+
+/// One recorded scheduling decision: the options that were available and
+/// the index taken. Options are ordered with the previously-running
+/// thread first, so index 0 is always the preemption-free continuation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Choice {
+    options: Vec<usize>,
+    index: usize,
+}
+
+#[derive(Default)]
+struct Inner {
+    threads: Vec<TState>,
+    current: usize,
+    schedule: Vec<Choice>,
+    pos: usize,
+    preemptions_used: usize,
+    max_preemptions: usize,
+    panicked: bool,
+    panic_message: Option<String>,
+    done: bool,
+    mutexes_held: Vec<bool>,
+}
+
+/// Shared scheduler state for one execution.
+pub(crate) struct Sched {
+    inner: StdMutex<Inner>,
+    cv: Condvar,
+    os_handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+pub(crate) struct Ctx {
+    sched: Arc<Sched>,
+    tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&Ctx) -> R) -> Option<R> {
+    CTX.with(|c| c.borrow().as_ref().map(f))
+}
+
+/// Picks the next thread to run. Caller holds the `Inner` lock. Returns
+/// `false` when the execution is over (all threads finished).
+fn decide(g: &mut Inner) -> bool {
+    let runnable: Vec<usize> = (0..g.threads.len())
+        .filter(|&t| g.threads[t] == TState::Runnable)
+        .collect();
+    if runnable.is_empty() {
+        if g.threads.iter().all(|t| *t == TState::Finished) {
+            g.done = true;
+            return false;
+        }
+        // Every live thread is blocked: a genuine deadlock in the code
+        // under test.
+        g.panicked = true;
+        g.panic_message
+            .get_or_insert_with(|| format!("deadlock: all live threads blocked ({:?})", g.threads));
+        g.done = g.threads.iter().all(|t| *t == TState::Finished);
+        return false;
+    }
+
+    let cur_enabled = runnable.contains(&g.current);
+    let options: Vec<usize> = if cur_enabled && g.preemptions_used >= g.max_preemptions {
+        vec![g.current]
+    } else if cur_enabled {
+        std::iter::once(g.current)
+            .chain(runnable.iter().copied().filter(|&t| t != g.current))
+            .collect()
+    } else {
+        runnable
+    };
+
+    let index = if g.pos < g.schedule.len() {
+        assert_eq!(
+            g.schedule[g.pos].options, options,
+            "loom: non-deterministic execution (schedule replay diverged); \
+             the model closure must be deterministic"
+        );
+        g.schedule[g.pos].index
+    } else {
+        g.schedule.push(Choice {
+            options: options.clone(),
+            index: 0,
+        });
+        0
+    };
+    let chosen = options[index];
+    g.pos += 1;
+    if cur_enabled && chosen != g.current {
+        g.preemptions_used += 1;
+    }
+    g.current = chosen;
+    true
+}
+
+/// Blocks the calling thread until the scheduler hands it the token.
+/// Caller holds the lock; returns with the lock held.
+fn wait_for_turn<'a>(
+    sched: &'a Sched,
+    mut g: std::sync::MutexGuard<'a, Inner>,
+    tid: usize,
+) -> std::sync::MutexGuard<'a, Inner> {
+    while g.current != tid && !g.panicked {
+        g = sched.cv.wait(g).expect("scheduler lock");
+    }
+    g
+}
+
+/// Aborts the calling logical thread when the execution has failed
+/// elsewhere (unless it is already unwinding).
+fn bail_if_panicked(g: &Inner) {
+    if g.panicked && !std::thread::panicking() {
+        panic!("loom: execution aborted (another thread failed)");
+    }
+}
+
+/// A scheduling point: offer the scheduler a chance to switch threads.
+/// Outside a model run this is a no-op.
+pub(crate) fn yield_point() {
+    let Some((sched, tid)) = with_ctx(|c| (Arc::clone(&c.sched), c.tid)) else {
+        return;
+    };
+    let mut g = sched.inner.lock().expect("scheduler lock");
+    if g.panicked || g.done {
+        drop(g);
+        bail_if_panicked(&sched.inner.lock().expect("scheduler lock"));
+        return;
+    }
+    decide(&mut g);
+    sched.cv.notify_all();
+    let g = wait_for_turn(&sched, g, tid);
+    bail_if_panicked(&g);
+}
+
+/// Runs `body` as logical thread `tid`, handling the finish protocol.
+fn run_thread(sched: Arc<Sched>, tid: usize, body: impl FnOnce()) {
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            sched: Arc::clone(&sched),
+            tid,
+        })
+    });
+    {
+        let g = sched.inner.lock().expect("scheduler lock");
+        let _g = wait_for_turn(&sched, g, tid);
+        // First turn granted; release the lock and run.
+    }
+    let result = catch_unwind(AssertUnwindSafe(body));
+    let mut g = sched.inner.lock().expect("scheduler lock");
+    if let Err(payload) = result {
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "thread panicked".to_owned());
+        if !msg.contains("loom: execution aborted") {
+            g.panicked = true;
+            g.panic_message.get_or_insert(msg);
+        }
+    }
+    g.threads[tid] = TState::Finished;
+    for t in g.threads.iter_mut() {
+        if *t == TState::BlockedJoin(tid) {
+            *t = TState::Runnable;
+        }
+    }
+    if g.panicked {
+        g.done = g.threads.iter().all(|t| *t == TState::Finished);
+    } else {
+        decide(&mut g);
+    }
+    sched.cv.notify_all();
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Handle to a model-checked thread.
+pub struct JoinHandle<T> {
+    tid: usize,
+    slot: Arc<StdMutex<Option<std::thread::Result<T>>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, returning its result.
+    pub fn join(self) -> std::thread::Result<T> {
+        let (sched, tid) = with_ctx(|c| (Arc::clone(&c.sched), c.tid))
+            .expect("loom: JoinHandle::join outside loom::model");
+        let mut g = sched.inner.lock().expect("scheduler lock");
+        loop {
+            if g.threads[self.tid] == TState::Finished {
+                break;
+            }
+            bail_if_panicked(&g);
+            g.threads[tid] = TState::BlockedJoin(self.tid);
+            decide(&mut g);
+            sched.cv.notify_all();
+            g = wait_for_turn(&sched, g, tid);
+        }
+        drop(g);
+        self.slot
+            .lock()
+            .expect("result slot")
+            .take()
+            .unwrap_or_else(|| Err(Box::new("loom: thread result missing (aborted)")))
+    }
+}
+
+/// Spawns a new logical (and OS) thread inside the current model run.
+pub(crate) fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let sched =
+        with_ctx(|c| Arc::clone(&c.sched)).expect("loom: thread::spawn outside loom::model");
+    let new_tid = {
+        let mut g = sched.inner.lock().expect("scheduler lock");
+        g.threads.push(TState::Runnable);
+        g.threads.len() - 1
+    };
+    let slot = Arc::new(StdMutex::new(None));
+    let slot2 = Arc::clone(&slot);
+    let sched2 = Arc::clone(&sched);
+    let os = std::thread::Builder::new()
+        .name(format!("loom-{new_tid}"))
+        .spawn(move || {
+            run_thread(Arc::clone(&sched2), new_tid, move || {
+                let r = catch_unwind(AssertUnwindSafe(f));
+                let panicked = r.is_err();
+                *slot2.lock().expect("result slot") = Some(match r {
+                    Ok(v) => Ok(v),
+                    Err(p) => Err(p),
+                });
+                if panicked {
+                    panic!("loom: child thread panicked (recorded)");
+                }
+            });
+        })
+        .expect("spawn OS thread");
+    sched.os_handles.lock().expect("handle list").push(os);
+    // Spawning is itself a scheduling point (child may run first).
+    yield_point();
+    JoinHandle { tid: new_tid, slot }
+}
+
+// ---- Mutex ----------------------------------------------------------------
+
+static MUTEX_IDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Model-checked mutual-exclusion lock with a parking_lot-style
+/// guard-returning API (`lock()` returns the guard directly).
+#[derive(Default, Debug)]
+pub struct Mutex<T> {
+    id: OnceLock<usize>,
+    data: StdMutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            id: OnceLock::new(),
+            data: StdMutex::new(value),
+        }
+    }
+
+    fn id(&self) -> usize {
+        *self
+            .id
+            .get_or_init(|| MUTEX_IDS.fetch_add(1, AtomicOrdering::Relaxed))
+    }
+
+    /// Acquires the lock; a scheduling point before acquisition and a
+    /// blocking point under contention.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let id = self.id();
+        let Some((sched, tid)) = with_ctx(|c| (Arc::clone(&c.sched), c.tid)) else {
+            // Outside a model run: behave as a plain mutex.
+            return MutexGuard {
+                mutex: self,
+                inner: Some(
+                    self.data
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner),
+                ),
+            };
+        };
+        yield_point();
+        let mut g = sched.inner.lock().expect("scheduler lock");
+        if g.mutexes_held.len() <= id {
+            g.mutexes_held.resize(id + 1, false);
+        }
+        loop {
+            if !g.mutexes_held[id] {
+                g.mutexes_held[id] = true;
+                drop(g);
+                let inner = self
+                    .data
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                return MutexGuard {
+                    mutex: self,
+                    inner: Some(inner),
+                };
+            }
+            bail_if_panicked(&g);
+            if g.panicked {
+                // Unwinding teardown: spin for the holder to release.
+                drop(g);
+                std::thread::yield_now();
+                g = sched.inner.lock().expect("scheduler lock");
+                if g.mutexes_held.len() <= id {
+                    g.mutexes_held.resize(id + 1, false);
+                }
+                continue;
+            }
+            g.threads[tid] = TState::BlockedMutex(id);
+            decide(&mut g);
+            sched.cv.notify_all();
+            g = wait_for_turn(&sched, g, tid);
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard live")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard live")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first, then the modeled hold flag.
+        self.inner.take();
+        let id = self.mutex.id();
+        let Some(sched) = with_ctx(|c| Arc::clone(&c.sched)) else {
+            return;
+        };
+        let mut g = sched.inner.lock().expect("scheduler lock");
+        if g.mutexes_held.len() > id {
+            g.mutexes_held[id] = false;
+        }
+        for t in g.threads.iter_mut() {
+            if *t == TState::BlockedMutex(id) {
+                *t = TState::Runnable;
+            }
+        }
+        sched.cv.notify_all();
+        // Releasing is a scheduling point too — but never panic out of a
+        // Drop that may run during unwinding; reuse yield_point's checks.
+        let panicked = g.panicked;
+        drop(g);
+        if !panicked && !std::thread::panicking() {
+            yield_point();
+        }
+    }
+}
+
+// ---- Driver ----------------------------------------------------------------
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Serializes model runs within the process (the scheduler context is
+/// per-OS-thread, but keeping runs exclusive keeps output readable and
+/// mutex-id growth bounded).
+static MODEL_LOCK: StdMutex<()> = StdMutex::new(());
+
+pub(crate) fn run_model(f: Arc<dyn Fn() + Send + Sync + 'static>) {
+    let _serial = MODEL_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let max_preemptions = env_usize("LOOM_MAX_PREEMPTIONS", 2);
+    let max_iterations = env_usize("LOOM_MAX_ITERATIONS", 50_000);
+
+    let mut prefix: Vec<Choice> = Vec::new();
+    let mut iterations: usize = 0;
+    loop {
+        iterations += 1;
+        let sched = Arc::new(Sched {
+            inner: StdMutex::new(Inner {
+                threads: vec![TState::Runnable],
+                current: 0,
+                schedule: prefix.clone(),
+                pos: 0,
+                preemptions_used: 0,
+                max_preemptions,
+                panicked: false,
+                panic_message: None,
+                done: false,
+                mutexes_held: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            os_handles: StdMutex::new(Vec::new()),
+        });
+
+        let sched0 = Arc::clone(&sched);
+        let f0 = Arc::clone(&f);
+        let root = std::thread::Builder::new()
+            .name("loom-0".to_owned())
+            .spawn(move || run_thread(sched0, 0, move || f0()))
+            .expect("spawn OS thread");
+
+        let (message, schedule) = {
+            let mut g = sched.inner.lock().expect("scheduler lock");
+            while !g.done {
+                g = sched.cv.wait(g).expect("scheduler lock");
+            }
+            (g.panic_message.take(), std::mem::take(&mut g.schedule))
+        };
+        let _ = root.join();
+        for h in sched.os_handles.lock().expect("handle list").drain(..) {
+            let _ = h.join();
+        }
+
+        if let Some(msg) = message {
+            let trace: Vec<usize> = schedule.iter().map(|c| c.options[c.index]).collect();
+            panic!(
+                "loom: model check failed on execution #{iterations}\n  {msg}\n  \
+                 schedule (thread ids in decision order): {trace:?}"
+            );
+        }
+
+        match backtrack(schedule) {
+            Some(next) => prefix = next,
+            None => break,
+        }
+        if iterations >= max_iterations {
+            eprintln!(
+                "loom: warning: exploration truncated after {iterations} executions \
+                 (raise LOOM_MAX_ITERATIONS to search further)"
+            );
+            break;
+        }
+    }
+}
+
+/// Depth-first backtracking over the decision log: advance the deepest
+/// decision that still has an untried alternative, dropping its suffix.
+fn backtrack(mut schedule: Vec<Choice>) -> Option<Vec<Choice>> {
+    while let Some(mut last) = schedule.pop() {
+        if last.index + 1 < last.options.len() {
+            last.index += 1;
+            schedule.push(last);
+            return Some(schedule);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::sync::atomic::{AtomicUsize, Ordering};
+    use crate::sync::Arc;
+
+    #[test]
+    fn finds_lost_update() {
+        // Two unsynchronized load-then-store increments must lose an
+        // update in SOME interleaving: the model must find it.
+        let result = std::panic::catch_unwind(|| {
+            crate::model(|| {
+                let a = Arc::new(AtomicUsize::new(0));
+                let b = Arc::clone(&a);
+                let t = crate::thread::spawn(move || {
+                    let v = b.load(Ordering::SeqCst);
+                    b.store(v + 1, Ordering::SeqCst);
+                });
+                let v = a.load(Ordering::SeqCst);
+                a.store(v + 1, Ordering::SeqCst);
+                t.join().unwrap();
+                assert_eq!(a.load(Ordering::SeqCst), 2, "lost update");
+            });
+        });
+        assert!(result.is_err(), "model must catch the racy increment");
+    }
+
+    #[test]
+    fn passes_correct_counter() {
+        crate::model(|| {
+            let a = Arc::new(AtomicUsize::new(0));
+            let b = Arc::clone(&a);
+            let t = crate::thread::spawn(move || {
+                b.fetch_add(1, Ordering::SeqCst);
+            });
+            a.fetch_add(1, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(a.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    #[test]
+    fn mutex_provides_exclusion() {
+        crate::model(|| {
+            let m = Arc::new(crate::sync::Mutex::new(0u32));
+            let m2 = Arc::clone(&m);
+            let t = crate::thread::spawn(move || {
+                let mut g = m2.lock();
+                let v = *g;
+                *g = v + 1;
+            });
+            {
+                let mut g = m.lock();
+                let v = *g;
+                *g = v + 1;
+            }
+            t.join().unwrap();
+            assert_eq!(*m.lock(), 2);
+        });
+    }
+}

@@ -1,0 +1,607 @@
+//! Minimal, deterministic stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`strategy::Strategy`] with `prop_map`, tuples, integer/float range
+//!   strategies, [`collection::vec`], [`prop_oneof!`] and [`any`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * a [`test_runner::TestRunner`] that replays seeds recorded in
+//!   `<file>.proptest-regressions` before running fresh deterministic
+//!   cases, and records the seed of any new failure there.
+//!
+//! Differences from real proptest, by design: no shrinking (the failing
+//! seed is reported instead), uniform sampling only, and regression
+//! entries are 64-bit RNG seeds rather than proptest's persistence
+//! digests.
+
+/// Deterministic RNG and failure-persistence machinery.
+pub mod test_runner {
+    use std::fmt::Debug;
+    use std::io::Write as _;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::path::PathBuf;
+
+    /// SplitMix64: tiny, seedable, deterministic.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from a seed.
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; 0 when `bound == 0`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            if bound == 0 {
+                0
+            } else {
+                self.next_u64() % bound
+            }
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// An assertion failed; the case is a counterexample.
+        Fail(String),
+        /// The input was rejected (e.g. a precondition filter).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failed case with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected (filtered-out) case.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Result type test-case closures return.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration (`#![proptest_config(..)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Drives a strategy/closure pair over regression seeds plus fresh
+    /// deterministic cases.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        name: String,
+        source_file: &'static str,
+    }
+
+    impl TestRunner {
+        /// A runner for the named test defined in `source_file`
+        /// (pass `file!()`).
+        pub fn new(config: ProptestConfig, name: &str, source_file: &'static str) -> Self {
+            TestRunner {
+                config,
+                name: name.to_owned(),
+                source_file,
+            }
+        }
+
+        fn regressions_path(&self) -> Option<PathBuf> {
+            let base = PathBuf::from(self.source_file).with_extension("proptest-regressions");
+            if base.exists() {
+                return Some(base);
+            }
+            // Test binaries run with cwd = package dir while `file!()` may
+            // be workspace-relative; probe upward a little.
+            for up in ["..", "../.."] {
+                let p = PathBuf::from(up).join(&base);
+                if p.exists() {
+                    return Some(p);
+                }
+            }
+            // Fall back to the direct path for (best-effort) persistence.
+            Some(base)
+        }
+
+        fn regression_seeds(&self, path: &PathBuf) -> Vec<u64> {
+            let Ok(contents) = std::fs::read_to_string(path) else {
+                return Vec::new();
+            };
+            contents
+                .lines()
+                .filter_map(|line| {
+                    let line = line.trim();
+                    let rest = line.strip_prefix("cc ")?;
+                    let token = rest.split_whitespace().next()?;
+                    // Fold the hex digest (ours: 16 hex chars; real
+                    // proptest's: longer) into a 64-bit seed.
+                    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+                    for b in token.bytes() {
+                        seed ^= b as u64;
+                        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+                    }
+                    Some(seed)
+                })
+                .collect()
+        }
+
+        fn record_failure(&self, path: &PathBuf, seed: u64, msg: &str) {
+            let line = format!(
+                "cc {:016x} # vendored-proptest seed; {}: {}\n",
+                seed,
+                self.name,
+                msg.lines().next().unwrap_or("")
+            );
+            if let Ok(existing) = std::fs::read_to_string(path) {
+                if existing.contains(&format!("cc {seed:016x}")) {
+                    return;
+                }
+            }
+            let _ = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut f| f.write_all(line.as_bytes()));
+        }
+
+        /// Runs `test` over the regression corpus plus `config.cases`
+        /// deterministic fresh cases, panicking on the first failure.
+        pub fn run<S, F>(&mut self, strategy: S, mut test: F)
+        where
+            S: crate::strategy::Strategy,
+            S::Value: Debug,
+            F: FnMut(S::Value) -> TestCaseResult,
+        {
+            let reg_path = self.regressions_path();
+            let mut seeds: Vec<(u64, bool)> = Vec::new();
+            if let Some(p) = &reg_path {
+                seeds.extend(self.regression_seeds(p).into_iter().map(|s| (s, true)));
+            }
+            // FNV-1a over the test name gives a stable per-test stream.
+            let mut base = 0xcbf2_9ce4_8422_2325u64;
+            for b in self.name.bytes() {
+                base ^= b as u64;
+                base = base.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            for i in 0..self.config.cases as u64 {
+                seeds.push((
+                    base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    false,
+                ));
+            }
+
+            for (seed, from_corpus) in seeds {
+                let mut rng = TestRng::new(seed);
+                let value = strategy.generate(&mut rng);
+                let shown = format!("{value:?}");
+                let outcome = catch_unwind(AssertUnwindSafe(|| test(value)));
+                let failure: Option<String> = match outcome {
+                    Ok(Ok(())) => None,
+                    Ok(Err(TestCaseError::Reject(_))) => None,
+                    Ok(Err(TestCaseError::Fail(msg))) => Some(msg),
+                    Err(payload) => Some(
+                        payload
+                            .downcast_ref::<String>()
+                            .cloned()
+                            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                            .unwrap_or_else(|| "test panicked".to_owned()),
+                    ),
+                };
+                if let Some(msg) = failure {
+                    if let Some(p) = &reg_path {
+                        if !from_corpus {
+                            self.record_failure(p, seed, &msg);
+                        }
+                    }
+                    let origin = if from_corpus {
+                        "regression corpus"
+                    } else {
+                        "fresh case"
+                    };
+                    panic!(
+                        "proptest (vendored): test `{}` failed ({origin}, seed \
+                         {seed:#018x}):\n  {msg}\n  input: {shown}",
+                        self.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Strategies: value generators composable with `prop_map` etc.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of test-case values.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, T> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+
+    /// Object-safe strategy wrapper used by [`Union`].
+    trait DynStrategy<V> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// Uniform choice between heterogeneous strategies of one value type
+    /// (the engine behind [`prop_oneof!`](crate::prop_oneof)).
+    pub struct Union<V> {
+        arms: Vec<Box<dyn DynStrategy<V>>>,
+    }
+
+    impl<V> Union<V> {
+        /// An empty union; push arms before generating.
+        pub fn empty() -> Self {
+            Union { arms: Vec::new() }
+        }
+
+        /// Adds one alternative.
+        pub fn push<S>(&mut self, s: S)
+        where
+            S: Strategy<Value = V> + 'static,
+        {
+            self.arms.push(Box::new(s));
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate_dyn(rng)
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// A `Vec` whose length is uniform in `len` and whose elements come
+    /// from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates one uniformly distributed value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy over the full domain of `A`.
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy for `A`'s whole domain.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_inner! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_inner! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_inner {
+    (config = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new(
+                $cfg,
+                concat!(module_path!(), "::", stringify!($name)),
+                file!(),
+            );
+            runner.run(($($strat,)+), |($($arg,)+)| {
+                $body
+                Ok(())
+            });
+        }
+    )*};
+}
+
+/// Fails the current test case if the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case if the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current test case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Uniform choice among strategies sharing a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let mut union = $crate::strategy::Union::empty();
+        $(union.push($strat);)+
+        union
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0.0f64..1.0, v in
+            prop::collection::vec(0u8..4, 0..10))
+        {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+            prop_assert!(v.len() < 10);
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(tag in prop_oneof![
+            (0u16..8).prop_map(|v| ("lo", v)),
+            (8u16..16).prop_map(|v| ("hi", v)),
+        ]) {
+            let (name, v) = tag;
+            prop_assert_eq!(name == "lo", v < 8);
+            prop_assert_ne!(name, "mid");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u64..1000, 0..50);
+        let a: Vec<u64> = strat.generate(&mut crate::test_runner::TestRng::new(9));
+        let b: Vec<u64> = strat.generate(&mut crate::test_runner::TestRng::new(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,26 @@
+//! Minimal stand-in for `rand` 0.9: just the [`RngCore`] trait, which is
+//! the only item this workspace uses (`latr_sim::SimRng` implements it so
+//! callers can layer distribution helpers on top).
+
+/// Core trait of random-number generators (API-compatible subset of
+/// `rand::RngCore` 0.9).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}

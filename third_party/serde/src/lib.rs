@@ -1,0 +1,12 @@
+//! Minimal stand-in for `serde`: marker traits plus re-exported no-op
+//! derive macros. Nothing in this workspace serializes data; the traits
+//! exist so `#[derive(Serialize, Deserialize)]` and `use serde::...`
+//! compile unchanged against the real crate's API subset.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

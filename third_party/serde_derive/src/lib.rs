@@ -1,0 +1,17 @@
+//! No-op derive macros for `Serialize`/`Deserialize`.
+//!
+//! The repository only ever *derives* these traits (no code path
+//! serializes anything), so emitting nothing is sufficient and keeps the
+//! offline build dependency-free.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
