@@ -8,9 +8,13 @@
 //! 3. **Reclamation delay**: 1/2/4 scheduler ticks vs parked memory (§6.4
 //!    bounds the overhead at ≈21 MB per interval).
 //! 4. **PCID** on/off (§4.5) on Apache at 12 cores.
+//! 5. **Sweep watchdog** on/off under an injected sweeper stall (§9 of
+//!    DESIGN.md): bounded vs unbounded reclaim latency, same safety.
 
 use latr_arch::{MachinePreset, Topology};
+use latr_bench::print_degradation_summary;
 use latr_core::LatrConfig;
+use latr_faults::FaultPlan;
 use latr_kernel::{metrics, MachineConfig};
 use latr_sim::{MILLISECOND, SECOND};
 use latr_workloads::{
@@ -110,5 +114,27 @@ fn main() {
             "{label:<24} runtime {:>9.2} ms  (PCID avoids the TLB flush on every context switch)",
             res.duration_ns as f64 / 1e6
         );
+    }
+
+    println!("\n=== Ablation 5: sweep watchdog on/off under a stalled sweeper ===");
+    // Core 1's sweeps stop for 20 ms while munmaps keep publishing states
+    // that name it; one run in ten also drops the IPI that would recover
+    // a synchronous fallback round.
+    let plan =
+        FaultPlan::default()
+            .with_ipi_drop(0.10)
+            .with_stall(1, MILLISECOND, 20 * MILLISECOND);
+    for (label, watchdog_ticks) in [("watchdog on (4 ticks)", 4u32), ("watchdog off", 0)] {
+        let cfg = LatrConfig {
+            watchdog_ticks,
+            ..LatrConfig::default()
+        };
+        let mut machine_config = config();
+        machine_config.faults = Some(plan.clone());
+        let wl = MunmapMicrobench::new(4, 1, 200).with_gap(50_000);
+        let (_, machine) =
+            run_experiment(machine_config, PolicyKind::Latr(cfg), Box::new(wl), SECOND);
+        println!("{label}:");
+        print_degradation_summary(&machine);
     }
 }

@@ -1,7 +1,12 @@
 //! Figs. 2 & 3: the event timelines of an munmap (Linux vs Latr) and an
-//! AutoNUMA hint-unmap, regenerated from the simulator's trace ring.
+//! AutoNUMA hint-unmap, regenerated from the simulator's trace ring —
+//! plus a chaos timeline showing the sweep watchdog escalating a stalled
+//! sweeper (DESIGN.md §9).
 
 use latr_arch::{MachinePreset, Topology};
+use latr_bench::print_degradation_summary;
+use latr_core::LatrConfig;
+use latr_faults::FaultPlan;
 use latr_kernel::{MachineConfig, NumaConfig};
 use latr_sim::{MILLISECOND, SECOND};
 use latr_workloads::{
@@ -71,4 +76,30 @@ fn main() {
         PolicyKind::latr_default(),
         true,
     );
+    show_chaos(base());
+}
+
+/// A munmap timeline with core 1's sweeps stalled: the published state's
+/// bit never clears on its own, the watchdog escalates with a targeted
+/// IPI, and reclamation still completes within its bound.
+fn show_chaos(mut config: MachineConfig) {
+    println!("\n=== Chaos — stalled sweeper, watchdog escalation ===");
+    config.trace_capacity = 60;
+    config.faults = Some(FaultPlan::default().with_stall(1, MILLISECOND, 12 * MILLISECOND));
+    let cfg = LatrConfig {
+        watchdog_ticks: 3,
+        ..LatrConfig::default()
+    };
+    // Enough rounds that the run outlives the 3-tick watchdog deadline of
+    // the states the stall leaves pending.
+    let (_, machine) = run_experiment(
+        config,
+        PolicyKind::Latr(cfg),
+        Box::new(MunmapMicrobench::new(3, 1, 6).with_gap(2 * MILLISECOND)),
+        SECOND,
+    );
+    for entry in machine.trace.iter() {
+        println!("{entry}");
+    }
+    print_degradation_summary(&machine);
 }

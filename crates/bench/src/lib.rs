@@ -24,7 +24,7 @@
 //! `--quick` for a shorter, less smooth sweep.
 
 use latr_arch::{MachinePreset, Topology};
-use latr_kernel::MachineConfig;
+use latr_kernel::{metrics, Machine, MachineConfig};
 use latr_sim::{Nanos, MILLISECOND, SECOND};
 use latr_workloads::{
     run_experiment, ApacheWorkload, ExperimentResult, MigrationProfile, MigrationWorkload,
@@ -372,6 +372,44 @@ pub fn print_title(title: &str) {
     println!("\n=== {title} ===");
 }
 
+/// Prints the fault-injection and graceful-degradation counters of a
+/// finished run: what the injector did to the machine, and what the sweep
+/// watchdog and adaptive IPI fallback did about it. Zero everywhere on a
+/// healthy run — the degradation machinery is calibrated never to engage
+/// without faults.
+pub fn print_degradation_summary(machine: &Machine) {
+    let c = |name: &str| machine.stats.counter(name);
+    println!(
+        "  injected   ipi dropped {} / delayed {}  ticks missed {} / jittered {}  \
+         sweep stalls {}  forced overflows {}",
+        c(metrics::FAULTS_IPI_DROPPED),
+        c(metrics::FAULTS_IPI_DELAYED),
+        c(metrics::FAULTS_TICKS_MISSED),
+        c(metrics::FAULTS_TICK_JITTER),
+        c(metrics::FAULTS_SWEEP_STALLS),
+        c(metrics::FAULTS_FORCED_OVERFLOWS),
+    );
+    println!(
+        "  recovered  ipi retries {}  watchdog escalations {} (targeted ipis {})  \
+         adaptive enters {} / exits {} (sync ops {})",
+        c(metrics::IPI_RETRIES),
+        c(metrics::LATR_WATCHDOG_ESCALATIONS),
+        c(metrics::LATR_WATCHDOG_IPIS),
+        c(metrics::LATR_ADAPTIVE_ENTERS),
+        c(metrics::LATR_ADAPTIVE_EXITS),
+        c(metrics::LATR_ADAPTIVE_SYNC_OPS),
+    );
+    println!(
+        "  reclaimed  {} of {} deferred frames during the run{}",
+        c(metrics::LATR_RECLAIM_RELEASED_FRAMES),
+        c(metrics::LATR_DEFERRED_FRAMES),
+        match machine.stats.histogram(metrics::LATR_RECLAIM_LATENCY_NS) {
+            Some(h) => format!("; latency ns {}", h.summary()),
+            None => String::new(),
+        },
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,6 +436,21 @@ mod tests {
         // Linux grows with cores; Latr stays below it at 16 cores.
         assert!(linux.last().unwrap().munmap_us > linux[0].munmap_us);
         assert!(latr.last().unwrap().munmap_us < linux.last().unwrap().munmap_us * 0.5);
+    }
+
+    #[test]
+    fn degradation_summary_reports_injected_faults() {
+        let mut config = MachineConfig::new(Topology::preset(MachinePreset::Commodity2S16C));
+        config.faults = Some(latr_faults::FaultPlan::default().with_tick_miss(0.3));
+        let (_, machine) = run_experiment(
+            config,
+            PolicyKind::latr_default(),
+            Box::new(MunmapMicrobench::new(2, 1, 5).with_gap(MILLISECOND)),
+            SECOND,
+        );
+        assert!(machine.stats.counter(metrics::FAULTS_TICKS_MISSED) > 0);
+        // Exercise the formatting paths too.
+        print_degradation_summary(&machine);
     }
 
     #[test]

@@ -16,6 +16,31 @@ pub struct LatrConfig {
     pub sweep_on_context_switch: bool,
     /// Whether lazy handling of AutoNUMA hint-unmaps is enabled (§4.3).
     pub lazy_migration: bool,
+    /// Sweep watchdog: if a published state's CPU bitmask has not fully
+    /// cleared after this many scheduler ticks, targeted IPIs finish the
+    /// laggard cores, bounding reclamation latency under stalled sweepers
+    /// and lost interrupts. `0` disables the watchdog (the paper's
+    /// mechanism: reclamation waits for sweeps, however long they take).
+    /// The default (8 ticks) is far above the healthy-path worst case of
+    /// `reclaim_ticks`, so escalations never fire in fault-free runs.
+    pub watchdog_ticks: u32,
+    /// Adaptive IPI fallback: under sustained queue-overflow pressure,
+    /// route *new* shootdowns synchronously instead of burning a fallback
+    /// round per overflow, returning to lazy mode once occupancy drains.
+    pub adaptive_fallback: bool,
+    /// Enter synchronous mode when a queue's occupancy reaches this
+    /// percentage of its capacity (hysteresis high-water mark).
+    pub fallback_enter_pct: u32,
+    /// Leave synchronous mode once every queue's occupancy has drained to
+    /// at most this percentage (hysteresis low-water mark).
+    pub fallback_exit_pct: u32,
+    /// Gate each reclamation package on its covering Latr state: the
+    /// package is not released — deadline or not — until the state's CPU
+    /// bitmask has cleared. The deadline alone is only a proof of safety
+    /// when every core actually swept; under a stalled sweeper or a lost
+    /// interrupt it is not. Disabling this recovers the paper's
+    /// deadline-only release (unsafe under injected faults).
+    pub gate_reclaim: bool,
 }
 
 impl Default for LatrConfig {
@@ -25,14 +50,32 @@ impl Default for LatrConfig {
             reclaim_ticks: 2,
             sweep_on_context_switch: true,
             lazy_migration: true,
+            watchdog_ticks: 8,
+            adaptive_fallback: true,
+            fallback_enter_pct: 94,
+            fallback_exit_pct: 25,
+            gate_reclaim: true,
         }
     }
 }
 
 impl LatrConfig {
-    /// Paper-default configuration.
+    /// Paper-default configuration. (The watchdog and adaptive fallback
+    /// are robustness extensions beyond the paper; their defaults are
+    /// calibrated never to engage on healthy runs, so paper-figure
+    /// reproductions are unaffected.)
     pub fn paper() -> Self {
         Self::default()
+    }
+
+    /// Paper mechanism only: watchdog and adaptive fallback disabled.
+    /// Used by the chaos suite's negative tests to demonstrate that the
+    /// bare mechanism stalls indefinitely under a stalled sweeper.
+    pub fn without_degradation(mut self) -> Self {
+        self.watchdog_ticks = 0;
+        self.adaptive_fallback = false;
+        self.gate_reclaim = false;
+        self
     }
 }
 
@@ -48,5 +91,20 @@ mod tests {
         assert!(c.sweep_on_context_switch);
         assert!(c.lazy_migration);
         assert_eq!(LatrConfig::paper(), c);
+    }
+
+    #[test]
+    fn degradation_defaults_are_calibrated() {
+        let c = LatrConfig::default();
+        // The watchdog must sit far above the healthy-path sweep bound so
+        // it never fires without injected faults.
+        assert!(c.watchdog_ticks > c.reclaim_ticks + 1);
+        assert!(c.adaptive_fallback);
+        assert!(c.fallback_enter_pct > c.fallback_exit_pct);
+        assert!(c.gate_reclaim);
+        let bare = c.without_degradation();
+        assert_eq!(bare.watchdog_ticks, 0);
+        assert!(!bare.adaptive_fallback);
+        assert!(!bare.gate_reclaim);
     }
 }

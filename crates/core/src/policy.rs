@@ -12,15 +12,28 @@
 //!   lazy-able (Table 1) — delegated to the synchronous IPI path.
 //! * **Queue overflow**: more shootdowns per interval than slots falls
 //!   back to IPIs (§4.2).
+//!
+//! Two graceful-degradation mechanisms extend the paper's design for
+//! faulty conditions (see DESIGN.md §9):
+//!
+//! * **Sweep watchdog** — reclamation is *gated* on the covering state's
+//!   CPU bitmask (a deadline alone proves nothing if a sweeper stalled);
+//!   if a state's mask has not cleared after `watchdog_ticks`, targeted
+//!   IPIs finish exactly the laggard cores, bounding reclaim latency.
+//! * **Adaptive IPI fallback** — under sustained overflow pressure the
+//!   policy flips to routing new shootdowns synchronously (one decision,
+//!   not one failed publish per op) and flips back once every queue has
+//!   drained below a low-water mark.
 
 use crate::config::LatrConfig;
 use crate::reclaim::LazyReclaimQueue;
 use crate::state::{LatrState, StateKind, StateQueue};
 use latr_arch::{CpuId, CpuMask};
 use latr_kernel::TaskId;
-use latr_kernel::{metrics, FlushKind, FlushOutcome, Machine, TlbPolicy};
+use latr_kernel::{metrics, FlushKind, FlushOutcome, Machine, ShootdownTxn, TlbPolicy};
 use latr_mem::{MmId, Pfn, VaRange, Vpn};
 use latr_sim::Nanos;
+use std::collections::{HashMap, HashSet};
 
 /// The Latr policy. Plug into [`Machine::run`] in place of
 /// [`latr_kernel::LinuxPolicy`].
@@ -28,6 +41,14 @@ pub struct LatrPolicy {
     config: LatrConfig,
     queues: Vec<StateQueue>,
     reclaim: LazyReclaimQueue,
+    /// Next [`LatrState::id`] to assign (run-unique).
+    next_state_id: u64,
+    /// Adaptive fallback: currently routing new shootdowns synchronously.
+    sync_mode: bool,
+    /// State ids with a watchdog escalation round in flight.
+    escalated: HashSet<u64>,
+    /// In-flight watchdog sync rounds: txn id → escalated state id.
+    watchdog_rounds: HashMap<u64, u64>,
 }
 
 impl LatrPolicy {
@@ -38,6 +59,10 @@ impl LatrPolicy {
             config,
             queues: Vec::new(),
             reclaim: LazyReclaimQueue::new(),
+            next_state_id: 0,
+            sync_mode: false,
+            escalated: HashSet::new(),
+            watchdog_rounds: HashMap::new(),
         }
     }
 
@@ -52,10 +77,120 @@ impl LatrPolicy {
         self.reclaim.parked_bytes()
     }
 
+    /// Whether the adaptive fallback currently routes shootdowns
+    /// synchronously.
+    pub fn in_sync_mode(&self) -> bool {
+        self.sync_mode
+    }
+
     fn ensure_queues(&mut self, ncpus: usize) {
         if self.queues.len() < ncpus {
             self.queues
                 .resize_with(ncpus, || StateQueue::new(self.config.states_per_core));
+        }
+    }
+
+    fn next_state_id(&mut self) -> u64 {
+        let id = self.next_state_id;
+        self.next_state_id += 1;
+        id
+    }
+
+    /// Flips into adaptive synchronous mode (idempotent).
+    fn enter_sync_mode(&mut self, machine: &mut Machine, why: &str) {
+        if !self.config.adaptive_fallback || self.sync_mode {
+            return;
+        }
+        self.sync_mode = true;
+        machine.stats.inc(metrics::LATR_ADAPTIVE_ENTERS);
+        if machine.trace.is_enabled() {
+            let now = machine.now();
+            machine.trace.push(
+                now,
+                "latr",
+                format!("adaptive fallback enters sync mode ({why})"),
+            );
+        }
+    }
+
+    /// Occupancy high-water check for `queue` after a publish.
+    fn check_enter_pressure(&mut self, machine: &mut Machine, queue: usize) {
+        if !self.config.adaptive_fallback || self.sync_mode {
+            return;
+        }
+        let q = &self.queues[queue];
+        if q.active_count() * 100 >= self.config.fallback_enter_pct as usize * q.capacity() {
+            self.enter_sync_mode(machine, "queue occupancy above high-water mark");
+        }
+    }
+
+    /// The sweep watchdog (DESIGN.md §9): any state whose CPU bitmask has
+    /// outlived `watchdog_ticks` gets finished by force — the owning core
+    /// sweeps its own bit locally, then targeted IPIs go to exactly the
+    /// laggard cores. Runs from the background reclamation tick.
+    fn run_watchdog(&mut self, machine: &mut Machine) {
+        let wd = self.config.watchdog_ticks;
+        if wd == 0 {
+            return;
+        }
+        let now = machine.now();
+        let threshold = wd as u64 * machine.tick_period();
+        let mut overdue: Vec<(usize, u64, MmId, VaRange, StateKind, bool, CpuMask)> = Vec::new();
+        for (qi, q) in self.queues.iter().enumerate() {
+            for s in q.iter_active() {
+                if !s.cpus.is_empty()
+                    && now.saturating_since(s.published) >= threshold
+                    && !self.escalated.contains(&s.id)
+                {
+                    overdue.push((qi, s.id, s.mm, s.range, s.kind, s.pte_done, s.cpus));
+                }
+            }
+        }
+        for (qi, id, mm, range, kind, pte_done, cpus) in overdue {
+            machine.stats.inc(metrics::LATR_WATCHDOG_ESCALATIONS);
+            let owner = CpuId(qi as u16);
+            let pages: Vec<Vpn> = range.iter().collect();
+            if kind == StateKind::Migration && !pte_done {
+                // Assume the first-sweeper duty nobody performed.
+                machine.apply_numa_hint(owner, mm, range.start);
+            }
+            let mut laggards = cpus;
+            if laggards.test(owner) {
+                // The owner sweeps its own bit locally — no self-IPI.
+                machine.invalidate_tlb_pages(owner, mm, &pages);
+                machine.oracle_note_sweep(owner, mm, range);
+                machine.charge_debt(
+                    owner,
+                    machine.costs().local_invalidation(pages.len() as u32),
+                );
+                laggards.clear(owner);
+            }
+            for s in self.queues[qi].iter_active_mut() {
+                if s.id == id {
+                    s.pte_done = true;
+                    s.cpus.clear(owner);
+                }
+            }
+            if laggards.is_empty() {
+                self.queues[qi].retire_completed();
+                continue;
+            }
+            machine
+                .stats
+                .add(metrics::LATR_WATCHDOG_IPIS, laggards.count() as u64);
+            if machine.trace.is_enabled() {
+                machine.trace.push(
+                    now,
+                    "latr",
+                    format!(
+                        "watchdog escalates state {id} {range:?}: {} laggard cores get IPIs",
+                        laggards.count()
+                    ),
+                );
+            }
+            let txn = machine.begin_sync_shootdown(owner, mm, pages, laggards, 0);
+            self.watchdog_rounds.insert(txn.0, id);
+            self.escalated.insert(id);
         }
     }
 
@@ -169,7 +304,18 @@ impl TlbPolicy for LatrPolicy {
             };
         }
 
+        // Adaptive fallback: while sync mode is on, don't burn a failed
+        // publish per op — route straight to IPIs.
+        if self.config.adaptive_fallback && self.sync_mode {
+            machine.stats.inc(metrics::LATR_FALLBACK_IPIS);
+            machine.stats.inc(metrics::LATR_ADAPTIVE_SYNC_OPS);
+            let vpns: Vec<Vpn> = pages.iter().map(|&(v, _)| v).collect();
+            let txn = machine.begin_sync_shootdown(initiator, mm, vpns, targets, start_delay);
+            return FlushOutcome::Sync { txn, local_ns: 0 };
+        }
+
         let state = LatrState {
+            id: self.next_state_id(),
             range,
             mm,
             kind: StateKind::Free,
@@ -177,7 +323,15 @@ impl TlbPolicy for LatrPolicy {
             pte_done: true,
             published: machine.now(),
         };
-        match self.queues[initiator.index()].publish(state) {
+        let state_id = state.id;
+        // An injected overflow storm forces the publish to fail as if the
+        // queue were full (chaos testing of the fallback paths).
+        let published = if machine.fault_force_overflow() {
+            None
+        } else {
+            self.queues[initiator.index()].publish(state)
+        };
+        match published {
             Some(slot) => {
                 machine.oracle_note_publish(initiator, mm, range, targets, false);
                 machine.stats.inc(metrics::LATR_STATES_SAVED);
@@ -193,26 +347,33 @@ impl TlbPolicy for LatrPolicy {
                         ),
                     );
                 }
-                // Park the freed VA + frames for two scheduler ticks. The
-                // +1 ns breaks exact ties with the sweep events at the
-                // deadline instant.
+                // Park the freed VA + frames for two scheduler ticks,
+                // gated on the state's bitmask clearing (the deadline
+                // alone is unsafe under stalled sweepers or lost IPIs).
+                // The +1 ns breaks exact ties with the sweep events at
+                // the deadline instant.
                 if let Some(pkg) = machine.take_pending_reclaim() {
                     machine
                         .stats
                         .add(metrics::LATR_DEFERRED_FRAMES, pkg.frames.len() as u64);
-                    let deadline = machine.now()
-                        + self.config.reclaim_ticks as u64 * machine.tick_period()
-                        + 1;
-                    self.reclaim.defer(deadline, pkg);
+                    let now = machine.now();
+                    let deadline =
+                        now + self.config.reclaim_ticks as u64 * machine.tick_period() + 1;
+                    let gate = self.config.gate_reclaim.then_some(state_id);
+                    self.reclaim.defer_gated(deadline, now, gate, pkg);
                 }
+                self.check_enter_pressure(machine, initiator.index());
                 FlushOutcome::Deferred {
                     local_ns: machine.costs().latr_state_save,
                     defer_reclaim: true,
                 }
             }
             None => {
-                // Queue full: fall back to the IPI mechanism (§4.2).
+                // Queue full: fall back to the IPI mechanism (§4.2), and
+                // under adaptive fallback stay synchronous until occupancy
+                // drains.
                 machine.stats.inc(metrics::LATR_FALLBACK_IPIS);
+                self.enter_sync_mode(machine, "state queue overflow");
                 let vpns: Vec<Vpn> = pages.iter().map(|&(v, _)| v).collect();
                 let txn = machine.begin_sync_shootdown(initiator, mm, vpns, targets, start_delay);
                 FlushOutcome::Sync { txn, local_ns: 0 }
@@ -233,14 +394,55 @@ impl TlbPolicy for LatrPolicy {
     }
 
     fn on_reclaim_tick(&mut self, machine: &mut Machine) {
+        self.ensure_queues(machine.topology().num_cpus());
+        // Bounded-latency degradation first: escalate overdue states, then
+        // re-evaluate the adaptive fallback's low-water mark.
+        self.run_watchdog(machine);
+        if self.sync_mode && !machine.fault_storm_active() {
+            let exit = self.config.fallback_exit_pct as usize;
+            let drained = self
+                .queues
+                .iter()
+                .all(|q| q.active_count() * 100 <= exit * q.capacity());
+            if drained {
+                self.sync_mode = false;
+                machine.stats.inc(metrics::LATR_ADAPTIVE_EXITS);
+                if machine.trace.is_enabled() {
+                    let now = machine.now();
+                    machine.trace.push(
+                        now,
+                        "latr",
+                        "adaptive fallback returns to lazy mode (queues drained)".to_string(),
+                    );
+                }
+            }
+        }
         // §6.4 memory-overhead accounting: sample how much physical memory
         // is parked awaiting reclamation before releasing what is due.
         machine
             .stats
             .record("latr_parked_bytes", self.reclaim.parked_bytes());
-        for pkg in self.reclaim.due(machine.now()) {
+        // Release everything past its deadline whose covering state has
+        // retired (empty mask). Blocked ids are the still-live states.
+        let blocked: HashSet<u64> = self
+            .queues
+            .iter()
+            .flat_map(StateQueue::iter_active)
+            .filter(|s| !s.cpus.is_empty())
+            .map(|s| s.id)
+            .collect();
+        let now = machine.now();
+        for entry in self.reclaim.due(now, |id| blocked.contains(&id)) {
+            machine.stats.record(
+                metrics::LATR_RECLAIM_LATENCY_NS,
+                now.saturating_since(entry.published),
+            );
+            machine.stats.add(
+                metrics::LATR_RECLAIM_RELEASED_FRAMES,
+                entry.pkg.frames.len() as u64,
+            );
+            let pkg = entry.pkg;
             if machine.trace.is_enabled() {
-                let now = machine.now();
                 machine.trace.push(
                     now,
                     "latr",
@@ -255,6 +457,48 @@ impl TlbPolicy for LatrPolicy {
         }
     }
 
+    fn on_sync_complete(&mut self, machine: &mut Machine, txn: &ShootdownTxn) {
+        // Only watchdog escalation rounds concern us; ordinary sync
+        // shootdowns (mprotect, overflow fallback) have no covering state.
+        let Some(state_id) = self.watchdog_rounds.remove(&txn.id.0) else {
+            return;
+        };
+        self.escalated.remove(&state_id);
+        let mut found = None;
+        for (qi, q) in self.queues.iter().enumerate() {
+            if let Some(s) = q.iter_active().find(|s| s.id == state_id) {
+                found = Some((qi, s.mm, s.range, s.cpus));
+                break;
+            }
+        }
+        // The state may have been swept naturally while the round was in
+        // flight — then there is nothing left to clear.
+        let Some((qi, mm, range, cpus)) = found else {
+            return;
+        };
+        // Every laggard's TLB was invalidated by the IPI handler (which
+        // happened-before this last ACK): their sweep duty is done.
+        for cpu in cpus.iter() {
+            machine.oracle_note_sweep(cpu, mm, range);
+        }
+        for s in self.queues[qi].iter_active_mut() {
+            if s.id == state_id {
+                for cpu in cpus.iter() {
+                    s.cpus.clear(cpu);
+                }
+            }
+        }
+        self.queues[qi].retire_completed();
+        if machine.trace.is_enabled() {
+            let now = machine.now();
+            machine.trace.push(
+                now,
+                "latr",
+                format!("watchdog round for state {state_id} complete; state retired"),
+            );
+        }
+    }
+
     fn numa_hint_unmap(&mut self, machine: &mut Machine, cpu: CpuId, mm: MmId, vpn: Vpn) -> bool {
         if !self.config.lazy_migration {
             return false;
@@ -266,7 +510,20 @@ impl TlbPolicy for LatrPolicy {
         if targets.is_empty() {
             return false;
         }
+        // Adaptive fallback covers migration unmaps too: decline lazily
+        // and let the machine run the synchronous hint-unmap.
+        if self.config.adaptive_fallback && self.sync_mode {
+            machine.stats.inc(metrics::LATR_FALLBACK_IPIS);
+            machine.stats.inc(metrics::LATR_ADAPTIVE_SYNC_OPS);
+            return false;
+        }
+        if machine.fault_force_overflow() {
+            machine.stats.inc(metrics::LATR_FALLBACK_IPIS);
+            self.enter_sync_mode(machine, "state queue overflow");
+            return false;
+        }
         let state = LatrState {
+            id: self.next_state_id(),
             range: VaRange::new(vpn, 1),
             mm,
             kind: StateKind::Migration,
@@ -288,10 +545,12 @@ impl TlbPolicy for LatrPolicy {
                         format!("{cpu} saves state[{slot}] {vpn:?} (migration, PTE untouched)"),
                     );
                 }
+                self.check_enter_pressure(machine, cpu.index());
                 true
             }
             None => {
                 machine.stats.inc(metrics::LATR_FALLBACK_IPIS);
+                self.enter_sync_mode(machine, "state queue overflow");
                 false
             }
         }
@@ -321,6 +580,8 @@ impl TlbPolicy for LatrPolicy {
         for q in &mut self.queues {
             q.clear();
         }
+        self.escalated.clear();
+        self.watchdog_rounds.clear();
     }
 }
 
@@ -559,6 +820,24 @@ mod tests {
             machine.stats.counter(metrics::LATR_FALLBACK_IPIS) > 0,
             "a 200-unmap burst within one tick must overflow 64 slots"
         );
+        // Adaptive fallback (default-on) must have flipped to sync mode on
+        // the first overflow instead of burning a failed publish per op.
+        assert!(
+            machine.stats.counter(metrics::LATR_ADAPTIVE_ENTERS) >= 1,
+            "overflow must trigger the adaptive sync-mode transition"
+        );
         assert_eq!(machine.check_reclamation_invariant(), None);
+        assert_eq!(machine.check_mapping_coherence(), None);
+    }
+
+    /// In healthy runs the degradation machinery must be invisible: no
+    /// watchdog escalations, no adaptive transitions.
+    #[test]
+    fn degradation_mechanisms_stay_idle_on_healthy_runs() {
+        let m = run_latr(8, 10);
+        assert_eq!(m.stats.counter(metrics::LATR_WATCHDOG_ESCALATIONS), 0);
+        assert_eq!(m.stats.counter(metrics::LATR_WATCHDOG_IPIS), 0);
+        assert_eq!(m.stats.counter(metrics::LATR_ADAPTIVE_ENTERS), 0);
+        assert_eq!(m.stats.counter(metrics::LATR_ADAPTIVE_SYNC_OPS), 0);
     }
 }

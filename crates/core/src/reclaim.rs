@@ -6,18 +6,41 @@
 //! "Latr waits two full cycles of TLB invalidations (i.e., two scheduler
 //! ticks and 2 ms) to ensure that all associated entries have definitely
 //! been invalidated by at least one scheduler tick."
+//!
+//! Entries may additionally be *gated* on the Latr state that covers them
+//! ([`LazyReclaimQueue::defer_gated`]): a gated package is not released —
+//! deadline or not — while its state's CPU bitmask is still non-empty.
+//! The deadline alone is only a proof of safety when every core actually
+//! swept; under a stalled sweeper or a lost IPI it is not, and releasing
+//! by deadline would free frames a remote TLB still caches. The sweep
+//! watchdog bounds how long a gate can hold.
 
 use latr_kernel::ReclaimPackage;
 use latr_sim::Time;
 use std::collections::VecDeque;
 
+/// One parked reclamation package.
+#[derive(Debug)]
+pub struct DeferredReclaim {
+    /// Earliest release time (`publish + reclaim_ticks` ticks).
+    pub deadline: Time,
+    /// When the covering state was published (for reclaim-latency stats).
+    pub published: Time,
+    /// The Latr state id whose bitmask must clear before release (`None`
+    /// for ungated, deadline-only entries).
+    pub gate: Option<u64>,
+    /// The frames and VA range to release.
+    pub pkg: ReclaimPackage,
+}
+
 /// A deadline-ordered queue of deferred [`ReclaimPackage`]s.
 ///
 /// Entries are pushed with monotonically non-decreasing deadlines (each is
-/// `publish_time + 2 ticks`), so a simple FIFO pop-while-due suffices.
+/// `publish_time + 2 ticks`); gated entries whose state has not retired
+/// are skipped in place and picked up on a later pass.
 #[derive(Debug, Default)]
 pub struct LazyReclaimQueue {
-    entries: VecDeque<(Time, ReclaimPackage)>,
+    entries: VecDeque<DeferredReclaim>,
     deferred_frames: u64,
 }
 
@@ -27,7 +50,7 @@ impl LazyReclaimQueue {
         Self::default()
     }
 
-    /// Parks a package until `deadline`.
+    /// Parks a package until `deadline`, with no sweep gate.
     ///
     /// # Panics
     ///
@@ -35,28 +58,57 @@ impl LazyReclaimQueue {
     /// recently pushed deadline (the caller always computes `now + 2
     /// ticks`, which is monotone).
     pub fn defer(&mut self, deadline: Time, pkg: ReclaimPackage) {
-        if let Some(&(last, _)) = self.entries.back() {
-            debug_assert!(deadline >= last, "reclaim deadlines must be monotone");
-        }
-        self.deferred_frames += pkg.frames.len() as u64;
-        self.entries.push_back((deadline, pkg));
+        self.defer_gated(deadline, deadline, None, pkg);
     }
 
-    /// Pops every package whose deadline is at or before `now`.
-    pub fn due(&mut self, now: Time) -> Vec<ReclaimPackage> {
+    /// Parks a package until `deadline` *and* until the Latr state
+    /// `gate` (if any) has an empty CPU bitmask.
+    pub fn defer_gated(
+        &mut self,
+        deadline: Time,
+        published: Time,
+        gate: Option<u64>,
+        pkg: ReclaimPackage,
+    ) {
+        if let Some(last) = self.entries.back() {
+            debug_assert!(
+                deadline >= last.deadline,
+                "reclaim deadlines must be monotone"
+            );
+        }
+        self.deferred_frames += pkg.frames.len() as u64;
+        self.entries.push_back(DeferredReclaim {
+            deadline,
+            published,
+            gate,
+            pkg,
+        });
+    }
+
+    /// Pops every package whose deadline is at or before `now` and whose
+    /// gate (if any) reports unblocked. `is_blocked` is queried with the
+    /// gating state id; gated-and-blocked entries stay parked, so the
+    /// queue is scanned past them up to the first not-yet-due deadline.
+    pub fn due(&mut self, now: Time, is_blocked: impl Fn(u64) -> bool) -> Vec<DeferredReclaim> {
         let mut out = Vec::new();
-        while let Some(&(deadline, _)) = self.entries.front() {
-            if deadline > now {
+        let mut i = 0;
+        while i < self.entries.len() {
+            if self.entries[i].deadline > now {
                 break;
             }
-            out.push(self.entries.pop_front().expect("front exists").1);
+            if self.entries[i].gate.is_some_and(&is_blocked) {
+                i += 1;
+                continue;
+            }
+            out.push(self.entries.remove(i).expect("index in bounds"));
         }
         out
     }
 
-    /// Drains everything regardless of deadline (end of run).
+    /// Drains everything regardless of deadline or gate (end of run — the
+    /// machine is quiescing, so no TLB can touch the parked frames again).
     pub fn drain_all(&mut self) -> Vec<ReclaimPackage> {
-        self.entries.drain(..).map(|(_, p)| p).collect()
+        self.entries.drain(..).map(|d| d.pkg).collect()
     }
 
     /// Packages currently parked.
@@ -79,7 +131,7 @@ impl LazyReclaimQueue {
     pub fn parked_bytes(&self) -> u64 {
         self.entries
             .iter()
-            .map(|(_, p)| p.frames.len() as u64 * latr_mem::PAGE_SIZE)
+            .map(|d| d.pkg.frames.len() as u64 * latr_mem::PAGE_SIZE)
             .sum()
     }
 }
@@ -102,11 +154,11 @@ mod tests {
         let mut q = LazyReclaimQueue::new();
         q.defer(Time::from_ns(100), pkg(1));
         q.defer(Time::from_ns(200), pkg(2));
-        assert!(q.due(Time::from_ns(99)).is_empty());
-        let first = q.due(Time::from_ns(100));
+        assert!(q.due(Time::from_ns(99), |_| false).is_empty());
+        let first = q.due(Time::from_ns(100), |_| false);
         assert_eq!(first.len(), 1);
         assert_eq!(q.len(), 1);
-        let second = q.due(Time::from_ns(500));
+        let second = q.due(Time::from_ns(500), |_| false);
         assert_eq!(second.len(), 1);
         assert!(q.is_empty());
     }
@@ -117,14 +169,47 @@ mod tests {
         q.defer(Time::from_ns(10), pkg(1));
         q.defer(Time::from_ns(20), pkg(1));
         q.defer(Time::from_ns(30), pkg(1));
-        assert_eq!(q.due(Time::from_ns(25)).len(), 2);
+        assert_eq!(q.due(Time::from_ns(25), |_| false).len(), 2);
     }
 
     #[test]
-    fn drain_all_ignores_deadlines() {
+    fn gated_entries_wait_for_their_state() {
+        let mut q = LazyReclaimQueue::new();
+        q.defer_gated(Time::from_ns(10), Time::from_ns(0), Some(7), pkg(1));
+        q.defer_gated(Time::from_ns(20), Time::from_ns(5), Some(8), pkg(2));
+        // State 7 still has CPUs pending: only state 8's package releases,
+        // even though 7's deadline is earlier.
+        let out = q.due(Time::from_ns(100), |id| id == 7);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].gate, Some(8));
+        assert_eq!(q.len(), 1);
+        // Once the state retires the held package flows out.
+        let out = q.due(Time::from_ns(100), |_| false);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].gate, Some(7));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn gated_skip_preserves_deadline_cutoff() {
+        let mut q = LazyReclaimQueue::new();
+        q.defer_gated(Time::from_ns(10), Time::from_ns(0), Some(1), pkg(1));
+        q.defer(Time::from_ns(20), pkg(1));
+        q.defer(Time::from_ns(300), pkg(1));
+        // The blocked head must not hide the due ungated entry behind it,
+        // and the not-yet-due tail must stay put.
+        let out = q.due(Time::from_ns(50), |_| true);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].gate, None);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn drain_all_ignores_deadlines_and_gates() {
         let mut q = LazyReclaimQueue::new();
         q.defer(Time::from_ns(1_000_000), pkg(3));
-        assert_eq!(q.drain_all().len(), 1);
+        q.defer_gated(Time::from_ns(2_000_000), Time::from_ns(0), Some(1), pkg(1));
+        assert_eq!(q.drain_all().len(), 2);
         assert!(q.is_empty());
     }
 
@@ -135,7 +220,7 @@ mod tests {
         q.defer(Time::from_ns(20), pkg(2));
         assert_eq!(q.total_deferred_frames(), 6);
         assert_eq!(q.parked_bytes(), 6 * 4096);
-        q.due(Time::from_ns(15));
+        q.due(Time::from_ns(15), |_| false);
         assert_eq!(q.parked_bytes(), 2 * 4096);
         // Total is cumulative, not current.
         assert_eq!(q.total_deferred_frames(), 6);

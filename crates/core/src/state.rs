@@ -30,6 +30,10 @@ pub enum StateKind {
 /// One Latr state.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LatrState {
+    /// Run-unique id assigned by the publisher. Reclamation packages gate
+    /// on it (a gated package is not released while this state's mask is
+    /// non-empty) and the sweep watchdog tracks escalations by it.
+    pub id: u64,
     /// The virtual range to invalidate.
     pub range: VaRange,
     /// The address space it belongs to (the `mm` pointer).
@@ -55,6 +59,7 @@ pub struct LatrState {
 ///
 /// let mut q = StateQueue::new(2);
 /// let state = LatrState {
+///     id: 0,
 ///     range: VaRange::new(Vpn(0x10), 1),
 ///     mm: MmId(0),
 ///     kind: StateKind::Free,
@@ -154,6 +159,7 @@ mod tests {
 
     fn state(cpu_bits: &[u16]) -> LatrState {
         LatrState {
+            id: 0,
             range: VaRange::new(Vpn(0x100), 2),
             mm: MmId(0),
             kind: StateKind::Free,

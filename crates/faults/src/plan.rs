@@ -1,0 +1,309 @@
+//! Declarative fault plans.
+//!
+//! A [`FaultPlan`] is pure data: it says *what* can go wrong and *when*,
+//! but contains no randomness itself. The probabilistic knobs (drop/delay
+//! probabilities, jitter magnitudes) are resolved at runtime by the
+//! [`FaultInjector`](crate::FaultInjector)'s forked RNG stream; the
+//! scheduled events (stalls, storms) are resolved purely by simulated
+//! time. Both halves are therefore fully deterministic for a fixed
+//! (plan, seed) pair.
+
+use std::fmt::Write as _;
+
+use latr_sim::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Probabilistic faults applied to every IPI delivery.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct IpiFaults {
+    /// Probability in `[0, 1]` that an individual IPI delivery is dropped
+    /// outright (never arrives; the initiator must retransmit).
+    pub drop_prob: f64,
+    /// Probability in `[0, 1]` that a delivery is delayed by a uniform
+    /// amount in `[0, delay_max]` nanoseconds.
+    pub delay_prob: f64,
+    /// Maximum extra delivery latency, in nanoseconds.
+    pub delay_max: Nanos,
+}
+
+/// Probabilistic faults applied to every scheduler tick.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TickFaults {
+    /// Probability in `[0, 1]` that a tick is skipped entirely (no sweep,
+    /// no accounting — models a missed timer interrupt).
+    pub miss_prob: f64,
+    /// Probability in `[0, 1]` that a tick fires late by a uniform amount
+    /// in `[0, jitter_max]` nanoseconds.
+    pub jitter_prob: f64,
+    /// Maximum tick lateness, in nanoseconds.
+    pub jitter_max: Nanos,
+}
+
+/// A scheduled per-core sweep stall: between `at` and `at + duration` the
+/// core neither sweeps on ticks nor on context switches (models a long
+/// non-preemptible section or a deep C-state exit). IPIs are still
+/// delivered during a stall — preemption being disabled does not mask
+/// interrupts — which is exactly what makes the watchdog's targeted-IPI
+/// escalation effective against stalled sweepers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StalledCore {
+    /// Core that stalls.
+    pub cpu: u16,
+    /// Simulated time (ns) at which the stall begins.
+    pub at: Nanos,
+    /// Length of the stall in nanoseconds.
+    pub duration: Nanos,
+}
+
+/// A scheduled queue-overflow storm: between `at` and `at + duration`
+/// every Latr state publish is forced to fail as if the per-core queue
+/// were full, driving the policy onto its fallback path regardless of
+/// actual occupancy. Used to exercise the adaptive sync-mode hysteresis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverflowStorm {
+    /// Simulated time (ns) at which the storm begins.
+    pub at: Nanos,
+    /// Length of the storm in nanoseconds.
+    pub duration: Nanos,
+}
+
+/// A complete, deterministic description of the faults to inject into one
+/// simulation run. Construct with [`FaultPlan::default`] (no faults) and
+/// the chainable `with_*` builders.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// IPI delivery faults.
+    pub ipi: IpiFaults,
+    /// Scheduler-tick faults.
+    pub tick: TickFaults,
+    /// Scheduled per-core sweep stalls.
+    pub stalls: Vec<StalledCore>,
+    /// Scheduled queue-overflow storms.
+    pub storms: Vec<OverflowStorm>,
+}
+
+impl FaultPlan {
+    /// Drop each IPI delivery independently with probability `prob`.
+    #[must_use]
+    pub fn with_ipi_drop(mut self, prob: f64) -> Self {
+        self.ipi.drop_prob = prob;
+        self
+    }
+
+    /// Delay each IPI delivery with probability `prob` by a uniform
+    /// amount in `[0, max]` ns.
+    #[must_use]
+    pub fn with_ipi_delay(mut self, prob: f64, max: Nanos) -> Self {
+        self.ipi.delay_prob = prob;
+        self.ipi.delay_max = max;
+        self
+    }
+
+    /// Skip each scheduler tick independently with probability `prob`.
+    #[must_use]
+    pub fn with_tick_miss(mut self, prob: f64) -> Self {
+        self.tick.miss_prob = prob;
+        self
+    }
+
+    /// Jitter each scheduler tick with probability `prob` by a uniform
+    /// lateness in `[0, max]` ns.
+    #[must_use]
+    pub fn with_tick_jitter(mut self, prob: f64, max: Nanos) -> Self {
+        self.tick.jitter_prob = prob;
+        self.tick.jitter_max = max;
+        self
+    }
+
+    /// Stall `cpu`'s sweeps for `duration` ns starting at `at` ns.
+    #[must_use]
+    pub fn with_stall(mut self, cpu: u16, at: Nanos, duration: Nanos) -> Self {
+        self.stalls.push(StalledCore { cpu, at, duration });
+        self
+    }
+
+    /// Force every state publish to overflow for `duration` ns starting
+    /// at `at` ns.
+    #[must_use]
+    pub fn with_storm(mut self, at: Nanos, duration: Nanos) -> Self {
+        self.storms.push(OverflowStorm { at, duration });
+        self
+    }
+
+    /// Whether this plan injects anything at all. The machine only pays
+    /// for fault bookkeeping (and only schedules IPI retransmit timers)
+    /// when a plan is active.
+    pub fn is_active(&self) -> bool {
+        *self != FaultPlan::default()
+    }
+
+    /// Serialize to the stable `key=value` text format accepted by
+    /// [`FaultPlan::parse`]. (The vendored serde is marker-only, so plans
+    /// carry their own wire format.) `f64` fields round-trip exactly:
+    /// Rust's `Display` for `f64` emits the shortest representation that
+    /// parses back to the same bits.
+    pub fn to_config_string(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "ipi.drop_prob={}", self.ipi.drop_prob);
+        let _ = writeln!(out, "ipi.delay_prob={}", self.ipi.delay_prob);
+        let _ = writeln!(out, "ipi.delay_max={}", self.ipi.delay_max);
+        let _ = writeln!(out, "tick.miss_prob={}", self.tick.miss_prob);
+        let _ = writeln!(out, "tick.jitter_prob={}", self.tick.jitter_prob);
+        let _ = writeln!(out, "tick.jitter_max={}", self.tick.jitter_max);
+        for s in &self.stalls {
+            let _ = writeln!(out, "stall=cpu{}@{}+{}", s.cpu, s.at, s.duration);
+        }
+        for s in &self.storms {
+            let _ = writeln!(out, "storm={}+{}", s.at, s.duration);
+        }
+        out
+    }
+
+    /// Parse the text format produced by [`FaultPlan::to_config_string`].
+    /// Blank lines and `#` comments are ignored; unknown keys are errors.
+    pub fn parse(text: &str) -> Result<FaultPlan, PlanParseError> {
+        let mut plan = FaultPlan::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |what: &str| PlanParseError {
+                line: lineno + 1,
+                message: format!("{what}: {line:?}"),
+            };
+            let (key, value) = line.split_once('=').ok_or_else(|| err("missing '='"))?;
+            match key.trim() {
+                "ipi.drop_prob" => plan.ipi.drop_prob = parse_f64(value, lineno)?,
+                "ipi.delay_prob" => plan.ipi.delay_prob = parse_f64(value, lineno)?,
+                "ipi.delay_max" => plan.ipi.delay_max = parse_u64(value, lineno)?,
+                "tick.miss_prob" => plan.tick.miss_prob = parse_f64(value, lineno)?,
+                "tick.jitter_prob" => plan.tick.jitter_prob = parse_f64(value, lineno)?,
+                "tick.jitter_max" => plan.tick.jitter_max = parse_u64(value, lineno)?,
+                "stall" => {
+                    // cpu<N>@<at>+<duration>
+                    let v = value.trim();
+                    let v = v
+                        .strip_prefix("cpu")
+                        .ok_or_else(|| err("stall needs cpu<N>@at+dur"))?;
+                    let (cpu, rest) = v.split_once('@').ok_or_else(|| err("stall needs '@'"))?;
+                    let (at, dur) = rest.split_once('+').ok_or_else(|| err("stall needs '+'"))?;
+                    plan.stalls.push(StalledCore {
+                        cpu: cpu.parse().map_err(|_| err("bad stall cpu"))?,
+                        at: parse_u64(at, lineno)?,
+                        duration: parse_u64(dur, lineno)?,
+                    });
+                }
+                "storm" => {
+                    // <at>+<duration>
+                    let (at, dur) = value
+                        .split_once('+')
+                        .ok_or_else(|| err("storm needs '+'"))?;
+                    plan.storms.push(OverflowStorm {
+                        at: parse_u64(at, lineno)?,
+                        duration: parse_u64(dur, lineno)?,
+                    });
+                }
+                other => {
+                    return Err(PlanParseError {
+                        line: lineno + 1,
+                        message: format!("unknown key {other:?}"),
+                    })
+                }
+            }
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_f64(value: &str, lineno: usize) -> Result<f64, PlanParseError> {
+    value.trim().parse().map_err(|_| PlanParseError {
+        line: lineno + 1,
+        message: format!("bad float {:?}", value.trim()),
+    })
+}
+
+fn parse_u64(value: &str, lineno: usize) -> Result<u64, PlanParseError> {
+    value.trim().parse().map_err(|_| PlanParseError {
+        line: lineno + 1,
+        message: format!("bad integer {:?}", value.trim()),
+    })
+}
+
+/// Error produced by [`FaultPlan::parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fault plan line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inactive() {
+        assert!(!FaultPlan::default().is_active());
+        assert!(FaultPlan::default().with_ipi_drop(0.1).is_active());
+        assert!(FaultPlan::default().with_stall(1, 0, 1000).is_active());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let plan = FaultPlan::default()
+            .with_ipi_drop(0.25)
+            .with_ipi_delay(0.5, 30_000)
+            .with_tick_miss(0.1)
+            .with_tick_jitter(0.2, 400_000)
+            .with_stall(2, 1_000_000, 5_000_000)
+            .with_storm(2_000_000, 3_000_000);
+        assert_eq!(plan.ipi.drop_prob, 0.25);
+        assert_eq!(plan.ipi.delay_max, 30_000);
+        assert_eq!(plan.stalls.len(), 1);
+        assert_eq!(plan.storms.len(), 1);
+    }
+
+    #[test]
+    fn config_string_round_trips() {
+        let plan = FaultPlan::default()
+            .with_ipi_drop(0.3)
+            .with_ipi_delay(0.123456789, 31_337)
+            .with_tick_miss(0.05)
+            .with_tick_jitter(1.0 / 3.0, 400_000)
+            .with_stall(1, 1_000_000, 9_000_000)
+            .with_stall(3, 2_500_000, 250_000)
+            .with_storm(2_000_000, 3_000_000);
+        let text = plan.to_config_string();
+        assert_eq!(FaultPlan::parse(&text), Ok(plan));
+    }
+
+    #[test]
+    fn parse_ignores_comments_and_blank_lines() {
+        let plan = FaultPlan::parse("# a comment\n\nipi.drop_prob=0.5\n").unwrap();
+        assert_eq!(plan.ipi.drop_prob, 0.5);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_keys_with_line_numbers() {
+        let err = FaultPlan::parse("ipi.drop_prob=0.1\nbogus=1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bogus"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_stall() {
+        assert!(FaultPlan::parse("stall=1@2+3").is_err()); // missing cpu prefix
+        assert!(FaultPlan::parse("stall=cpu1@2").is_err()); // missing '+'
+        assert!(FaultPlan::parse("storm=5").is_err()); // missing '+'
+    }
+}

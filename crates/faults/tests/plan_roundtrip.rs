@@ -1,0 +1,47 @@
+//! Property tests for the fault-plan wire format: any plan the builders
+//! can express must survive `to_config_string` → `parse` bit-for-bit,
+//! including awkward floats (probabilities are raw `f64`s and rely on
+//! Display/FromStr shortest-round-trip semantics).
+
+use latr_faults::{FaultPlan, OverflowStorm, StalledCore};
+use proptest::prelude::*;
+
+fn arb_prob() -> impl Strategy<Value = f64> {
+    // Mix exact binary fractions with arbitrary mantissas in [0, 1].
+    prop_oneof![
+        (0u32..65).prop_map(|n| f64::from(n) / 64.0),
+        (0u64..u64::MAX).prop_map(|bits| (bits >> 11) as f64 / (1u64 << 53) as f64),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn plan_round_trips_through_config_string(
+        ipi in (arb_prob(), arb_prob(), 0u64..10_000_000),
+        tick in (arb_prob(), arb_prob(), 0u64..10_000_000),
+        stalls in prop::collection::vec((0u16..64, 0u64..1_000_000_000, 1u64..100_000_000), 0..4),
+        storms in prop::collection::vec((0u64..1_000_000_000, 1u64..100_000_000), 0..4),
+    ) {
+        let mut plan = FaultPlan::default()
+            .with_ipi_drop(ipi.0)
+            .with_ipi_delay(ipi.1, ipi.2)
+            .with_tick_miss(tick.0)
+            .with_tick_jitter(tick.1, tick.2);
+        for (cpu, at, duration) in stalls {
+            plan.stalls.push(StalledCore { cpu, at, duration });
+        }
+        for (at, duration) in storms {
+            plan.storms.push(OverflowStorm { at, duration });
+        }
+        let text = plan.to_config_string();
+        prop_assert_eq!(FaultPlan::parse(&text), Ok(plan));
+    }
+
+    #[test]
+    fn parse_never_panics_on_arbitrary_input(
+        bytes in prop::collection::vec(0u8..128, 0..200),
+    ) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = FaultPlan::parse(&text);
+    }
+}

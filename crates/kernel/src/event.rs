@@ -36,6 +36,11 @@ pub enum Event {
         /// The responding core.
         from: CpuId,
     },
+    /// Retransmit timer for a synchronous shootdown: re-multicast to the
+    /// cores that have not ACKed yet. Only scheduled when a fault plan is
+    /// active — lost IPIs exist only under injection, and fault-free runs
+    /// must stay event-for-event identical to builds without this timer.
+    TxnRetry(TxnId),
     /// Periodic policy housekeeping (Latr's background reclamation thread).
     ReclaimTick,
     /// The AutoNUMA scanner visits an address space.

@@ -33,7 +33,7 @@ mod shootdown;
 mod task;
 
 pub use event::Event;
-pub use machine::{Core, Machine, MachineConfig, ReclaimPackage};
+pub use machine::{Core, InvariantViolation, Machine, MachineConfig, ReclaimPackage};
 pub use mmlock::{LockMode, MmLock};
 pub use numa::{NumaConfig, NumaStats};
 pub use ops::{Op, OpResult, Workload};
@@ -82,4 +82,33 @@ pub mod metrics {
     pub const LATR_DEFERRED_FRAMES: &str = "latr_deferred_frames";
     /// ABIS access-bit tracking operations.
     pub const ABIS_TRACK_OPS: &str = "abis_track_ops";
+    /// IPI deliveries dropped by the fault injector.
+    pub const FAULTS_IPI_DROPPED: &str = "faults_ipi_dropped";
+    /// IPI deliveries delayed by the fault injector.
+    pub const FAULTS_IPI_DELAYED: &str = "faults_ipi_delayed";
+    /// Scheduler ticks skipped by the fault injector.
+    pub const FAULTS_TICKS_MISSED: &str = "faults_ticks_missed";
+    /// Scheduler ticks jittered late by the fault injector.
+    pub const FAULTS_TICK_JITTER: &str = "faults_tick_jitter";
+    /// Sweeps suppressed because the core was inside an injected stall.
+    pub const FAULTS_SWEEP_STALLS: &str = "faults_sweep_stalls";
+    /// State publishes forced to overflow by an injected storm.
+    pub const FAULTS_FORCED_OVERFLOWS: &str = "faults_forced_overflows";
+    /// Shootdown retransmit rounds (lost-IPI recovery; injection only).
+    pub const IPI_RETRIES: &str = "ipi_retries";
+    /// Latr watchdog escalations: states whose bitmask outlived
+    /// `watchdog_ticks` and were finished with targeted IPIs.
+    pub const LATR_WATCHDOG_ESCALATIONS: &str = "latr_watchdog_escalations";
+    /// Targeted IPIs sent by the watchdog (subset of `ipis_sent`).
+    pub const LATR_WATCHDOG_IPIS: &str = "latr_watchdog_ipis";
+    /// Adaptive-fallback transitions into synchronous mode.
+    pub const LATR_ADAPTIVE_ENTERS: &str = "latr_adaptive_enters";
+    /// Adaptive-fallback transitions back to lazy mode.
+    pub const LATR_ADAPTIVE_EXITS: &str = "latr_adaptive_exits";
+    /// Operations routed synchronously while adaptive fallback was active.
+    pub const LATR_ADAPTIVE_SYNC_OPS: &str = "latr_adaptive_sync_ops";
+    /// Publish→release latency of lazily reclaimed packages (ns histogram).
+    pub const LATR_RECLAIM_LATENCY_NS: &str = "latr_reclaim_latency_ns";
+    /// Frames actually released by Latr's deferred reclamation.
+    pub const LATR_RECLAIM_RELEASED_FRAMES: &str = "latr_reclaim_released_frames";
 }

@@ -15,6 +15,7 @@ use crate::ops::{Op, OpResult, Workload};
 use crate::shootdown::{FlushKind, FlushOutcome, ShootdownTxn, TlbPolicy, TxnId};
 use crate::task::{Task, TaskId, TaskState};
 use latr_arch::{CostModel, CpuId, CpuMask, IpiFabric, LlcModel, Tlb, TlbEntry, Topology};
+use latr_faults::{FaultInjector, FaultPlan, IpiFault, TickFault};
 use latr_mem::{
     FileId, FrameAllocator, MapKind, MmId, MmStruct, PageCache, Pfn, Prot, PteFlags, VaRange, Vpn,
 };
@@ -49,6 +50,12 @@ pub struct MachineConfig {
     /// `oracle` cargo feature, on by default). The oracle is a pure
     /// observer; it costs some memory and time but never changes behaviour.
     pub oracle: bool,
+    /// Deterministic fault plan to inject (chaos testing). `None` — and
+    /// any plan for which [`FaultPlan::is_active`] is false — leaves the
+    /// run event-for-event identical to a build without fault injection:
+    /// the injector's RNG is forked off the seed, never the main stream,
+    /// and the IPI retransmit timer is only armed while a plan is active.
+    pub faults: Option<FaultPlan>,
 }
 
 impl MachineConfig {
@@ -66,6 +73,7 @@ impl MachineConfig {
             tickless: false,
             numa: NumaConfig::disabled(),
             oracle: cfg!(feature = "oracle"),
+            faults: None,
         }
     }
 }
@@ -147,6 +155,8 @@ pub struct Machine {
     lock_held: HashMap<u32, LockMode>,
     // Ops waiting for the mmap_sem.
     parked: HashMap<u32, Op>,
+    // The fault injector executing the configured plan, when one is active.
+    injector: Option<FaultInjector>,
     // The coherence oracle shadowing this run, when enabled.
     #[cfg(feature = "oracle")]
     oracle: Option<latr_verify::CoherenceOracle>,
@@ -205,6 +215,13 @@ impl Machine {
             locks: Vec::new(),
             lock_held: HashMap::new(),
             parked: HashMap::new(),
+            injector: config.faults.filter(FaultPlan::is_active).map(|plan| {
+                // The injector's randomness comes from a fork keyed off the
+                // machine seed, so attaching a plan never perturbs the main
+                // RNG stream (the fork here uses a throwaway root).
+                let mut root = SimRng::new(config.seed);
+                FaultInjector::new(plan, root.fork(latr_faults::FAULT_STREAM))
+            }),
             #[cfg(feature = "oracle")]
             oracle: oracle_on.then(|| latr_verify::CoherenceOracle::new(ncpus)),
         };
@@ -280,6 +297,41 @@ impl Machine {
     /// NUMA balancing statistics for the run.
     pub fn numa_stats(&self) -> &NumaStats {
         self.numa.stats()
+    }
+
+    // ---- fault injection ---------------------------------------------------
+
+    /// Whether an injected overflow storm wants the current state publish
+    /// to fail. Counts the forced overflow; the policy calls this once per
+    /// publish attempt.
+    pub fn fault_force_overflow(&mut self) -> bool {
+        let now = self.now();
+        let forced = self
+            .injector
+            .as_ref()
+            .is_some_and(|inj| inj.storm_active(now));
+        if forced {
+            self.stats.inc(crate::metrics::FAULTS_FORCED_OVERFLOWS);
+        }
+        forced
+    }
+
+    /// Whether an overflow storm is active right now, without counting
+    /// anything — the adaptive-fallback hysteresis peeks at this to avoid
+    /// flapping back to lazy mode mid-storm.
+    pub fn fault_storm_active(&self) -> bool {
+        let now = self.now();
+        self.injector
+            .as_ref()
+            .is_some_and(|inj| inj.storm_active(now))
+    }
+
+    /// Whether `cpu` is inside an injected sweep stall right now.
+    pub fn fault_stalled(&self, cpu: CpuId) -> bool {
+        let now = self.now();
+        self.injector
+            .as_ref()
+            .is_some_and(|inj| inj.stalled(cpu.index(), now))
     }
 
     // ---- coherence oracle --------------------------------------------------
@@ -605,6 +657,7 @@ impl Machine {
             Event::SchedTick(cpu) => self.sched_tick(cpu),
             Event::IpiDeliver { target, txn } => self.ipi_deliver(target, txn),
             Event::AckArrive { txn, from } => self.ack_arrive(txn, from),
+            Event::TxnRetry(txn) => self.txn_retry(txn),
             Event::ReclaimTick => {
                 self.with_policy(|policy, machine| policy.on_reclaim_tick(machine));
                 let period = self.costs.sched_tick_period;
@@ -755,7 +808,19 @@ impl Machine {
             Op::Yield => {
                 self.stats.inc(crate::metrics::CONTEXT_SWITCHES);
                 let mut cost = self.costs.context_switch;
-                cost += self.with_policy(|p, m| p.on_context_switch(m, cpu));
+                // An injected sweep stall suppresses the context-switch
+                // sweep too (the core is inside a non-preemptible section;
+                // the "switch" models involuntary kernel work).
+                let now = self.now();
+                let stalled = self
+                    .injector
+                    .as_ref()
+                    .is_some_and(|inj| inj.stalled(cpu.index(), now));
+                if stalled {
+                    self.stats.inc(crate::metrics::FAULTS_SWEEP_STALLS);
+                } else {
+                    cost += self.with_policy(|p, m| p.on_context_switch(m, cpu));
+                }
                 if !self.pcid_enabled {
                     // CR3 write on the way back flushes the TLB (§4.5).
                     self.tlb_flush_all(cpu);
@@ -1590,10 +1655,12 @@ impl Machine {
         self.stats
             .add(crate::metrics::IPIS_SENT, targets.count() as u64);
         let start = self.now() + start_delay;
-        let schedule = self.fabric.multicast(initiator, &targets, start);
-        for &(target, at) in &schedule.deliveries {
+        self.schedule_ipi_deliveries(initiator, &targets, start, id);
+        if self.injector.is_some() {
+            // Injected plans can drop deliveries; arm the retransmit timer
+            // so a lost IPI stalls the round by at most one tick period.
             self.queue
-                .schedule(at, Event::IpiDeliver { target, txn: id });
+                .schedule(start + self.costs.sched_tick_period, Event::TxnRetry(id));
         }
         #[cfg(feature = "oracle")]
         {
@@ -1637,6 +1704,84 @@ impl Machine {
             );
         }
         id
+    }
+
+    /// Multicasts `IpiDeliver` events for one shootdown round, routing
+    /// each delivery through the fault injector (drop / delay / deliver).
+    fn schedule_ipi_deliveries(
+        &mut self,
+        initiator: CpuId,
+        targets: &CpuMask,
+        start: Time,
+        txn: TxnId,
+    ) {
+        let schedule = self.fabric.multicast(initiator, targets, start);
+        for &(target, at) in &schedule.deliveries {
+            let fault = self
+                .injector
+                .as_mut()
+                .map_or(IpiFault::Deliver, FaultInjector::ipi_fault);
+            let at = match fault {
+                IpiFault::Drop => {
+                    self.stats.inc(crate::metrics::FAULTS_IPI_DROPPED);
+                    if self.trace.is_enabled() {
+                        let now = self.now();
+                        self.trace
+                            .push(now, "fault", format!("IPI to {target} dropped"));
+                    }
+                    continue;
+                }
+                IpiFault::Delay(d) => {
+                    self.stats.inc(crate::metrics::FAULTS_IPI_DELAYED);
+                    at + d
+                }
+                IpiFault::Deliver => at,
+            };
+            self.queue.schedule(at, Event::IpiDeliver { target, txn });
+        }
+    }
+
+    /// Retransmit timer: while a synchronous round still has un-ACKed
+    /// targets, re-multicast to exactly those cores and re-arm. Duplicate
+    /// deliveries are harmless — a completed transaction's events are
+    /// dropped by the `txns` lookup, and re-clearing a pending bit is
+    /// idempotent. Only runs under an active fault plan.
+    fn txn_retry(&mut self, txn_id: TxnId) {
+        let (initiator, pending) = match self.txns.get(&txn_id.0) {
+            Some(t) => (t.initiator, t.pending),
+            None => return, // completed; let the timer die
+        };
+        if pending.is_empty() {
+            return;
+        }
+        self.stats.inc(crate::metrics::IPI_RETRIES);
+        self.stats
+            .add(crate::metrics::IPIS_SENT, pending.count() as u64);
+        let start = self.now();
+        self.schedule_ipi_deliveries(initiator, &pending, start, txn_id);
+        #[cfg(feature = "oracle")]
+        {
+            let now = self.now();
+            if let Some(o) = self.oracle.as_mut() {
+                // Overwrites the txn's send clock with a later one — safe:
+                // the retransmitted IPIs happen-after this instant.
+                o.note_ipi_send(initiator, txn_id.0, pending, now);
+            }
+        }
+        self.queue.schedule(
+            start + self.costs.sched_tick_period,
+            Event::TxnRetry(txn_id),
+        );
+        if self.trace.is_enabled() {
+            self.trace.push(
+                start,
+                "fault",
+                format!(
+                    "{initiator} retransmits shootdown to {} cores",
+                    pending.count()
+                ),
+            );
+        }
     }
 
     fn ipi_deliver(&mut self, target: CpuId, txn_id: TxnId) {
@@ -1721,6 +1866,10 @@ impl Machine {
         let txn = self.txns.remove(&txn_id.0).expect("txn present");
         let wait = self.now().saturating_since(txn.wait_started);
         self.stats.record(crate::metrics::SHOOTDOWN_NS, wait);
+        // Tell the policy before releasing: a watchdog-escalated round
+        // must clear the escalated state's bits so gated reclamation sees
+        // it retired.
+        self.with_policy(|p, m| p.on_sync_complete(m, &txn));
         // Frames free on the initiating core, after every ACK (the sync
         // protocol's guarantee).
         self.release_reclaim_on(
@@ -1839,11 +1988,39 @@ impl Machine {
             self.queue.schedule_after(period, Event::SchedTick(cpu));
             return;
         }
+        // Consult the fault plan: a stalled core keeps time (and its next
+        // tick) but must not sweep; a missed tick is skipped entirely; a
+        // jittered tick pushes the *next* one late, modelling a slow timer.
+        let mut next_in = period;
+        if self.injector.is_some() {
+            let now = self.now();
+            let fault = self
+                .injector
+                .as_mut()
+                .map_or(TickFault::Run, |inj| inj.tick_fault(cpu.index(), now));
+            match fault {
+                TickFault::Stalled => {
+                    self.stats.inc(crate::metrics::FAULTS_SWEEP_STALLS);
+                    self.queue.schedule_after(period, Event::SchedTick(cpu));
+                    return;
+                }
+                TickFault::Miss => {
+                    self.stats.inc(crate::metrics::FAULTS_TICKS_MISSED);
+                    self.queue.schedule_after(period, Event::SchedTick(cpu));
+                    return;
+                }
+                TickFault::Jitter(d) => {
+                    self.stats.inc(crate::metrics::FAULTS_TICK_JITTER);
+                    next_in = period + d;
+                }
+                TickFault::Run => {}
+            }
+        }
         self.stats.inc(crate::metrics::SCHED_TICKS);
         let mut cost = self.costs.sched_tick_work;
         cost += self.with_policy(|p, m| p.on_sched_tick(m, cpu));
         self.charge_debt(cpu, cost);
-        self.queue.schedule_after(period, Event::SchedTick(cpu));
+        self.queue.schedule_after(next_in, Event::SchedTick(cpu));
     }
 
     // ---- AutoNUMA ------------------------------------------------------------------
@@ -2020,16 +2197,17 @@ impl Machine {
 
     /// Checks the paper's central invariant (§3): every translation cached
     /// in any TLB must point at a frame that is still allocated (a
-    /// refcount above zero). Returns a violation description, or `None`
-    /// when the machine is consistent.
-    pub fn check_reclamation_invariant(&self) -> Option<String> {
+    /// refcount above zero). Returns the first violation, or `None` when
+    /// the machine is consistent.
+    pub fn check_reclamation_invariant(&self) -> Option<InvariantViolation> {
         for core in &self.cores {
             for entry in core.tlb.iter_entries() {
                 if !self.frames.is_allocated(Pfn(entry.pfn)) {
-                    return Some(format!(
-                        "{} caches vpn {:#x} -> freed frame {:#x}",
-                        core.id, entry.vpn, entry.pfn
-                    ));
+                    return Some(InvariantViolation::StaleTranslationToFreedFrame {
+                        cpu: core.id,
+                        vpn: entry.vpn,
+                        pfn: entry.pfn,
+                    });
                 }
             }
         }
@@ -2040,7 +2218,7 @@ impl Machine {
     /// mapping's target frame — stale entries may only point at frames that
     /// are still referenced (that is the Latr relaxation), but a *present*
     /// PTE must never be cached with a different frame.
-    pub fn check_mapping_coherence(&self) -> Option<String> {
+    pub fn check_mapping_coherence(&self) -> Option<InvariantViolation> {
         for core in &self.cores {
             for entry in core.tlb.iter_entries() {
                 for mm in &self.mms {
@@ -2049,16 +2227,72 @@ impl Machine {
                     }
                     if let Some(pte) = mm.page_table.lookup(Vpn(entry.vpn)) {
                         if !pte.flags.numa_hint && pte.pfn.0 != entry.pfn {
-                            return Some(format!(
-                                "{} caches vpn {:#x} -> {:#x} but PTE says {:#x}",
-                                core.id, entry.vpn, entry.pfn, pte.pfn.0
-                            ));
+                            return Some(InvariantViolation::MappingMismatch {
+                                cpu: core.id,
+                                vpn: entry.vpn,
+                                cached: entry.pfn,
+                                mapped: pte.pfn.0,
+                            });
                         }
                     }
                 }
             }
         }
         None
+    }
+}
+
+/// A machine-level safety violation found by the invariant checkers.
+///
+/// The [`Display`](std::fmt::Display) form matches the strings the checkers
+/// used to return directly, so assertion messages (and tests grepping
+/// them) are unchanged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// A TLB caches a translation to a frame whose refcount reached zero —
+    /// the §3 reclamation invariant is broken and the core could access
+    /// reused memory.
+    StaleTranslationToFreedFrame {
+        /// The core whose TLB holds the stale entry.
+        cpu: CpuId,
+        /// The cached virtual page number.
+        vpn: u64,
+        /// The freed frame it still points at.
+        pfn: u64,
+    },
+    /// A TLB disagrees with a *present* PTE about the target frame (stale
+    /// entries may only point at still-referenced frames — that is the
+    /// Latr relaxation — but never shadow a live remapping).
+    MappingMismatch {
+        /// The core whose TLB holds the conflicting entry.
+        cpu: CpuId,
+        /// The cached virtual page number.
+        vpn: u64,
+        /// The frame the TLB caches.
+        cached: u64,
+        /// The frame the PTE actually maps.
+        mapped: u64,
+    },
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            InvariantViolation::StaleTranslationToFreedFrame { cpu, vpn, pfn } => {
+                write!(f, "{cpu} caches vpn {vpn:#x} -> freed frame {pfn:#x}")
+            }
+            InvariantViolation::MappingMismatch {
+                cpu,
+                vpn,
+                cached,
+                mapped,
+            } => {
+                write!(
+                    f,
+                    "{cpu} caches vpn {vpn:#x} -> {cached:#x} but PTE says {mapped:#x}"
+                )
+            }
+        }
     }
 }
 

@@ -149,6 +149,14 @@ pub trait TlbPolicy: std::any::Any {
         true
     }
 
+    /// A synchronous shootdown transaction completed (last ACK arrived).
+    /// Policies that escalate lazy states into targeted sync rounds (the
+    /// Latr sweep watchdog) use this to mark the escalated state's bits
+    /// clear and retire it.
+    fn on_sync_complete(&mut self, machine: &mut Machine, txn: &ShootdownTxn) {
+        let _ = (machine, txn);
+    }
+
     /// A policy timer scheduled via [`Machine::schedule_policy_timer`]
     /// fired.
     fn on_timer(&mut self, machine: &mut Machine, token: u64) {

@@ -1,0 +1,410 @@
+//! The chaos suite: seeded, deterministic fault plans drive the full
+//! machine while the PR-2 coherence oracle shadows every event.
+//!
+//! Each test runs the same cross-core sharing workload under one
+//! [`FaultPlan`] — dropped and delayed IPIs, stalled sweepers, missed and
+//! jittered scheduler ticks, queue-overflow storms, and a soup of all of
+//! them — and asserts the two halves of the robustness story:
+//!
+//! * **Safety is never traded away.** The oracle finds no
+//!   freed-while-cached race, both machine invariants (reclamation, TLB/PTE
+//!   coherence) hold at shutdown, and no frame leaks. The reclamation
+//!   *gate* (a package is not released while its Latr state's CPU bitmask
+//!   is non-empty) is what keeps the deadline heuristic honest when sweeps
+//!   stop happening on schedule.
+//! * **Liveness degrades, boundedly.** The sweep watchdog escalates
+//!   overdue states with targeted IPIs, so reclaim latency stays within
+//!   `(watchdog_ticks + reclaim_ticks + 1)` scheduler ticks even with a
+//!   core's sweeps stalled outright. The negative control shows the bound
+//!   is the watchdog's doing: with it disabled, the same stall holds
+//!   reclamation hostage for the rest of the run.
+//!
+//! Every plan is replayed from the machine seed alone — the last tests
+//! pin down that identical plans and seeds reproduce identical runs,
+//! counter for counter and trace line for trace line.
+
+use latr_arch::{CpuId, MachinePreset, Topology};
+use latr_core::LatrConfig;
+use latr_faults::FaultPlan;
+use latr_kernel::{metrics, Machine, MachineConfig, Op, OpResult, TaskId, Workload};
+use latr_mem::{Prot, VaRange};
+use latr_sim::{MILLISECOND, SECOND};
+use latr_workloads::PolicyKind;
+use proptest::prelude::*;
+
+/// Cross-core churn on one shared address space: every task maps, writes,
+/// reads a neighbour's live page (planting remote TLB entries that sweeps
+/// must clear), occasionally `mprotect`s (a always-synchronous shootdown,
+/// keeping real IPI traffic flowing for the drop/delay/retry paths), then
+/// unmaps and computes. After its rounds it lingers across scheduler
+/// ticks so published states retire and reclamation completes while the
+/// machine is still live.
+struct ChaosShare {
+    cores: usize,
+    rounds: u32,
+    step: Vec<u8>,
+    done_rounds: Vec<u32>,
+    linger: Vec<u8>,
+    current: Vec<Option<VaRange>>,
+}
+
+impl ChaosShare {
+    fn new(cores: usize, rounds: u32) -> Self {
+        ChaosShare {
+            cores,
+            rounds,
+            step: vec![0; cores],
+            done_rounds: vec![0; cores],
+            linger: vec![0; cores],
+            current: vec![None; cores],
+        }
+    }
+}
+
+impl Workload for ChaosShare {
+    fn setup(&mut self, machine: &mut Machine) {
+        let mm = machine.create_process();
+        for c in 0..self.cores {
+            machine.spawn_task(mm, CpuId(c as u16));
+        }
+    }
+
+    fn next_op(&mut self, machine: &mut Machine, task: TaskId) -> Op {
+        let _ = machine;
+        let i = task.index();
+        if self.done_rounds[i] >= self.rounds {
+            // Linger long enough for two-tick reclamation (plus watchdog
+            // escalations) to finish while other cores still tick.
+            if self.linger[i] >= 14 {
+                return Op::Exit;
+            }
+            self.linger[i] += 1;
+            return Op::Sleep(MILLISECOND);
+        }
+        let step = self.step[i];
+        self.step[i] = (step + 1) % 6;
+        match step {
+            0 => Op::MmapAnon { pages: 2 },
+            1 => match self.current[i] {
+                Some(r) => Op::Access {
+                    vpn: r.start,
+                    write: true,
+                },
+                None => Op::Sleep(5_000),
+            },
+            2 => {
+                // Read a neighbour's live page: the cross-core TLB entry
+                // is what makes sweeps — and faults in them — matter.
+                let n = (i + 1) % self.cores;
+                match self.current[n] {
+                    Some(r) => Op::Access {
+                        vpn: r.start,
+                        write: false,
+                    },
+                    None => Op::Sleep(5_000),
+                }
+            }
+            3 => match self.current[i] {
+                Some(r) if self.done_rounds[i] % 3 == (i as u32) % 3 => Op::Mprotect {
+                    range: r,
+                    prot: Prot::READ_WRITE,
+                },
+                _ => Op::Compute(20_000),
+            },
+            4 => match self.current[i].take() {
+                Some(r) => Op::Munmap { range: r },
+                None => Op::Sleep(5_000),
+            },
+            _ => {
+                self.done_rounds[i] += 1;
+                Op::Compute(250_000)
+            }
+        }
+    }
+
+    fn on_op_complete(&mut self, machine: &mut Machine, task: TaskId, result: OpResult) {
+        if let Op::MmapAnon { .. } = result.op {
+            self.current[task.index()] = machine.task(task).last_mmap;
+        }
+    }
+}
+
+/// Runs the chaos workload for one simulated second (it finishes in
+/// ~25 ms) under `plan` and the given Latr configuration.
+fn run_chaos(seed: u64, plan: FaultPlan, latr: LatrConfig) -> Machine {
+    let mut config = MachineConfig::new(Topology::preset(MachinePreset::Commodity2S16C));
+    config.seed = seed;
+    config.trace_capacity = 8192;
+    config.faults = Some(plan);
+    let mut machine = Machine::new(config);
+    machine.run(
+        Box::new(ChaosShare::new(4, 24)),
+        PolicyKind::Latr(latr).build(),
+        SECOND,
+    );
+    machine
+}
+
+/// The safety half: no oracle violation, both invariants clean, no leaks.
+fn assert_safe(m: &Machine) {
+    if let Some(v) = m.oracle_violation() {
+        panic!("oracle violation under injected faults:\n{v}");
+    }
+    assert!(
+        m.oracle_events_observed() > 0,
+        "the oracle must have been shadowing the run"
+    );
+    assert_eq!(m.check_reclamation_invariant(), None);
+    assert_eq!(m.check_mapping_coherence(), None);
+    assert_eq!(m.frames.allocated_count(), 0, "frames leaked");
+}
+
+/// The liveness half: every reclaim released during the run stayed within
+/// the watchdog bound of `(watchdog_ticks + reclaim_ticks + 1)` ticks.
+fn assert_latency_bounded(m: &Machine, cfg: &LatrConfig) {
+    let bound = u64::from(cfg.watchdog_ticks + cfg.reclaim_ticks + 1) * m.tick_period();
+    if let Some(h) = m.stats.histogram(metrics::LATR_RECLAIM_LATENCY_NS) {
+        let max = h.summary().max;
+        assert!(
+            max <= bound,
+            "reclaim latency {max} ns exceeds the degradation bound {bound} ns"
+        );
+    }
+}
+
+/// The mixed plan shared by the soup and determinism tests.
+fn mixed_plan() -> FaultPlan {
+    FaultPlan::default()
+        .with_ipi_drop(0.10)
+        .with_ipi_delay(0.30, 200_000)
+        .with_tick_miss(0.20)
+        .with_tick_jitter(0.30, 200_000)
+        .with_stall(2, 2 * MILLISECOND, 4 * MILLISECOND)
+        .with_storm(8 * MILLISECOND, 2 * MILLISECOND)
+}
+
+#[test]
+fn armed_but_empty_plan_changes_nothing() {
+    // An inactive plan must not even construct the injector: the run is
+    // event-for-event identical to a fault-free one.
+    let mut config = MachineConfig::new(Topology::preset(MachinePreset::Commodity2S16C));
+    config.seed = 7;
+    let mut bare = Machine::new(config);
+    bare.run(
+        Box::new(ChaosShare::new(4, 24)),
+        PolicyKind::latr_default().build(),
+        SECOND,
+    );
+    let armed = run_chaos(7, FaultPlan::default(), LatrConfig::default());
+    assert_eq!(bare.now(), armed.now());
+    let ca: Vec<(String, u64)> = bare
+        .stats
+        .counters()
+        .map(|(k, v)| (k.to_owned(), v))
+        .collect();
+    let cb: Vec<(String, u64)> = armed
+        .stats
+        .counters()
+        .map(|(k, v)| (k.to_owned(), v))
+        .collect();
+    assert_eq!(ca, cb);
+    assert_eq!(armed.stats.counter(metrics::IPI_RETRIES), 0);
+}
+
+#[test]
+fn dropped_ipis_are_retried_and_safe() {
+    let plan = FaultPlan::default().with_ipi_drop(0.30);
+    let cfg = LatrConfig::default();
+    let m = run_chaos(0xD201, plan, cfg);
+    assert_safe(&m);
+    assert_latency_bounded(&m, &cfg);
+    assert!(
+        m.stats.counter(metrics::FAULTS_IPI_DROPPED) > 0,
+        "the plan must actually have dropped IPIs"
+    );
+    assert!(
+        m.stats.counter(metrics::IPI_RETRIES) > 0,
+        "dropped IPIs must be recovered by retransmission"
+    );
+}
+
+#[test]
+fn delayed_ipis_stay_safe() {
+    let plan = FaultPlan::default().with_ipi_delay(0.50, 300_000);
+    let cfg = LatrConfig::default();
+    let m = run_chaos(0xDE1A1, plan, cfg);
+    assert_safe(&m);
+    assert_latency_bounded(&m, &cfg);
+    assert!(m.stats.counter(metrics::FAULTS_IPI_DELAYED) > 0);
+}
+
+#[test]
+fn stalled_core_is_bounded_by_the_watchdog() {
+    // Core 1's sweeps stop for 8 ms — four times the healthy sweep bound.
+    // The watchdog (4 ticks here) must escalate and keep reclaim latency
+    // within (4 + 2 + 1) ticks.
+    let plan = FaultPlan::default().with_stall(1, MILLISECOND, 8 * MILLISECOND);
+    let cfg = LatrConfig {
+        watchdog_ticks: 4,
+        ..LatrConfig::default()
+    };
+    let m = run_chaos(0x57A11, plan, cfg);
+    assert_safe(&m);
+    assert_latency_bounded(&m, &cfg);
+    assert!(
+        m.stats.counter(metrics::FAULTS_SWEEP_STALLS) > 0,
+        "the stall must actually have suppressed sweeps"
+    );
+    assert!(
+        m.stats.counter(metrics::LATR_WATCHDOG_ESCALATIONS) > 0,
+        "the watchdog must have escalated the overdue states"
+    );
+    assert!(m.stats.counter(metrics::LATR_WATCHDOG_IPIS) > 0);
+    let samples = m
+        .stats
+        .histogram(metrics::LATR_RECLAIM_LATENCY_NS)
+        .map_or(0, |h| h.summary().count);
+    assert!(samples > 0, "the latency bound must have been exercised");
+}
+
+#[test]
+fn without_the_watchdog_a_stall_is_unbounded() {
+    // Negative control: the same class of stall, watchdog disabled (the
+    // reclamation gate stays on — safety is not what degrades). Packages
+    // covered by core 1's bit can only release once the stall lifts or
+    // the task exits, far past the bound the watchdog would enforce.
+    let plan = FaultPlan::default().with_stall(1, 0, 60 * MILLISECOND);
+    let cfg = LatrConfig {
+        watchdog_ticks: 0,
+        ..LatrConfig::default()
+    };
+    let m = run_chaos(0x57A11, plan, cfg);
+    assert_safe(&m);
+    assert_eq!(m.stats.counter(metrics::LATR_WATCHDOG_ESCALATIONS), 0);
+    let deferred = m.stats.counter(metrics::LATR_DEFERRED_FRAMES);
+    let released = m.stats.counter(metrics::LATR_RECLAIM_RELEASED_FRAMES);
+    let default_bound =
+        u64::from(LatrConfig::default().watchdog_ticks + cfg.reclaim_ticks + 1) * m.tick_period();
+    let max_latency = m
+        .stats
+        .histogram(metrics::LATR_RECLAIM_LATENCY_NS)
+        .map_or(0, |h| h.summary().max);
+    assert!(deferred > 0, "the workload must have deferred reclaims");
+    assert!(
+        released < deferred || max_latency > default_bound,
+        "with no watchdog the stall must hold reclamation past the bound \
+         (released {released}/{deferred} frames, max latency {max_latency} ns \
+         vs bound {default_bound} ns)"
+    );
+}
+
+#[test]
+fn jittered_ticks_stay_safe() {
+    let plan = FaultPlan::default().with_tick_jitter(0.50, 400_000);
+    let cfg = LatrConfig::default();
+    let m = run_chaos(0x117E1, plan, cfg);
+    assert_safe(&m);
+    assert_latency_bounded(&m, &cfg);
+    assert!(m.stats.counter(metrics::FAULTS_TICK_JITTER) > 0);
+}
+
+#[test]
+fn missed_ticks_stay_safe() {
+    let plan = FaultPlan::default().with_tick_miss(0.35);
+    let cfg = LatrConfig::default();
+    let m = run_chaos(0x5EED1, plan, cfg);
+    assert_safe(&m);
+    assert_latency_bounded(&m, &cfg);
+    assert!(m.stats.counter(metrics::FAULTS_TICKS_MISSED) > 0);
+}
+
+#[test]
+fn overflow_storm_enters_sync_mode_and_recovers() {
+    let plan = FaultPlan::default().with_storm(2 * MILLISECOND, 3 * MILLISECOND);
+    let cfg = LatrConfig::default();
+    let m = run_chaos(0x57081, plan, cfg);
+    assert_safe(&m);
+    assert_latency_bounded(&m, &cfg);
+    assert!(
+        m.stats.counter(metrics::FAULTS_FORCED_OVERFLOWS) > 0,
+        "the storm must have forced publishes to overflow"
+    );
+    assert!(
+        m.stats.counter(metrics::LATR_ADAPTIVE_ENTERS) >= 1,
+        "sustained overflow must flip the policy into sync mode"
+    );
+    assert!(
+        m.stats.counter(metrics::LATR_ADAPTIVE_EXITS) >= 1,
+        "the policy must return to lazy mode once the storm drains"
+    );
+    assert!(m.stats.counter(metrics::LATR_ADAPTIVE_SYNC_OPS) >= 1);
+}
+
+#[test]
+fn mixed_fault_soup_stays_safe_and_bounded() {
+    let cfg = LatrConfig::default();
+    let m = run_chaos(0x5007, mixed_plan(), cfg);
+    assert_safe(&m);
+    assert_latency_bounded(&m, &cfg);
+    // Every fault class in the plan must have fired at least once.
+    for metric in [
+        metrics::FAULTS_IPI_DROPPED,
+        metrics::FAULTS_IPI_DELAYED,
+        metrics::FAULTS_TICKS_MISSED,
+        metrics::FAULTS_TICK_JITTER,
+        metrics::FAULTS_SWEEP_STALLS,
+        metrics::FAULTS_FORCED_OVERFLOWS,
+    ] {
+        assert!(m.stats.counter(metric) > 0, "{metric} never fired");
+    }
+}
+
+/// Fingerprints a run for determinism comparisons: end time, every
+/// counter, every histogram summary, and the rendered trace.
+fn fingerprint(m: &Machine) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "end={}", m.now().as_ns());
+    for (name, value) in m.stats.counters() {
+        let _ = writeln!(out, "{name}={value}");
+    }
+    for (name, hist) in m.stats.histograms() {
+        let _ = writeln!(out, "{name}: {}", hist.summary());
+    }
+    for entry in m.trace.iter() {
+        let _ = writeln!(out, "{entry}");
+    }
+    out
+}
+
+#[test]
+fn identical_plans_and_seeds_reproduce_identical_runs() {
+    let a = run_chaos(0xCAFE, mixed_plan(), LatrConfig::default());
+    let b = run_chaos(0xCAFE, mixed_plan(), LatrConfig::default());
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Determinism is not a property of hand-picked seeds: any seed and
+    /// any (parsed-back) plan must replay byte-identically.
+    #[test]
+    fn any_seed_and_plan_replays_identically(
+        seed in any::<u64>(),
+        drop_pct in 0u32..35,
+        delay_pct in 0u32..50,
+        miss_pct in 0u32..35,
+    ) {
+        let plan = FaultPlan::default()
+            .with_ipi_drop(f64::from(drop_pct) / 100.0)
+            .with_ipi_delay(f64::from(delay_pct) / 100.0, 200_000)
+            .with_tick_miss(f64::from(miss_pct) / 100.0);
+        // Round-trip the plan through its config-file form first: the
+        // parsed plan must drive the exact same run as the original.
+        let parsed = FaultPlan::parse(&plan.to_config_string()).expect("round-trip");
+        let a = run_chaos(seed, plan, LatrConfig::default());
+        let b = run_chaos(seed, parsed, LatrConfig::default());
+        prop_assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+}

@@ -65,7 +65,7 @@ impl Workload for UnsafeFree {
             Op::Munmap { .. } => {
                 // NoopPolicy released the frame already, but core 1's TLB
                 // still translates to it.
-                self.violation = Some(machine.check_reclamation_invariant());
+                self.violation = Some(machine.check_reclamation_invariant().map(|v| v.to_string()));
             }
             _ => {}
         }

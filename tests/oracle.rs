@@ -112,10 +112,15 @@ fn run(config: LatrConfig) -> Machine {
 
 #[test]
 fn broken_policy_with_no_grace_period_is_caught() {
+    // `without_degradation()` also drops the sweep gate on reclamation
+    // packages — with it on, even `reclaim_ticks: 0` is safe (the package
+    // waits for the state's bitmask to clear), and this negative control
+    // needs the bare, genuinely broken mechanism.
     let machine = run(LatrConfig {
         reclaim_ticks: 0,
         ..LatrConfig::default()
-    });
+    }
+    .without_degradation());
     let violation = machine
         .oracle_violation()
         .expect("reclaim_ticks = 0 frees inside the staleness window; the oracle must fire");

@@ -147,7 +147,8 @@ impl Workload for StaleWindow {
             match (self.step1, &result.op) {
                 (2, Op::Access { .. }) => {
                     self.obs.segfaults_after_early_touch = Some(machine.stats.counter("segfaults"));
-                    self.obs.invariant_after_early_touch = machine.check_reclamation_invariant();
+                    self.obs.invariant_after_early_touch =
+                        machine.check_reclamation_invariant().map(|v| v.to_string());
                     self.early_touch_done = true;
                 }
                 (4, Op::Access { .. }) => {
