@@ -1,0 +1,207 @@
+//! Criterion regression gate for the PR-4 hot paths: the publish probe,
+//! the sweep tick, the overflow fallback and the event queue, each
+//! benchmarked on the fast implementation and (where it survives as an
+//! executable spec) its reference twin. The fast/reference pairs double
+//! as a visible record of what the optimisation buys; `cargo bench -p
+//! latr-bench --bench hotpath` prints both columns.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use latr_arch::{CpuMask, MachinePreset, Topology};
+use latr_core::rt::{RtInvalidation, RtRegistry};
+use latr_core::{LatrConfig, LatrState, StateKind, StateQueue};
+use latr_kernel::MachineConfig;
+use latr_mem::{MmId, VaRange, Vpn};
+use latr_sim::{EventQueue, QueueBackend, Time, SECOND};
+use latr_workloads::{PolicyKind, SweepStorm};
+
+fn state(id: u64, cpus: CpuMask) -> LatrState {
+    LatrState {
+        id,
+        range: VaRange::new(Vpn(0x5_5550 + id % 512), 1),
+        mm: MmId(1),
+        kind: StateKind::Free,
+        cpus,
+        pte_done: false,
+        published: Time::ZERO,
+    }
+}
+
+/// The word-scan publish probe against a half-full 64-slot queue: the
+/// per-munmap cost on the simulation's hot path.
+fn bench_state_queue_publish(c: &mut Criterion) {
+    let mut q = StateQueue::new(64);
+    let targets = CpuMask::from_cpus([latr_arch::CpuId(1)]);
+    // Half the slots stay occupied so every probe has words to skip.
+    for i in 0..32 {
+        q.publish(state(i, CpuMask::first_n(2))).unwrap();
+    }
+    let mut id = 100u64;
+    c.bench_function("state_queue_publish_retire_half_full", |b| {
+        b.iter(|| {
+            id += 1;
+            q.publish(state(id, targets)).unwrap();
+            // Sweep cpu 1 and retire, so occupancy returns to 32 for the
+            // next probe (the standing states also name cpu 0 and stay).
+            q.clear_cpu_everywhere(latr_arch::CpuId(1));
+            black_box(q.retire_completed())
+        })
+    });
+}
+
+/// One scheduler tick's sweep on a busy 120-core machine, fast
+/// (pending-bitmap drain) vs reference (scan all 120 queues): the
+/// O(cores²·slots) term PR 4 removes, measured at the rt layer where the
+/// two paths are directly callable.
+fn bench_rt_sweep_tick(c: &mut Criterion) {
+    let cores = 120;
+    for (name, pending) in [
+        ("rt_sweep_tick_120c_fast_pending", true),
+        ("rt_sweep_tick_120c_reference_scan", false),
+    ] {
+        let registry = RtRegistry::new(cores, 64);
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                // One state targeted at core 1, then core 1's tick.
+                registry
+                    .publish(
+                        0,
+                        RtInvalidation {
+                            mm: 7,
+                            start: 0x1000,
+                            end: 0x2000,
+                        },
+                        0b10,
+                    )
+                    .unwrap();
+                if pending {
+                    black_box(registry.sweep_pending(1))
+                } else {
+                    black_box(registry.sweep(1))
+                }
+            })
+        });
+    }
+}
+
+/// Same-tick publish batching: k states appended with one fence vs k
+/// separate publishes.
+fn bench_rt_publish_batch(c: &mut Criterion) {
+    let registry = RtRegistry::new(8, 256);
+    let inv = |mm: u64| RtInvalidation {
+        mm,
+        start: 0x1000,
+        end: 0x2000,
+    };
+    let targets = [0b1111_1110u64, 0, 0, 0];
+    c.bench_function("rt_publish_8_separate", |b| {
+        b.iter(|| {
+            for i in 0..8 {
+                registry.publish_wide(0, inv(i), targets).unwrap();
+            }
+            for core in 1..8 {
+                black_box(registry.sweep_pending(core));
+            }
+        })
+    });
+    let batch: Vec<_> = (0..8).map(|i| (inv(i), targets)).collect();
+    let mut slots = Vec::with_capacity(8);
+    c.bench_function("rt_publish_batch_of_8_one_fence", |b| {
+        b.iter(|| {
+            registry.publish_batch(0, &batch, &mut slots).unwrap();
+            for core in 1..8 {
+                black_box(registry.sweep_pending(core));
+            }
+        })
+    });
+}
+
+/// The event queue under the simulator's actual access pattern —
+/// schedule near-future, pop earliest — on both backends.
+fn bench_event_queue_backends(c: &mut Criterion) {
+    for (name, backend) in [
+        ("event_queue_fast_calendar", QueueBackend::Fast),
+        ("event_queue_reference_heap", QueueBackend::Reference),
+    ] {
+        c.bench_function(name, |b| {
+            let mut q: EventQueue<u64> = EventQueue::with_backend(backend);
+            let mut t = 0u64;
+            // A standing population, as in a live machine.
+            for i in 0..256 {
+                q.schedule(Time::from_ns(i * 37), i);
+            }
+            b.iter(|| {
+                t += 211;
+                q.schedule(Time::from_ns(t), t);
+                black_box(q.pop())
+            })
+        });
+    }
+}
+
+/// End-to-end sweep-heavy machine runs, fast vs reference engine stacks:
+/// the number the `hotpath` binary reports, in regression-gate form.
+fn bench_machine_sweep_storm(c: &mut Criterion) {
+    for (name, fast) in [
+        ("machine_sweep_storm_16c_fast", true),
+        ("machine_sweep_storm_16c_reference", false),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let mut config =
+                    MachineConfig::new(Topology::preset(MachinePreset::Commodity2S16C));
+                config.seed = 7;
+                config.trace_capacity = 0;
+                config.event_queue = if fast {
+                    QueueBackend::Fast
+                } else {
+                    QueueBackend::Reference
+                };
+                let latr = LatrConfig {
+                    reference_sweep: !fast,
+                    ..LatrConfig::default()
+                };
+                let mut machine = latr_kernel::Machine::new(config);
+                machine.run(
+                    Box::new(SweepStorm::new(16, 3)),
+                    PolicyKind::Latr(latr).build(),
+                    SECOND,
+                );
+                black_box(machine.now())
+            })
+        });
+    }
+}
+
+/// The overflow→IPI fallback under pressure: a 4-slot queue driven past
+/// capacity every round, covering the adaptive enter/exit hysteresis.
+fn bench_machine_overflow_fallback(c: &mut Criterion) {
+    c.bench_function("machine_overflow_fallback_8c", |b| {
+        b.iter(|| {
+            let mut config = MachineConfig::new(Topology::preset(MachinePreset::Commodity2S16C));
+            config.seed = 11;
+            config.trace_capacity = 0;
+            let latr = LatrConfig {
+                states_per_core: 4,
+                ..LatrConfig::default()
+            };
+            let mut machine = latr_kernel::Machine::new(config);
+            machine.run(
+                Box::new(SweepStorm::new(8, 6).with_sleep(0)),
+                PolicyKind::Latr(latr).build(),
+                SECOND,
+            );
+            black_box(machine.now())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_state_queue_publish,
+    bench_rt_sweep_tick,
+    bench_rt_publish_batch,
+    bench_event_queue_backends,
+    bench_machine_sweep_storm,
+    bench_machine_overflow_fallback
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! End-to-end hot-path benchmark: fast vs `reference` engines on the
+//! sweep-heavy workload, emitted as `BENCH_hotpath.json`.
+//!
+//! Runs [`latr_workloads::SweepStorm`] at 16, 64 and 120 simulated cores
+//! on both engine stacks — the calendar event queue + pending-bitmap
+//! sweep against the binary heap + full scan — cross-checks that every
+//! pair produced bit-identical fingerprints, and writes the measurements
+//! (ticks/sec, ops/sec, speedups) to `BENCH_hotpath.json` in the current
+//! directory. See EXPERIMENTS.md for how to read the file.
+//!
+//! ```sh
+//! cargo run --release -p latr-bench --bin hotpath          # full run
+//! cargo run --release -p latr-bench --bin hotpath -- --quick
+//! ```
+//!
+//! Exits non-zero if the engines' fingerprints diverge — a broken
+//! equivalence disqualifies any speedup number.
+
+use latr_bench::hotpath::{
+    fingerprints_match, hotpath_json, hotpath_rounds, hotpath_shapes, run_hotpath_point, speedups,
+};
+use latr_bench::print_title;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print_title("Hot-path throughput — fast vs reference engines (sweep storm)");
+    println!(
+        "{:<11} {:>6} {:>12} {:>14} {:>14} {:>12}",
+        "engine", "cores", "wall (ms)", "ticks/sec", "ops/sec", "events"
+    );
+
+    let mut points = Vec::new();
+    for (topology, cores) in hotpath_shapes() {
+        let rounds = hotpath_rounds(cores, quick);
+        for fast in [true, false] {
+            let p = run_hotpath_point(fast, topology.clone(), cores, rounds, 0xB3 ^ cores as u64);
+            println!(
+                "{:<11} {:>6} {:>12.2} {:>14.0} {:>14.0} {:>12}",
+                p.engine,
+                p.cores,
+                p.wall_ns as f64 / 1e6,
+                p.ticks_per_sec,
+                p.ops_per_sec,
+                p.events,
+            );
+            points.push(p);
+        }
+    }
+
+    println!();
+    for (cores, speedup) in speedups(&points) {
+        println!("speedup at {cores:>3} cores: {speedup:.2}x (ticks/sec, fast ÷ reference)");
+    }
+    let identical = fingerprints_match(&points);
+    println!(
+        "fingerprints: {}",
+        if identical {
+            "identical on both engines at every size"
+        } else {
+            "DIVERGED — see the differential suite"
+        }
+    );
+
+    let json = hotpath_json(&points, quick);
+    std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
+    println!("wrote BENCH_hotpath.json");
+
+    if !identical {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,270 @@
+//! The hot-path benchmark runner behind `BENCH_hotpath.json` (ISSUE 4).
+//!
+//! PR 4's tentpole replaced the simulator's two hot loops — the
+//! binary-heap event queue and the scan-every-queue Latr sweep — with a
+//! calendar queue and a pending-bitmap cursor sweep, keeping the
+//! originals runtime-selectable as the `reference` engines. This module
+//! measures both engines end-to-end on the sweep-heavy [`SweepStorm`]
+//! workload at 16, 64 and 120 simulated cores, cross-checks their
+//! [`Machine::fingerprint`]s (any divergence disqualifies the speedup),
+//! and renders the result as the `BENCH_hotpath.json` schema
+//! EXPERIMENTS.md documents.
+//!
+//! The acceptance bar is the 120-core point: the reference sweep visits
+//! every core's 64-slot queue on every one of the 120 cores' ticks —
+//! O(cores² · slots) probes per tick interval — which is exactly the
+//! overhead the pending bitmap removes, so `fast` must be ≥3× the
+//! reference's ticks/sec there.
+
+use std::time::Instant;
+
+use latr_arch::{MachinePreset, Topology};
+use latr_core::LatrConfig;
+use latr_kernel::{metrics, Machine, MachineConfig};
+use latr_sim::{QueueBackend, SECOND};
+use latr_workloads::{PolicyKind, SweepStorm};
+
+/// One engine × machine-size measurement.
+#[derive(Clone, Debug)]
+pub struct HotpathPoint {
+    /// `"fast"` or `"reference"`.
+    pub engine: &'static str,
+    /// Simulated cores.
+    pub cores: usize,
+    /// Wall-clock nanoseconds for the whole run.
+    pub wall_ns: u128,
+    /// Scheduler ticks simulated.
+    pub sim_ticks: u64,
+    /// Events the queue delivered.
+    pub events: u64,
+    /// Workload operations completed (munmap rounds).
+    pub ops: u64,
+    /// `sim_ticks` per wall-clock second — the sweep-path figure of merit.
+    pub ticks_per_sec: f64,
+    /// `ops` per wall-clock second.
+    pub ops_per_sec: f64,
+    /// FNV-1a hash of the run's full fingerprint, for the cross-engine
+    /// identity check.
+    pub fingerprint: u64,
+}
+
+/// The machine sizes `BENCH_hotpath.json` reports.
+pub fn hotpath_shapes() -> [(Topology, usize); 3] {
+    [
+        (Topology::preset(MachinePreset::Commodity2S16C), 16),
+        (Topology::new(4, 16), 64),
+        (Topology::preset(MachinePreset::LargeNuma8S120C), 120),
+    ]
+}
+
+/// Publishers per shape: a fixed set of 4 cores unmap while the rest
+/// tick and sweep. Sparse publishing is where laziness pays — most
+/// per-tick queue visits find nothing, which the pending bitmap skips
+/// and the reference scan pays for on every one of the `cores` queues.
+pub fn hotpath_publishers(cores: usize) -> usize {
+    cores.min(4)
+}
+
+/// Rounds per publisher for a shape: enough sim time that the per-tick
+/// sweep cost dominates setup, trimmed in `--quick` mode.
+pub fn hotpath_rounds(cores: usize, quick: bool) -> u32 {
+    let full = match cores {
+        0..=16 => 60,
+        17..=64 => 40,
+        _ => 30,
+    };
+    if quick {
+        (full / 4).max(2)
+    } else {
+        full
+    }
+}
+
+/// Runs the sweep storm once on the chosen engine and measures it.
+pub fn run_hotpath_point(
+    fast: bool,
+    topology: Topology,
+    cores: usize,
+    rounds: u32,
+    seed: u64,
+) -> HotpathPoint {
+    let mut config = MachineConfig::new(topology);
+    config.seed = seed;
+    // Tracing and the coherence oracle off: both are pure observers with
+    // per-event costs that would drown the engine difference being
+    // measured (the differential suite runs them instead).
+    config.trace_capacity = 0;
+    config.oracle = false;
+    config.event_queue = if fast {
+        QueueBackend::Fast
+    } else {
+        QueueBackend::Reference
+    };
+    let latr = LatrConfig {
+        reference_sweep: !fast,
+        ..LatrConfig::default()
+    };
+    let mut machine = Machine::new(config);
+    let start = Instant::now();
+    machine.run(
+        Box::new(SweepStorm::new(cores, rounds).with_publishers(hotpath_publishers(cores))),
+        PolicyKind::Latr(latr).build(),
+        10 * SECOND,
+    );
+    let wall = start.elapsed().as_nanos().max(1);
+    let sim_ticks = machine.stats.counter(metrics::SCHED_TICKS);
+    let ops = machine.stats.counter(metrics::WORK_UNITS);
+    let per_sec = |n: u64| n as f64 * 1e9 / wall as f64;
+    HotpathPoint {
+        engine: if fast { "fast" } else { "reference" },
+        cores,
+        wall_ns: wall,
+        sim_ticks,
+        events: machine.events_delivered(),
+        ops,
+        ticks_per_sec: per_sec(sim_ticks),
+        ops_per_sec: per_sec(ops),
+        fingerprint: fnv1a(&machine.fingerprint()),
+    }
+}
+
+/// FNV-1a over the fingerprint text: compact enough for a JSON field,
+/// collision-proof enough for "did the engines diverge".
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Renders the measurement set as the `BENCH_hotpath.json` document.
+/// Hand-rolled: the schema is flat and the vendored serde stub does not
+/// serialize.
+pub fn hotpath_json(points: &[HotpathPoint], quick: bool) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"hotpath\",");
+    let _ = writeln!(out, "  \"workload\": \"sweep-storm\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"engine\": \"{}\", \"cores\": {}, \"wall_ns\": {}, \
+             \"sim_ticks\": {}, \"events\": {}, \"ops\": {}, \
+             \"ticks_per_sec\": {:.1}, \"ops_per_sec\": {:.1}, \
+             \"fingerprint\": \"{:016x}\"}}{comma}",
+            p.engine,
+            p.cores,
+            p.wall_ns,
+            p.sim_ticks,
+            p.events,
+            p.ops,
+            p.ticks_per_sec,
+            p.ops_per_sec,
+            p.fingerprint,
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(
+        out,
+        "  \"fingerprints_match\": {},",
+        fingerprints_match(points)
+    );
+    for (cores, speedup) in speedups(points) {
+        let _ = writeln!(out, "  \"speedup_at_{cores}_cores\": {speedup:.2},");
+    }
+    // Trim the trailing comma of the last speedup line.
+    if out.ends_with(",\n") {
+        out.truncate(out.len() - 2);
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Whether every fast/reference pair at the same core count produced the
+/// same fingerprint.
+pub fn fingerprints_match(points: &[HotpathPoint]) -> bool {
+    points.iter().all(|p| {
+        points
+            .iter()
+            .filter(|q| q.cores == p.cores)
+            .all(|q| q.fingerprint == p.fingerprint)
+    })
+}
+
+/// `(cores, fast ticks/sec ÷ reference ticks/sec)` per measured shape.
+pub fn speedups(points: &[HotpathPoint]) -> Vec<(usize, f64)> {
+    let mut out = Vec::new();
+    for p in points.iter().filter(|p| p.engine == "fast") {
+        if let Some(r) = points
+            .iter()
+            .find(|q| q.engine == "reference" && q.cores == p.cores)
+        {
+            out.push((p.cores, p.ticks_per_sec / r.ticks_per_sec.max(1e-9)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(engine: &'static str, cores: usize, tps: f64, fp: u64) -> HotpathPoint {
+        HotpathPoint {
+            engine,
+            cores,
+            wall_ns: 1,
+            sim_ticks: 1,
+            events: 1,
+            ops: 1,
+            ticks_per_sec: tps,
+            ops_per_sec: 1.0,
+            fingerprint: fp,
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_and_reports_speedup() {
+        let points = [
+            point("fast", 16, 300.0, 7),
+            point("reference", 16, 100.0, 7),
+        ];
+        let json = hotpath_json(&points, true);
+        assert!(json.contains("\"speedup_at_16_cores\": 3.00"));
+        assert!(json.contains("\"fingerprints_match\": true"));
+        assert!(!json.contains(",\n}"), "no trailing comma:\n{json}");
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_reported() {
+        let points = [
+            point("fast", 16, 300.0, 7),
+            point("reference", 16, 100.0, 8),
+        ];
+        assert!(!fingerprints_match(&points));
+        assert!(hotpath_json(&points, false).contains("\"fingerprints_match\": false"));
+    }
+
+    #[test]
+    fn engines_agree_on_a_small_point() {
+        let (topology, cores) = (Topology::new(2, 2), 4);
+        let fast = run_hotpath_point(true, topology.clone(), cores, 3, 42);
+        let reference = run_hotpath_point(false, topology, cores, 3, 42);
+        assert_eq!(fast.fingerprint, reference.fingerprint);
+        assert_eq!(fast.ops, (cores as u64) * 3);
+        assert!(fast.sim_ticks > 0);
+    }
+}

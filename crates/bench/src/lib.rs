@@ -19,9 +19,12 @@
 //! | `table5_breakdown`   | Table 5 — per-operation cost breakdown |
 //! | `timelines`          | Figs. 2 & 3 — munmap / AutoNUMA event timelines |
 //! | `ablations`          | §4.1/§8 design-choice ablations |
+//! | `hotpath`            | fast vs `reference` engine throughput → `BENCH_hotpath.json` |
 //!
 //! Run with `cargo run --release -p latr-bench --bin <name>`; pass
 //! `--quick` for a shorter, less smooth sweep.
+
+pub mod hotpath;
 
 use latr_arch::{MachinePreset, Topology};
 use latr_kernel::{metrics, Machine, MachineConfig};

@@ -41,6 +41,17 @@ pub struct LatrConfig {
     /// interrupt it is not. Disabling this recovers the paper's
     /// deadline-only release (unsafe under injected faults).
     pub gate_reclaim: bool,
+    /// Run the straightforward full-scan sweep (the executable spec)
+    /// instead of the pending-bitmap fast path. Both produce bit-identical
+    /// event streams — the differential suite asserts it — so this knob
+    /// only trades speed for obviousness. The default follows the
+    /// `reference` cargo feature.
+    #[serde(default = "default_reference_sweep")]
+    pub reference_sweep: bool,
+}
+
+fn default_reference_sweep() -> bool {
+    cfg!(feature = "reference")
 }
 
 impl Default for LatrConfig {
@@ -55,6 +66,7 @@ impl Default for LatrConfig {
             fallback_enter_pct: 94,
             fallback_exit_pct: 25,
             gate_reclaim: true,
+            reference_sweep: default_reference_sweep(),
         }
     }
 }

@@ -36,8 +36,10 @@ mod policy;
 mod reclaim;
 pub mod rt;
 mod state;
+mod sweep_index;
 
 pub use config::LatrConfig;
 pub use policy::LatrPolicy;
 pub use reclaim::LazyReclaimQueue;
 pub use state::{LatrState, StateKind, StateQueue};
+pub use sweep_index::PendingSweepMap;

@@ -28,6 +28,7 @@
 use crate::config::LatrConfig;
 use crate::reclaim::LazyReclaimQueue;
 use crate::state::{LatrState, StateKind, StateQueue};
+use crate::sweep_index::PendingSweepMap;
 use latr_arch::{CpuId, CpuMask};
 use latr_kernel::TaskId;
 use latr_kernel::{metrics, FlushKind, FlushOutcome, Machine, ShootdownTxn, TlbPolicy};
@@ -49,6 +50,11 @@ pub struct LatrPolicy {
     escalated: HashSet<u64>,
     /// In-flight watchdog sync rounds: txn id → escalated state id.
     watchdog_rounds: HashMap<u64, u64>,
+    /// Fast-sweep index: which queues each CPU's next sweep must visit.
+    pending: PendingSweepMap,
+    /// Reusable arenas for the sweep hot path (no per-sweep allocation).
+    scratch_relevant: Vec<(MmId, VaRange, StateKind, bool)>,
+    scratch_pages: Vec<Vpn>,
 }
 
 impl LatrPolicy {
@@ -63,6 +69,9 @@ impl LatrPolicy {
             sync_mode: false,
             escalated: HashSet::new(),
             watchdog_rounds: HashMap::new(),
+            pending: PendingSweepMap::new(),
+            scratch_relevant: Vec::new(),
+            scratch_pages: Vec::new(),
         }
     }
 
@@ -88,6 +97,7 @@ impl LatrPolicy {
             self.queues
                 .resize_with(ncpus, || StateQueue::new(self.config.states_per_core));
         }
+        self.pending.ensure(ncpus);
     }
 
     fn next_state_id(&mut self) -> u64 {
@@ -137,6 +147,9 @@ impl LatrPolicy {
         let threshold = wd as u64 * machine.tick_period();
         let mut overdue: Vec<(usize, u64, MmId, VaRange, StateKind, bool, CpuMask)> = Vec::new();
         for (qi, q) in self.queues.iter().enumerate() {
+            if q.active_count() == 0 {
+                continue;
+            }
             for s in q.iter_active() {
                 if !s.cpus.is_empty()
                     && now.saturating_since(s.published) >= threshold
@@ -194,64 +207,110 @@ impl LatrPolicy {
         }
     }
 
-    /// The sweep (§4.1): scan every core's states; for each active state
-    /// naming `cpu`, invalidate locally and clear the bit; retire states
-    /// whose masks emptied. Returns the CPU time consumed.
-    fn sweep(&mut self, machine: &mut Machine, cpu: CpuId) -> Nanos {
-        self.ensure_queues(machine.topology().num_cpus());
+    /// Visits one state queue during a sweep by `cpu`: invalidate and
+    /// trace every state naming `cpu`, clear our bit, retire emptied
+    /// slots. Returns `(cost, hits)` — `(sweep_empty, 0)` when nothing in
+    /// the queue named us. Shared by the reference full scan and the
+    /// pending-bitmap fast path so the two cannot drift.
+    fn sweep_queue(&mut self, machine: &mut Machine, cpu: CpuId, qi: usize) -> (Nanos, u64) {
+        let mut relevant = std::mem::take(&mut self.scratch_relevant);
+        relevant.clear();
+        for state in self.queues[qi].iter_active() {
+            if state.cpus.test(cpu) {
+                relevant.push((state.mm, state.range, state.kind, state.pte_done));
+            }
+        }
+        if relevant.is_empty() {
+            self.scratch_relevant = relevant;
+            return (machine.costs().latr_sweep_empty, 0);
+        }
         let mut cost = 0;
         let mut hits = 0u64;
-        for qi in 0..self.queues.len() {
-            let mut relevant: Vec<(MmId, VaRange, StateKind, bool)> = Vec::new();
-            for state in self.queues[qi].iter_active_mut() {
-                if state.cpus.test(cpu) {
-                    relevant.push((state.mm, state.range, state.kind, state.pte_done));
-                }
-            }
-            if relevant.is_empty() {
-                cost += machine.costs().latr_sweep_empty;
-                continue;
-            }
-            for &(mm, range, kind, pte_done) in &relevant {
-                cost += machine.costs().latr_sweep_hit;
-                if kind == StateKind::Migration && !pte_done {
-                    // First sweeper performs the page-table unmap (§4.3).
-                    machine.apply_numa_hint(cpu, mm, range.start);
-                    cost += machine.costs().pte_op;
-                    if machine.trace.is_enabled() {
-                        let now = machine.now();
-                        machine.trace.push(
-                            now,
-                            "latr",
-                            format!("{cpu} sweeps {range:?}: first core, clears PTE"),
-                        );
-                    }
-                } else if machine.trace.is_enabled() {
+        let mut pages = std::mem::take(&mut self.scratch_pages);
+        for &(mm, range, kind, pte_done) in &relevant {
+            cost += machine.costs().latr_sweep_hit;
+            if kind == StateKind::Migration && !pte_done {
+                // First sweeper performs the page-table unmap (§4.3).
+                machine.apply_numa_hint(cpu, mm, range.start);
+                cost += machine.costs().pte_op;
+                if machine.trace.is_enabled() {
                     let now = machine.now();
                     machine.trace.push(
                         now,
                         "latr",
-                        format!("{cpu} sweeps {range:?}: local TLB invalidation"),
+                        format!("{cpu} sweeps {range:?}: first core, clears PTE"),
                     );
                 }
-                let pages: Vec<Vpn> = range.iter().collect();
-                machine.invalidate_tlb_pages(cpu, mm, &pages);
-                machine.oracle_note_sweep(cpu, mm, range);
-                cost += machine.costs().local_invalidation(pages.len() as u32);
-                hits += 1;
+            } else if machine.trace.is_enabled() {
+                let now = machine.now();
+                machine.trace.push(
+                    now,
+                    "latr",
+                    format!("{cpu} sweeps {range:?}: local TLB invalidation"),
+                );
             }
-            // Clear our bit and mark PTEs done.
-            for state in self.queues[qi].iter_active_mut() {
-                if state.cpus.test(cpu) {
-                    state.cpus.clear(cpu);
-                    if state.kind == StateKind::Migration {
-                        state.pte_done = true;
-                    }
+            pages.clear();
+            pages.extend(range.iter());
+            machine.invalidate_tlb_pages(cpu, mm, &pages);
+            machine.oracle_note_sweep(cpu, mm, range);
+            cost += machine.costs().local_invalidation(pages.len() as u32);
+            hits += 1;
+        }
+        self.scratch_pages = pages;
+        self.scratch_relevant = relevant;
+        // Clear our bit and mark PTEs done.
+        for state in self.queues[qi].iter_active_mut() {
+            if state.cpus.test(cpu) {
+                state.cpus.clear(cpu);
+                if state.kind == StateKind::Migration {
+                    state.pte_done = true;
                 }
             }
-            self.queues[qi].retire_completed();
         }
-        machine.llc.charge_latr_sweep(self.queues.len() as u64);
+        self.queues[qi].retire_completed();
+        (cost, hits)
+    }
+
+    /// The sweep (§4.1): for each active state naming `cpu`, invalidate
+    /// locally and clear the bit; retire states whose masks emptied.
+    /// Returns the CPU time consumed.
+    ///
+    /// The reference path scans every core's queue; the fast path visits
+    /// only the queues flagged in `cpu`'s pending-bitmap row (see
+    /// [`PendingSweepMap`] for the staleness argument) and charges the
+    /// unvisited queues the same empty-probe cost the reference scan
+    /// would, so cost, traces, stats and oracle calls are bit-identical.
+    fn sweep(&mut self, machine: &mut Machine, cpu: CpuId) -> Nanos {
+        self.ensure_queues(machine.topology().num_cpus());
+        let nq = self.queues.len();
+        let mut cost = 0;
+        let mut hits = 0u64;
+        if self.config.reference_sweep {
+            for qi in 0..nq {
+                let (c, h) = self.sweep_queue(machine, cpu, qi);
+                cost += c;
+                hits += h;
+            }
+        } else {
+            let row = self.pending.take_row(cpu);
+            let mut hit_queues = 0u64;
+            for publisher in row.iter() {
+                let qi = publisher.index();
+                if qi >= nq {
+                    continue;
+                }
+                let (c, h) = self.sweep_queue(machine, cpu, qi);
+                if h > 0 {
+                    cost += c;
+                    hits += h;
+                    hit_queues += 1;
+                }
+                // A visit that found nothing (stale bit) costs the same
+                // as any other empty probe, folded in below.
+            }
+            cost += machine.costs().latr_sweep_empty * (nq as u64 - hit_queues);
+        }
+        machine.llc.charge_latr_sweep(nq as u64);
         if hits > 0 {
             machine.stats.add(metrics::LATR_SWEEP_HITS, hits);
         }
@@ -333,6 +392,7 @@ impl TlbPolicy for LatrPolicy {
         };
         match published {
             Some(slot) => {
+                self.pending.mark(&targets, initiator);
                 machine.oracle_note_publish(initiator, mm, range, targets, false);
                 machine.stats.inc(metrics::LATR_STATES_SAVED);
                 machine.llc.charge_latr_save();
@@ -427,6 +487,7 @@ impl TlbPolicy for LatrPolicy {
         let blocked: HashSet<u64> = self
             .queues
             .iter()
+            .filter(|q| q.active_count() > 0)
             .flat_map(StateQueue::iter_active)
             .filter(|s| !s.cpus.is_empty())
             .map(|s| s.id)
@@ -533,6 +594,7 @@ impl TlbPolicy for LatrPolicy {
         };
         match self.queues[cpu.index()].publish(state) {
             Some(slot) => {
+                self.pending.mark(&targets, cpu);
                 machine.oracle_note_publish(cpu, mm, VaRange::new(vpn, 1), targets, true);
                 machine.stats.inc(metrics::LATR_STATES_SAVED);
                 machine.llc.charge_latr_save();
@@ -558,14 +620,17 @@ impl TlbPolicy for LatrPolicy {
 
     fn numa_fault_may_proceed(&mut self, _machine: &mut Machine, mm: MmId, vpn: Vpn) -> bool {
         // The fault is held until every core named in the migration state
-        // has invalidated (§4.4's mmap_sem rule).
+        // has invalidated (§4.4's mmap_sem rule). The per-queue migration
+        // counter skips the slot scan entirely on the common no-migration
+        // path.
         !self.queues.iter().any(|q| {
-            q.iter_active().any(|s| {
-                s.kind == StateKind::Migration
-                    && s.mm == mm
-                    && s.range.contains(vpn)
-                    && !s.cpus.is_empty()
-            })
+            q.active_migrations() > 0
+                && q.iter_active().any(|s| {
+                    s.kind == StateKind::Migration
+                        && s.mm == mm
+                        && s.range.contains(vpn)
+                        && !s.cpus.is_empty()
+                })
         })
     }
 
@@ -580,6 +645,7 @@ impl TlbPolicy for LatrPolicy {
         for q in &mut self.queues {
             q.clear();
         }
+        self.pending.clear();
         self.escalated.clear();
         self.watchdog_rounds.clear();
     }
@@ -746,76 +812,101 @@ mod tests {
         );
     }
 
+    /// Two tasks share an mm; task 0 mmap/touch/munmaps in a tight burst
+    /// (well under one scheduler tick) while task 1 keeps its core's bit
+    /// in the cpumask — overflowing the state queue. After `bursts`
+    /// unmaps, task 0 lingers asleep so the adaptive fallback's low-water
+    /// exit can be observed.
+    struct Burst {
+        mapped: Vec<VaRange>,
+        phase: u8,
+        unmapped: usize,
+        bursts: usize,
+        linger: u32,
+    }
+
+    impl Burst {
+        fn new(bursts: usize, linger: u32) -> Self {
+            Burst {
+                mapped: Vec::new(),
+                phase: 0,
+                unmapped: 0,
+                bursts,
+                linger,
+            }
+        }
+    }
+
+    impl Workload for Burst {
+        fn setup(&mut self, machine: &mut Machine) {
+            let mm = machine.create_process();
+            machine.spawn_task(mm, CpuId(0));
+            machine.spawn_task(mm, CpuId(1));
+        }
+        fn next_op(&mut self, machine: &mut Machine, task: TaskId) -> Op {
+            if task.index() == 1 {
+                // Keep the second core's bit in the cpumask; touch the
+                // most recent mapping so entries are really shared.
+                return match self.mapped.last() {
+                    Some(r) if self.phase == 1 => Op::Access {
+                        vpn: r.start,
+                        write: false,
+                    },
+                    _ => Op::Sleep(1_000),
+                };
+            }
+            match self.phase {
+                0 => {
+                    self.phase = 1;
+                    Op::MmapAnon { pages: 1 }
+                }
+                1 => {
+                    let r = machine.task(task).last_mmap.unwrap();
+                    self.mapped.push(r);
+                    self.phase = 2;
+                    Op::Access {
+                        vpn: r.start,
+                        write: true,
+                    }
+                }
+                _ => {
+                    self.phase = 0;
+                    if let Some(r) = self.mapped.pop() {
+                        self.unmapped += 1;
+                        if self.unmapped > self.bursts {
+                            return Op::Exit;
+                        }
+                        Op::Munmap { range: r }
+                    } else if self.linger > 0 {
+                        self.linger -= 1;
+                        Op::Sleep(latr_sim::MILLISECOND)
+                    } else {
+                        Op::Exit
+                    }
+                }
+            }
+        }
+    }
+
+    fn run_burst(bursts: usize, linger: u32, config: LatrConfig) -> Machine {
+        let mut machine = Machine::new(MachineConfig::new(Topology::preset(
+            MachinePreset::Commodity2S16C,
+        )));
+        machine.run(
+            Box::new(Burst::new(bursts, linger)),
+            Box::new(LatrPolicy::new(config)),
+            SECOND,
+        );
+        machine
+    }
+
     /// Overflowing the 64-entry queue must fall back to IPIs, not lose
     /// shootdowns.
     #[test]
     fn queue_overflow_falls_back_to_ipis() {
-        struct Burst {
-            mapped: Vec<VaRange>,
-            phase: u8,
-            unmapped: usize,
-        }
-        impl Workload for Burst {
-            fn setup(&mut self, machine: &mut Machine) {
-                let mm = machine.create_process();
-                machine.spawn_task(mm, CpuId(0));
-                machine.spawn_task(mm, CpuId(1));
-            }
-            fn next_op(&mut self, machine: &mut Machine, task: TaskId) -> Op {
-                if task.index() == 1 {
-                    // Keep the second core's bit in the cpumask; touch the
-                    // most recent mapping so entries are really shared.
-                    return match self.mapped.last() {
-                        Some(r) if self.phase == 1 => Op::Access {
-                            vpn: r.start,
-                            write: false,
-                        },
-                        _ => Op::Sleep(1_000),
-                    };
-                }
-                match self.phase {
-                    0 => {
-                        self.phase = 1;
-                        Op::MmapAnon { pages: 1 }
-                    }
-                    1 => {
-                        let r = machine.task(task).last_mmap.unwrap();
-                        self.mapped.push(r);
-                        self.phase = 2;
-                        Op::Access {
-                            vpn: r.start,
-                            write: true,
-                        }
-                    }
-                    _ => {
-                        self.phase = 0;
-                        if let Some(r) = self.mapped.pop() {
-                            self.unmapped += 1;
-                            if self.unmapped > 200 {
-                                return Op::Exit;
-                            }
-                            Op::Munmap { range: r }
-                        } else {
-                            Op::Exit
-                        }
-                    }
-                }
-            }
-        }
-        let mut machine = Machine::new(MachineConfig::new(Topology::preset(
-            MachinePreset::Commodity2S16C,
-        )));
         // 200 munmaps in well under one tick (each ~2 µs) with a 64-slot
         // queue: must overflow.
-        machine.run(
-            Box::new(Burst {
-                mapped: Vec::new(),
-                phase: 0,
-                unmapped: 0,
-            }),
-            Box::new(LatrPolicy::new(LatrConfig::default())),
-            SECOND,
-        );
+        let machine = run_burst(200, 0, LatrConfig::default());
         assert!(
             machine.stats.counter(metrics::LATR_FALLBACK_IPIS) > 0,
             "a 200-unmap burst within one tick must overflow 64 slots"
@@ -828,6 +919,61 @@ mod tests {
         );
         assert_eq!(machine.check_reclamation_invariant(), None);
         assert_eq!(machine.check_mapping_coherence(), None);
+    }
+
+    /// Fallback accounting under overflow: while sync mode is engaged,
+    /// every routed op counts as both a fallback IPI round and an
+    /// adaptive sync op; once the burst ends and occupancy drains below
+    /// the low-water mark, the policy exits sync mode exactly once.
+    #[test]
+    fn overflow_fallback_accounting_balances() {
+        let m = run_burst(200, 20, LatrConfig::default());
+        let fallback = m.stats.counter(metrics::LATR_FALLBACK_IPIS);
+        let sync_ops = m.stats.counter(metrics::LATR_ADAPTIVE_SYNC_OPS);
+        let enters = m.stats.counter(metrics::LATR_ADAPTIVE_ENTERS);
+        assert!(fallback > 0);
+        assert!(sync_ops > 0, "ops during sync mode must be accounted");
+        // Every sync-mode op and every hard overflow increments the
+        // fallback counter; sync-mode ops can never exceed it.
+        assert!(
+            fallback >= sync_ops,
+            "fallback {fallback} < sync ops {sync_ops}"
+        );
+        // With the adaptive transition, at most `enters` publishes failed
+        // outright: the rest were routed without touching a queue. (An
+        // enter triggered by the occupancy high-water mark rather than a
+        // hard overflow has no fallback round of its own, hence ≤.)
+        assert!(enters >= 1);
+        assert!(
+            fallback <= sync_ops + enters,
+            "fallback {fallback} > sync ops {sync_ops} + enters {enters}"
+        );
+        // The linger phase drains the queues: sync mode must have exited.
+        assert_eq!(m.stats.counter(metrics::LATR_ADAPTIVE_EXITS), enters);
+        // Fallback rounds are real shootdowns with real IPIs.
+        assert!(m.stats.counter(metrics::SHOOTDOWNS) > 0);
+        assert!(m.stats.counter(metrics::IPIS_SENT) > 0);
+        assert_eq!(m.check_reclamation_invariant(), None);
+        assert_eq!(m.check_mapping_coherence(), None);
+    }
+
+    /// With the adaptive fallback disabled, every overflowing op burns a
+    /// failed publish: fallback rounds accumulate, no adaptive
+    /// transitions are ever recorded, and nothing is lost.
+    #[test]
+    fn overflow_without_adaptive_fallback_burns_per_op() {
+        let config = LatrConfig {
+            adaptive_fallback: false,
+            ..LatrConfig::default()
+        };
+        let m = run_burst(200, 20, config);
+        assert!(m.stats.counter(metrics::LATR_FALLBACK_IPIS) > 1);
+        assert_eq!(m.stats.counter(metrics::LATR_ADAPTIVE_ENTERS), 0);
+        assert_eq!(m.stats.counter(metrics::LATR_ADAPTIVE_EXITS), 0);
+        assert_eq!(m.stats.counter(metrics::LATR_ADAPTIVE_SYNC_OPS), 0);
+        assert!(m.stats.counter(metrics::SHOOTDOWNS) > 0);
+        assert_eq!(m.check_reclamation_invariant(), None);
+        assert_eq!(m.check_mapping_coherence(), None);
     }
 
     /// In healthy runs the degradation machinery must be invisible: no

@@ -71,6 +71,26 @@ impl AtomicCpuMask {
         (was_set, empty)
     }
 
+    /// Atomically sets `cpu`'s bit (release semantics: everything the
+    /// setter did before — e.g. activating a state slot — is visible to
+    /// whoever takes the bit with [`take_words`](Self::take_words)).
+    pub fn set_bit(&self, cpu: usize) {
+        self.words[cpu / 64].fetch_or(1 << (cpu % 64), Ordering::AcqRel);
+    }
+
+    /// Atomically takes and clears all bits, word by word (acquire
+    /// semantics pairing with [`set_bit`](Self::set_bit)). Bits set
+    /// concurrently with the drain land either in the returned snapshot
+    /// or in the mask for the next take — never lost.
+    pub fn take_words(&self) -> [u64; WORDS] {
+        [
+            self.words[0].swap(0, Ordering::AcqRel),
+            self.words[1].swap(0, Ordering::AcqRel),
+            self.words[2].swap(0, Ordering::AcqRel),
+            self.words[3].swap(0, Ordering::AcqRel),
+        ]
+    }
+
     /// Whether no bits are set.
     pub fn is_empty(&self, order: Ordering) -> bool {
         self.words.iter().all(|w| w.load(order) == 0)

@@ -9,7 +9,7 @@
 //! loads in the sweep.
 
 use crate::rt::mask::{mask_first_n_except, AtomicCpuMask};
-use crate::rt::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use crate::rt::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// The payload of one invalidation: which address space and which virtual
 /// byte range must be flushed from the sweeper's local cache/TLB analogue.
@@ -123,6 +123,69 @@ impl RtQueue {
         Err(PublishError)
     }
 
+    /// Publishes a batch of same-tick invalidations with **one** memory
+    /// barrier instead of one release-store per entry: all fields of all
+    /// claimed slots are written plain, a single release fence orders
+    /// them, then the activation flags flip. All-or-nothing: either every
+    /// entry gets a slot or none does and the caller falls back to its
+    /// synchronous path for the whole batch. Only the owning core may
+    /// call this (single producer), and `out` receives the claimed slot
+    /// indices in batch order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PublishError`] when fewer than `batch.len()` slots are
+    /// free.
+    pub fn publish_batch(
+        &self,
+        batch: &[(RtInvalidation, [u64; 4])],
+        out: &mut Vec<usize>,
+    ) -> Result<(), PublishError> {
+        out.clear();
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let n = self.slots.len();
+        if batch.len() > n {
+            return Err(PublishError);
+        }
+        // Claim free slots cyclically from the head. Single producer: a
+        // slot observed inactive stays claimable (only we activate), so
+        // probing and writing need no CAS.
+        let head = self.head.load(Ordering::Relaxed);
+        for probe in 0..n {
+            let idx = (head + probe) % n;
+            if !self.slots[idx].active.load(Ordering::Acquire) {
+                out.push(idx);
+                if out.len() == batch.len() {
+                    break;
+                }
+            }
+        }
+        if out.len() < batch.len() {
+            out.clear();
+            return Err(PublishError);
+        }
+        for (&idx, (inv, words)) in out.iter().zip(batch) {
+            let slot = &self.slots[idx];
+            slot.start.store(inv.start, Ordering::Relaxed);
+            slot.end.store(inv.end, Ordering::Relaxed);
+            slot.mm.store(inv.mm, Ordering::Relaxed);
+            slot.cpus.store_words(*words, Ordering::Relaxed);
+        }
+        self.active.fetch_add(batch.len(), Ordering::Release);
+        // The batch's one barrier: a sweeper's acquire load of any
+        // activation flag below synchronizes with this fence, making all
+        // the plain field writes above visible.
+        fence(Ordering::Release);
+        for &idx in out.iter() {
+            self.slots[idx].active.store(true, Ordering::Relaxed);
+        }
+        self.head
+            .store((out[out.len() - 1] + 1) % n, Ordering::Relaxed);
+        Ok(())
+    }
+
     /// Sweeps this queue on behalf of `cpu`: collects every active state
     /// naming it, clears the bit, and retires slots whose masks emptied.
     /// Idle queues cost one atomic load.
@@ -170,6 +233,14 @@ impl RtQueue {
 #[derive(Debug)]
 pub struct RtRegistry {
     queues: Vec<RtQueue>,
+    /// Pending-sweep bitmap, one row per target core: bit *q* of row *c*
+    /// means "queue *q* may hold a state naming core *c*". Publishers set
+    /// bits *after* activating their slots; [`sweep_pending`] drains its
+    /// row atomically and visits only the flagged queues. Bits can be
+    /// stale-set (a visit that finds nothing) but never stale-clear.
+    ///
+    /// [`sweep_pending`]: RtRegistry::sweep_pending
+    pending: Vec<AtomicCpuMask>,
     ticks: Vec<AtomicU64>,
     saved: AtomicU64,
     overflows: AtomicU64,
@@ -181,9 +252,27 @@ impl RtRegistry {
     pub fn new(cores: usize, states_per_core: usize) -> Self {
         RtRegistry {
             queues: (0..cores).map(|_| RtQueue::new(states_per_core)).collect(),
+            pending: (0..cores).map(|_| AtomicCpuMask::new()).collect(),
             ticks: (0..cores).map(|_| AtomicU64::new(0)).collect(),
             saved: AtomicU64::new(0),
             overflows: AtomicU64::new(0),
+        }
+    }
+
+    /// Flags `core`'s queue in the pending row of every CPU named in
+    /// `target_words`. Must run *after* the slots were activated: the
+    /// release `fetch_or` pairs with the sweep's draining swap, so a
+    /// sweeper that takes a bit is guaranteed to see the activation.
+    fn mark_pending(&self, core: usize, target_words: [u64; 4]) {
+        for (w, word) in target_words.into_iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let cpu = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if cpu < self.pending.len() {
+                    self.pending[cpu].set_bit(core);
+                }
+            }
         }
     }
 
@@ -225,8 +314,39 @@ impl RtRegistry {
     ) -> Result<usize, PublishError> {
         match self.queues[core].publish(inv, target_words) {
             Ok(idx) => {
+                self.mark_pending(core, target_words);
                 self.saved.fetch_add(1, Ordering::Relaxed);
                 Ok(idx)
+            }
+            Err(e) => {
+                self.overflows.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Publishes a batch of same-tick invalidations from `core` with a
+    /// single barrier (see [`RtQueue::publish_batch`]), then flags the
+    /// pending rows of every targeted CPU. All-or-nothing; `out` receives
+    /// the claimed slot indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PublishError`] when the batch doesn't fit; the whole
+    /// batch falls back to the synchronous path and counts one overflow.
+    pub fn publish_batch(
+        &self,
+        core: usize,
+        batch: &[(RtInvalidation, [u64; 4])],
+        out: &mut Vec<usize>,
+    ) -> Result<(), PublishError> {
+        match self.queues[core].publish_batch(batch, out) {
+            Ok(()) => {
+                for &(_, words) in batch {
+                    self.mark_pending(core, words);
+                }
+                self.saved.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                Ok(())
             }
             Err(e) => {
                 self.overflows.fetch_add(1, Ordering::Relaxed);
@@ -248,13 +368,36 @@ impl RtRegistry {
         self.publish_wide(core, inv, mask_first_n_except(self.cores(), core))
     }
 
-    /// The sweep (§4.1): scans *every* core's queue for states naming
-    /// `core`, clears its bits, bumps its tick counter, and returns the
-    /// invalidations the caller must apply locally.
+    /// The sweep (§4.1), reference form: scans *every* core's queue for
+    /// states naming `core`, clears its bits, bumps its tick counter, and
+    /// returns the invalidations the caller must apply locally.
     pub fn sweep(&self, core: usize) -> Vec<RtInvalidation> {
         let mut out = Vec::new();
         for q in &self.queues {
             q.sweep_for(core, &mut out);
+        }
+        self.ticks[core].fetch_add(1, Ordering::Release);
+        out
+    }
+
+    /// The fast sweep: drains `core`'s pending row and visits only the
+    /// flagged queues. Equivalent to [`sweep`](Self::sweep) — a publisher
+    /// flags the row only after activating its slots, so every state
+    /// naming `core` is covered by a bit; a stale-set bit just costs one
+    /// empty queue scan. Bits set concurrently with the drain survive
+    /// into the next sweep.
+    pub fn sweep_pending(&self, core: usize) -> Vec<RtInvalidation> {
+        let mut out = Vec::new();
+        let row = self.pending[core].take_words();
+        for (w, word) in row.into_iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let qi = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if qi < self.queues.len() {
+                    self.queues[qi].sweep_for(core, &mut out);
+                }
+            }
         }
         self.ticks[core].fetch_add(1, Ordering::Release);
         out
@@ -363,6 +506,146 @@ mod tests {
         assert_eq!(r.min_tick(), 0, "core 2 never ticked");
         r.sweep(2);
         assert_eq!(r.min_tick(), 1);
+    }
+
+    #[test]
+    fn publish_batch_claims_slots_in_order_with_one_fence() {
+        let r = RtRegistry::new(3, 4);
+        let batch = [
+            (inv(1), [0b110u64, 0, 0, 0]),
+            (inv(2), [0b110u64, 0, 0, 0]),
+            (inv(3), [0b010u64, 0, 0, 0]),
+        ];
+        let mut slots = Vec::new();
+        r.publish_batch(0, &batch, &mut slots).unwrap();
+        assert_eq!(slots, vec![0, 1, 2]);
+        assert_eq!(r.queue(0).active_count(), 3);
+        assert_eq!(r.states_saved(), 3);
+        assert_eq!(r.sweep_pending(1).len(), 3);
+        assert_eq!(r.sweep_pending(2).len(), 2);
+        assert_eq!(r.queue(0).active_count(), 0);
+        // Rows drained: nothing left to visit.
+        assert!(r.sweep_pending(1).is_empty());
+    }
+
+    #[test]
+    fn publish_batch_is_all_or_nothing() {
+        let r = RtRegistry::new(2, 3);
+        r.publish(0, inv(1), 0b10).unwrap();
+        let batch = [
+            (inv(2), [0b10u64, 0, 0, 0]),
+            (inv(3), [0b10u64, 0, 0, 0]),
+            (inv(4), [0b10u64, 0, 0, 0]),
+        ];
+        let mut slots = Vec::new();
+        // 3 entries, 2 free slots: nothing may be published.
+        assert_eq!(r.publish_batch(0, &batch, &mut slots), Err(PublishError));
+        assert!(slots.is_empty());
+        assert_eq!(r.queue(0).active_count(), 1);
+        assert_eq!(r.overflows(), 1);
+        // The two-entry prefix fits.
+        r.publish_batch(0, &batch[..2], &mut slots).unwrap();
+        assert_eq!(slots.len(), 2);
+        assert_eq!(r.sweep_pending(1).len(), 3);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let r = RtRegistry::new(2, 2);
+        let mut slots = vec![99];
+        r.publish_batch(0, &[], &mut slots).unwrap();
+        assert!(slots.is_empty());
+        assert_eq!(r.states_saved(), 0);
+        assert_eq!(r.queue(0).active_count(), 0);
+    }
+
+    #[test]
+    fn pending_sweep_matches_full_sweep() {
+        // Publish a scatter of states from several cores, then sweep one
+        // target core both ways on identical registries: the pending
+        // sweep must deliver exactly the invalidations the full scan
+        // does.
+        let build = || {
+            let r = RtRegistry::new(8, 8);
+            r.publish(0, inv(1), 0b0000_0110).unwrap();
+            r.publish(3, inv(2), 0b0000_0010).unwrap();
+            r.publish(5, inv(3), 0b1111_1110).unwrap();
+            r.publish(7, inv(4), 0b0000_1000).unwrap(); // not core 1
+            r
+        };
+        let full = build();
+        let fast = build();
+        let mut a = full.sweep(1);
+        let mut b = fast.sweep_pending(1);
+        a.sort_unstable_by_key(|i| i.mm);
+        b.sort_unstable_by_key(|i| i.mm);
+        assert_eq!(a, b);
+        assert_eq!(b.len(), 3);
+        // A second pending sweep is an empty row, not a rescan.
+        assert!(fast.sweep_pending(1).is_empty());
+    }
+
+    #[test]
+    fn stale_pending_bits_are_harmless() {
+        let r = RtRegistry::new(4, 4);
+        r.publish(0, inv(1), 0b0110).unwrap();
+        // Core 2 sweeps via the full scan, which clears its mask bit but
+        // leaves its pending bit stale-set.
+        assert_eq!(r.sweep(2).len(), 1);
+        // The stale bit costs one empty visit and is dropped.
+        assert!(r.sweep_pending(2).is_empty());
+        // Core 1's bit is still live.
+        assert_eq!(r.sweep_pending(1).len(), 1);
+    }
+
+    #[test]
+    fn concurrent_batch_publish_and_pending_sweep_loses_nothing() {
+        // One publisher batching 4 states at a time, three pending-sweep
+        // consumers. Every state targets all three; each must deliver
+        // every mm exactly once.
+        let r = Arc::new(RtRegistry::new(4, 1024));
+        let total = 500u64;
+        let publisher = {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || {
+                let mut slots = Vec::new();
+                let mut published = 0;
+                while published < total {
+                    let k = (total - published).min(4);
+                    let batch: Vec<_> = (published..published + k)
+                        .map(|mm| (inv(mm), [0b1110u64, 0, 0, 0]))
+                        .collect();
+                    if r.publish_batch(0, &batch, &mut slots).is_ok() {
+                        published += k;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        let sweepers: Vec<_> = (1..4)
+            .map(|core| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    let mut seen = Vec::new();
+                    while seen.len() < total as usize {
+                        for w in r.sweep_pending(core) {
+                            seen.push(w.mm);
+                        }
+                        std::thread::yield_now();
+                    }
+                    seen.sort_unstable();
+                    seen
+                })
+            })
+            .collect();
+        publisher.join().unwrap();
+        for s in sweepers {
+            let seen = s.join().unwrap();
+            assert_eq!(seen, (0..total).collect::<Vec<_>>());
+        }
+        assert_eq!(r.queue(0).active_count(), 0);
+        assert_eq!(r.states_saved(), total);
     }
 
     #[test]

@@ -75,6 +75,14 @@ pub struct LatrState {
 pub struct StateQueue {
     slots: Vec<Option<LatrState>>,
     head: usize,
+    /// Occupancy bitmap — bit `i` set iff `slots[i]` is active. Publish
+    /// probes and active-slot iteration run on words instead of walking
+    /// `Option`s.
+    occ: Vec<u64>,
+    active: usize,
+    /// Active states with [`StateKind::Migration`] — lets the hint-fault
+    /// gate answer "no migrations anywhere" without scanning slots.
+    migrations: usize,
 }
 
 impl StateQueue {
@@ -83,6 +91,9 @@ impl StateQueue {
         StateQueue {
             slots: vec![None; capacity],
             head: 0,
+            occ: vec![0; capacity.div_ceil(64)],
+            active: 0,
+            migrations: 0,
         }
     }
 
@@ -93,7 +104,30 @@ impl StateQueue {
 
     /// Number of active states.
     pub fn active_count(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.active
+    }
+
+    /// Number of active [`StateKind::Migration`] states.
+    pub fn active_migrations(&self) -> usize {
+        self.migrations
+    }
+
+    #[inline]
+    fn mark_occupied(&mut self, idx: usize, kind: StateKind) {
+        self.occ[idx / 64] |= 1 << (idx % 64);
+        self.active += 1;
+        if kind == StateKind::Migration {
+            self.migrations += 1;
+        }
+    }
+
+    #[inline]
+    fn mark_free(&mut self, idx: usize, kind: StateKind) {
+        self.occ[idx / 64] &= !(1 << (idx % 64));
+        self.active -= 1;
+        if kind == StateKind::Migration {
+            self.migrations -= 1;
+        }
     }
 
     /// Publishes a state into a free slot, cyclically from the head.
@@ -101,15 +135,35 @@ impl StateQueue {
     /// caller must fall back to IPIs (§4.2).
     pub fn publish(&mut self, state: LatrState) -> Option<usize> {
         let n = self.slots.len();
-        for probe in 0..n {
-            let idx = (self.head + probe) % n;
-            if self.slots[idx].is_none() {
-                self.slots[idx] = Some(state);
-                self.head = (idx + 1) % n;
-                return Some(idx);
+        if self.active == n {
+            return None;
+        }
+        // Word-scan for the first free slot at or after the head,
+        // wrapping. Equivalent to the per-slot probe loop, minus the
+        // Option walks.
+        let mut idx = self.head;
+        loop {
+            let free = !self.occ[idx / 64] >> (idx % 64);
+            if free & 1 != 0 {
+                break;
+            }
+            // Skip to the next zero bit within this word, or to the next
+            // word boundary when the rest of the word is occupied.
+            let skip = if free == 0 {
+                64 - idx % 64
+            } else {
+                free.trailing_zeros() as usize
+            };
+            idx += skip;
+            if idx >= n {
+                idx = 0;
             }
         }
-        None
+        let kind = state.kind;
+        self.slots[idx] = Some(state);
+        self.mark_occupied(idx, kind);
+        self.head = (idx + 1) % n;
+        Some(idx)
     }
 
     /// Iterates over active states mutably (the sweep path).
@@ -126,10 +180,14 @@ impl StateQueue {
     /// resets the active flag" step). Returns how many were retired.
     pub fn retire_completed(&mut self) -> usize {
         let mut retired = 0;
-        for slot in &mut self.slots {
-            if matches!(slot, Some(s) if s.cpus.is_empty()) {
-                *slot = None;
-                retired += 1;
+        for idx in 0..self.slots.len() {
+            if let Some(s) = &self.slots[idx] {
+                if s.cpus.is_empty() {
+                    let kind = s.kind;
+                    self.slots[idx] = None;
+                    self.mark_free(idx, kind);
+                    retired += 1;
+                }
             }
         }
         retired
@@ -148,6 +206,9 @@ impl StateQueue {
         for slot in &mut self.slots {
             *slot = None;
         }
+        self.occ.fill(0);
+        self.active = 0;
+        self.migrations = 0;
         self.head = 0;
     }
 }
@@ -229,5 +290,62 @@ mod tests {
     fn zero_capacity_queue_always_overflows() {
         let mut q = StateQueue::new(0);
         assert!(q.publish(state(&[1])).is_none());
+    }
+
+    #[test]
+    fn migration_counter_tracks_publish_retire_clear() {
+        let mut q = StateQueue::new(4);
+        let mut mig = state(&[1]);
+        mig.kind = StateKind::Migration;
+        q.publish(mig.clone());
+        q.publish(state(&[2]));
+        q.publish(mig);
+        assert_eq!(q.active_migrations(), 2);
+        q.clear_cpu_everywhere(CpuId(1));
+        assert_eq!(q.retire_completed(), 2);
+        assert_eq!(q.active_migrations(), 0);
+        assert_eq!(q.active_count(), 1);
+        q.clear();
+        assert_eq!((q.active_count(), q.active_migrations()), (0, 0));
+    }
+
+    /// The word-scan publish must choose the same slot the original
+    /// cyclic per-slot probe would: the first free slot at or after the
+    /// head, wrapping. 100 slots spans a full occupancy word plus a
+    /// partial tail word, exercising both the intra-word skip and the
+    /// phantom-free bits past capacity.
+    #[test]
+    fn word_scan_publish_matches_linear_probe() {
+        let mut q = StateQueue::new(100);
+        let mut rng = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let mut shadow: Vec<bool> = vec![false; 100];
+        let mut head = 0usize;
+        for _ in 0..4000 {
+            if next() % 3 == 0 {
+                // Retire a random occupied slot by emptying its mask.
+                let victim = (next() % 100) as usize;
+                if shadow[victim] {
+                    q.slots[victim].as_mut().unwrap().cpus.reset();
+                    assert_eq!(q.retire_completed(), 1);
+                    shadow[victim] = false;
+                }
+            }
+            let expected = (0..100)
+                .map(|probe| (head + probe) % 100)
+                .find(|&idx| !shadow[idx]);
+            let got = q.publish(state(&[1]));
+            assert_eq!(got, expected);
+            if let Some(idx) = got {
+                shadow[idx] = true;
+                head = (idx + 1) % 100;
+            }
+            assert_eq!(q.active_count(), shadow.iter().filter(|&&b| b).count());
+        }
     }
 }

@@ -119,6 +119,71 @@ fn same_word_retirement_is_exactly_once() {
     });
 }
 
+/// The pending-bitmap publish/drain race (ISSUE 4): a publisher
+/// activates a state and *then* sets the target's pending bit, while the
+/// target concurrently drains its row and sweeps the flagged queues. For
+/// every interleaving the state must be swept exactly once across the
+/// racing sweep and a final drain — the bit may be taken before the
+/// publish (stale-empty visit) or after (normal), but a set bit must
+/// never be cleared without its state being visible to the sweep
+/// (stale-clear would lose the invalidation).
+#[test]
+fn pending_bitmap_publish_and_drain_race_loses_nothing() {
+    loom::model(|| {
+        let reg = Arc::new(RtRegistry::new(2, 2));
+        let publisher = {
+            let reg = Arc::clone(&reg);
+            thread::spawn(move || {
+                reg.publish(0, inv(5), 0b10).unwrap();
+            })
+        };
+        let mut seen = reg.sweep_pending(1);
+        for s in &seen {
+            assert_eq!(*s, inv(5), "pending sweep observed a torn payload");
+        }
+        publisher.join().unwrap();
+        seen.extend(reg.sweep_pending(1));
+        assert_eq!(
+            seen.len(),
+            1,
+            "state must be swept exactly once across racing + final drains"
+        );
+        assert_eq!(reg.queue(0).active_count(), 0);
+    });
+}
+
+/// Same race with a *batched* publish: the single release fence must
+/// cover every slot of the batch — a pending sweep racing the batch sees
+/// each state either not at all or with its complete payload, and a
+/// final drain mops up whatever the racing sweep missed.
+#[test]
+fn batched_publish_fence_covers_every_slot() {
+    loom::model(|| {
+        let reg = Arc::new(RtRegistry::new(2, 4));
+        let publisher = {
+            let reg = Arc::clone(&reg);
+            thread::spawn(move || {
+                let batch = [(inv(7), [0b10u64, 0, 0, 0]), (inv(8), [0b10u64, 0, 0, 0])];
+                let mut slots = Vec::new();
+                reg.publish_batch(0, &batch, &mut slots).unwrap();
+            })
+        };
+        let mut seen = reg.sweep_pending(1);
+        for s in &seen {
+            assert!(
+                *s == inv(7) || *s == inv(8),
+                "sweep observed a torn batched payload: {s:?}"
+            );
+        }
+        publisher.join().unwrap();
+        seen.extend(reg.sweep_pending(1));
+        let mut mms: Vec<u64> = seen.iter().map(|i| i.mm).collect();
+        mms.sort_unstable();
+        assert_eq!(mms, vec![7, 8], "both batched states swept exactly once");
+        assert_eq!(reg.queue(0).active_count(), 0);
+    });
+}
+
 /// §4.2's grace-period frontier: an item deferred with grace 2 must
 /// never be collected before *every* core has swept twice, no matter how
 /// sweeps and collects interleave — and it must be collected exactly

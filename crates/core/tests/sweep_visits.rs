@@ -1,0 +1,165 @@
+//! Property test for the fast-sweep visit set (ISSUE 4 satellite).
+//!
+//! The pending-bitmap sweep is only correct if, for *any* interleaving of
+//! publishes, sweeps, out-of-band mask clears (watchdog escalations,
+//! task exits) and retirements, a CPU's bitmap row covers every queue the
+//! reference full scan would find relevant — bits may be stale-set (a
+//! visit that finds nothing) but never stale-clear (a missed
+//! invalidation). This drives `StateQueue` + `PendingSweepMap` directly
+//! with random op sequences and checks the visit set against the full
+//! scan at every sweep; the end-to-end consequence (bit-identical event
+//! streams) is covered by `tests/differential.rs` at the workspace root.
+
+use latr_arch::{CpuId, CpuMask};
+use latr_core::{LatrState, PendingSweepMap, StateKind, StateQueue};
+use latr_mem::{MmId, VaRange, Vpn};
+use latr_sim::Time;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const NCPUS: usize = 8;
+const SLOTS: usize = 4; // tiny queues make overflow + reuse frequent
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// CPU `publisher` publishes a state targeting the CPUs in the
+    /// bitmask (bit i = CPU i), as a Free or Migration state.
+    Publish {
+        publisher: u16,
+        targets: u8,
+        migration: bool,
+    },
+    /// CPU sweeps: visit the queues in its pending row, clear its bit.
+    Sweep(u16),
+    /// Out-of-band clear of one CPU's bit everywhere (watchdog / sync
+    /// completion / task exit). Creates stale-set pending bits.
+    ClearEverywhere(u16),
+    /// Retire completed states in one queue (the watchdog's targeted
+    /// retire path).
+    Retire(u16),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    let cpu = 0u16..NCPUS as u16;
+    let publish =
+        (cpu.clone(), 0u16..256, 0u16..2).prop_map(|(publisher, targets, migration)| Op::Publish {
+            publisher,
+            targets: targets as u8,
+            migration: migration == 1,
+        });
+    // The vendored prop_oneof! has no weight syntax; repeating the arms
+    // biases toward publish/sweep so interleavings stay dense.
+    prop::collection::vec(
+        prop_oneof![
+            publish.clone(),
+            publish.clone(),
+            publish,
+            cpu.clone().prop_map(Op::Sweep),
+            cpu.clone().prop_map(Op::Sweep),
+            cpu.clone().prop_map(Op::Sweep),
+            cpu.clone().prop_map(Op::ClearEverywhere),
+            cpu.prop_map(Op::Retire),
+        ],
+        0..300,
+    )
+}
+
+/// The queues the reference full scan would find relevant for `cpu`.
+fn reference_visit_set(queues: &[StateQueue], cpu: CpuId) -> BTreeSet<usize> {
+    queues
+        .iter()
+        .enumerate()
+        .filter(|(_, q)| q.iter_active().any(|s| s.cpus.test(cpu)))
+        .map(|(qi, _)| qi)
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn pending_row_covers_exactly_the_reference_scan(ops in ops()) {
+        let mut queues: Vec<StateQueue> = (0..NCPUS).map(|_| StateQueue::new(SLOTS)).collect();
+        let mut pending = PendingSweepMap::new();
+        pending.ensure(NCPUS);
+        let mut next_id = 0u64;
+        let mut next_vpn = 0x1000u64;
+        for op in ops {
+            match op {
+                Op::Publish { publisher, targets, migration } => {
+                    let mask: CpuMask = (0..8u16)
+                        .filter(|i| targets & (1 << i) != 0)
+                        .map(CpuId)
+                        .collect();
+                    if mask.is_empty() {
+                        continue;
+                    }
+                    let state = LatrState {
+                        id: next_id,
+                        range: VaRange::new(Vpn(next_vpn), 1),
+                        mm: MmId(0),
+                        kind: if migration { StateKind::Migration } else { StateKind::Free },
+                        cpus: mask,
+                        pte_done: !migration,
+                        published: Time::ZERO,
+                    };
+                    next_id += 1;
+                    next_vpn += 1;
+                    if queues[publisher as usize].publish(state).is_some() {
+                        pending.mark(&mask, CpuId(publisher));
+                    }
+                    // On overflow the caller falls back to IPIs: no state,
+                    // no pending bits.
+                }
+                Op::Sweep(cpu) => {
+                    let cpu = CpuId(cpu);
+                    let must_visit = reference_visit_set(&queues, cpu);
+                    let row = pending.take_row(cpu);
+                    let visited: BTreeSet<usize> =
+                        row.iter().map(|c| c.index()).collect();
+                    // Never stale-clear: every queue the full scan would
+                    // touch is flagged.
+                    prop_assert!(
+                        must_visit.is_subset(&visited),
+                        "sweep of {cpu:?} would miss queues {:?} (row {:?})",
+                        must_visit.difference(&visited).collect::<Vec<_>>(),
+                        visited,
+                    );
+                    // Perform the sweep on the flagged queues only.
+                    for qi in &visited {
+                        for s in queues[*qi].iter_active_mut() {
+                            if s.cpus.test(cpu) {
+                                s.cpus.clear(cpu);
+                                if s.kind == StateKind::Migration {
+                                    s.pte_done = true;
+                                }
+                            }
+                        }
+                        queues[*qi].retire_completed();
+                    }
+                    // Afterwards nothing anywhere names this CPU — the
+                    // cleared row was complete.
+                    prop_assert!(reference_visit_set(&queues, cpu).is_empty());
+                }
+                Op::ClearEverywhere(cpu) => {
+                    for q in &mut queues {
+                        q.clear_cpu_everywhere(CpuId(cpu));
+                    }
+                    // Deliberately do NOT touch `pending`: the live code
+                    // paths (watchdog, on_sync_complete, task exit) leave
+                    // the bits stale-set and rely on the next sweep
+                    // finding nothing.
+                }
+                Op::Retire(qi) => {
+                    queues[qi as usize].retire_completed();
+                }
+            }
+            // Counters stay consistent with a full recount throughout.
+            for q in &queues {
+                prop_assert_eq!(q.active_count(), q.iter_active().count());
+                prop_assert_eq!(
+                    q.active_migrations(),
+                    q.iter_active().filter(|s| s.kind == StateKind::Migration).count()
+                );
+            }
+        }
+    }
+}

@@ -19,7 +19,7 @@ use latr_faults::{FaultInjector, FaultPlan, IpiFault, TickFault};
 use latr_mem::{
     FileId, FrameAllocator, MapKind, MmId, MmStruct, PageCache, Pfn, Prot, PteFlags, VaRange, Vpn,
 };
-use latr_sim::{EventQueue, Nanos, SimRng, StatsRegistry, Time, TraceRing};
+use latr_sim::{EventQueue, Nanos, QueueBackend, SimRng, StatsRegistry, Time, TraceRing};
 use std::collections::HashMap;
 
 /// Configuration of one simulation run.
@@ -56,6 +56,11 @@ pub struct MachineConfig {
     /// the injector's RNG is forked off the seed, never the main stream,
     /// and the IPI retransmit timer is only armed while a plan is active.
     pub faults: Option<FaultPlan>,
+    /// Which event-queue implementation drives the run. Both deliver the
+    /// exact same event order; `Reference` is the straightforward heap
+    /// kept as the executable spec for the differential suite. The default
+    /// follows the `reference` cargo feature.
+    pub event_queue: QueueBackend,
 }
 
 impl MachineConfig {
@@ -74,6 +79,7 @@ impl MachineConfig {
             numa: NumaConfig::disabled(),
             oracle: cfg!(feature = "oracle"),
             faults: None,
+            event_queue: QueueBackend::default(),
         }
     }
 }
@@ -186,7 +192,7 @@ impl Machine {
         #[allow(unused_mut)]
         let mut machine = Machine {
             fabric: IpiFabric::new(config.topology.clone(), config.costs.clone()),
-            queue: EventQueue::new(),
+            queue: EventQueue::with_backend(config.event_queue),
             cores,
             mms: Vec::new(),
             frames,
@@ -2219,13 +2225,20 @@ impl Machine {
     /// are still referenced (that is the Latr relaxation), but a *present*
     /// PTE must never be cached with a different frame.
     pub fn check_mapping_coherence(&self) -> Option<InvariantViolation> {
+        // Intern the pcid → address-space relation once instead of walking
+        // every mm per TLB entry (entries × mms blows up on 120-core runs
+        // where the checkers execute inside test loops).
+        let mut by_pcid: HashMap<u16, Vec<usize>> = HashMap::new();
+        for (i, mm) in self.mms.iter().enumerate() {
+            by_pcid.entry(mm.pcid).or_default().push(i);
+        }
         for core in &self.cores {
             for entry in core.tlb.iter_entries() {
-                for mm in &self.mms {
-                    if mm.pcid != entry.pcid {
-                        continue;
-                    }
-                    if let Some(pte) = mm.page_table.lookup(Vpn(entry.vpn)) {
+                let Some(mms) = by_pcid.get(&entry.pcid) else {
+                    continue;
+                };
+                for &i in mms {
+                    if let Some(pte) = self.mms[i].page_table.lookup(Vpn(entry.vpn)) {
                         if !pte.flags.numa_hint && pte.pfn.0 != entry.pfn {
                             return Some(InvariantViolation::MappingMismatch {
                                 cpu: core.id,
@@ -2239,6 +2252,35 @@ impl Machine {
             }
         }
         None
+    }
+
+    /// Number of events the queue has delivered so far — the simulator's
+    /// raw unit of work, reported by the hot-path benchmarks.
+    pub fn events_delivered(&self) -> u64 {
+        self.queue.delivered()
+    }
+
+    /// Fingerprints the run for determinism and differential comparisons:
+    /// final clock, delivered-event count, every counter, every histogram
+    /// summary, and the rendered trace ring. Two runs (or two engines) are
+    /// event-identical iff their fingerprints are byte-identical — counters
+    /// and histograms live in ordered maps, so the rendering is stable
+    /// across processes and builds.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "end={}", self.now().as_ns());
+        let _ = writeln!(out, "events={}", self.queue.delivered());
+        for (name, value) in self.stats.counters() {
+            let _ = writeln!(out, "{name}={value}");
+        }
+        for (name, hist) in self.stats.histograms() {
+            let _ = writeln!(out, "{name}: {}", hist.summary());
+        }
+        for entry in self.trace.iter() {
+            let _ = writeln!(out, "{entry}");
+        }
+        out
     }
 }
 

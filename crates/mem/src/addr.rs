@@ -195,7 +195,7 @@ mod tests {
     fn addr_page_roundtrip() {
         let a = VirtAddr(0x1234_5000);
         assert!(a.is_page_aligned());
-        assert_eq!(a.vpn(), Vpn(0x1234_5));
+        assert_eq!(a.vpn(), Vpn(0x1_2345));
         assert_eq!(a.vpn().addr(), a);
         assert!(!VirtAddr(0x1234_5001).is_page_aligned());
     }

@@ -11,17 +11,25 @@
 //!   PARSEC suite as calibrated synthetic profiles;
 //! * [`MigrationWorkload`] + [`MigrationProfile`] — the Fig. 11 AutoNUMA
 //!   applications (graph500, pbzip2, metis, fluidanimate, ocean_cp);
+//! * [`SweepStorm`] — the sweep-heavy workload the hot-path benchmarks
+//!   and the fast-vs-reference differential suite run on;
+//! * [`ChaosShare`] — the cross-core sharing workload the chaos and
+//!   differential suites drive under injected fault plans;
 //! * [`harness`] — one-call experiment runner shared by the bench
 //!   binaries, the examples and the integration tests.
 
 pub mod apache;
+pub mod chaos_share;
 pub mod harness;
 pub mod microbench;
 pub mod migration;
 pub mod parsec;
+pub mod sweep_storm;
 
 pub use apache::ApacheWorkload;
+pub use chaos_share::ChaosShare;
 pub use harness::{run_experiment, ExperimentResult, PolicyKind};
 pub use microbench::MunmapMicrobench;
 pub use migration::{MigrationProfile, MigrationWorkload};
 pub use parsec::{ParsecProfile, ParsecWorkload};
+pub use sweep_storm::SweepStorm;

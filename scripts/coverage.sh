@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Local line-coverage report via cargo-llvm-cov (report only, never a
+# gate — mirrors the CI `coverage` job). The tool is not vendored; this
+# script degrades to a pointer when it is absent rather than failing.
+set -eu
+
+if ! cargo llvm-cov --version >/dev/null 2>&1; then
+    echo "cargo-llvm-cov is not installed; skipping coverage." >&2
+    echo "Install (outside this offline container) with:" >&2
+    echo "    cargo +stable install cargo-llvm-cov --locked" >&2
+    echo "then re-run: scripts/coverage.sh" >&2
+    exit 0
+fi
+
+# Summary table for the whole workspace, then an lcov file for editors
+# and CI artifact parity. Excludes the vendored third_party stubs: their
+# coverage says nothing about the simulator.
+cargo llvm-cov --workspace --ignore-filename-regex 'third_party/' --summary-only "$@"
+cargo llvm-cov report --lcov --output-path lcov.info
+echo "wrote lcov.info"

@@ -23,111 +23,13 @@
 //! pin down that identical plans and seeds reproduce identical runs,
 //! counter for counter and trace line for trace line.
 
-use latr_arch::{CpuId, MachinePreset, Topology};
+use latr_arch::{MachinePreset, Topology};
 use latr_core::LatrConfig;
 use latr_faults::FaultPlan;
-use latr_kernel::{metrics, Machine, MachineConfig, Op, OpResult, TaskId, Workload};
-use latr_mem::{Prot, VaRange};
+use latr_kernel::{metrics, Machine, MachineConfig};
 use latr_sim::{MILLISECOND, SECOND};
-use latr_workloads::PolicyKind;
+use latr_workloads::{ChaosShare, PolicyKind};
 use proptest::prelude::*;
-
-/// Cross-core churn on one shared address space: every task maps, writes,
-/// reads a neighbour's live page (planting remote TLB entries that sweeps
-/// must clear), occasionally `mprotect`s (a always-synchronous shootdown,
-/// keeping real IPI traffic flowing for the drop/delay/retry paths), then
-/// unmaps and computes. After its rounds it lingers across scheduler
-/// ticks so published states retire and reclamation completes while the
-/// machine is still live.
-struct ChaosShare {
-    cores: usize,
-    rounds: u32,
-    step: Vec<u8>,
-    done_rounds: Vec<u32>,
-    linger: Vec<u8>,
-    current: Vec<Option<VaRange>>,
-}
-
-impl ChaosShare {
-    fn new(cores: usize, rounds: u32) -> Self {
-        ChaosShare {
-            cores,
-            rounds,
-            step: vec![0; cores],
-            done_rounds: vec![0; cores],
-            linger: vec![0; cores],
-            current: vec![None; cores],
-        }
-    }
-}
-
-impl Workload for ChaosShare {
-    fn setup(&mut self, machine: &mut Machine) {
-        let mm = machine.create_process();
-        for c in 0..self.cores {
-            machine.spawn_task(mm, CpuId(c as u16));
-        }
-    }
-
-    fn next_op(&mut self, machine: &mut Machine, task: TaskId) -> Op {
-        let _ = machine;
-        let i = task.index();
-        if self.done_rounds[i] >= self.rounds {
-            // Linger long enough for two-tick reclamation (plus watchdog
-            // escalations) to finish while other cores still tick.
-            if self.linger[i] >= 14 {
-                return Op::Exit;
-            }
-            self.linger[i] += 1;
-            return Op::Sleep(MILLISECOND);
-        }
-        let step = self.step[i];
-        self.step[i] = (step + 1) % 6;
-        match step {
-            0 => Op::MmapAnon { pages: 2 },
-            1 => match self.current[i] {
-                Some(r) => Op::Access {
-                    vpn: r.start,
-                    write: true,
-                },
-                None => Op::Sleep(5_000),
-            },
-            2 => {
-                // Read a neighbour's live page: the cross-core TLB entry
-                // is what makes sweeps — and faults in them — matter.
-                let n = (i + 1) % self.cores;
-                match self.current[n] {
-                    Some(r) => Op::Access {
-                        vpn: r.start,
-                        write: false,
-                    },
-                    None => Op::Sleep(5_000),
-                }
-            }
-            3 => match self.current[i] {
-                Some(r) if self.done_rounds[i] % 3 == (i as u32) % 3 => Op::Mprotect {
-                    range: r,
-                    prot: Prot::READ_WRITE,
-                },
-                _ => Op::Compute(20_000),
-            },
-            4 => match self.current[i].take() {
-                Some(r) => Op::Munmap { range: r },
-                None => Op::Sleep(5_000),
-            },
-            _ => {
-                self.done_rounds[i] += 1;
-                Op::Compute(250_000)
-            }
-        }
-    }
-
-    fn on_op_complete(&mut self, machine: &mut Machine, task: TaskId, result: OpResult) {
-        if let Op::MmapAnon { .. } = result.op {
-            self.current[task.index()] = machine.task(task).last_mmap;
-        }
-    }
-}
 
 /// Runs the chaos workload for one simulated second (it finishes in
 /// ~25 ms) under `plan` and the given Latr configuration.
@@ -359,29 +261,11 @@ fn mixed_fault_soup_stays_safe_and_bounded() {
     }
 }
 
-/// Fingerprints a run for determinism comparisons: end time, every
-/// counter, every histogram summary, and the rendered trace.
-fn fingerprint(m: &Machine) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::new();
-    let _ = writeln!(out, "end={}", m.now().as_ns());
-    for (name, value) in m.stats.counters() {
-        let _ = writeln!(out, "{name}={value}");
-    }
-    for (name, hist) in m.stats.histograms() {
-        let _ = writeln!(out, "{name}: {}", hist.summary());
-    }
-    for entry in m.trace.iter() {
-        let _ = writeln!(out, "{entry}");
-    }
-    out
-}
-
 #[test]
 fn identical_plans_and_seeds_reproduce_identical_runs() {
     let a = run_chaos(0xCAFE, mixed_plan(), LatrConfig::default());
     let b = run_chaos(0xCAFE, mixed_plan(), LatrConfig::default());
-    assert_eq!(fingerprint(&a), fingerprint(&b));
+    assert_eq!(a.fingerprint(), b.fingerprint());
 }
 
 proptest! {
@@ -405,6 +289,6 @@ proptest! {
         let parsed = FaultPlan::parse(&plan.to_config_string()).expect("round-trip");
         let a = run_chaos(seed, plan, LatrConfig::default());
         let b = run_chaos(seed, parsed, LatrConfig::default());
-        prop_assert_eq!(fingerprint(&a), fingerprint(&b));
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
     }
 }

@@ -1,0 +1,177 @@
+//! Golden-trace snapshots (ISSUE 4): six seeded scenarios whose full
+//! [`latr_kernel::Machine::fingerprint`] — end time, delivered-event
+//! count, every counter, every histogram summary and the rendered trace —
+//! is pinned byte-for-byte against committed files under `tests/golden/`.
+//!
+//! The snapshots are the determinism backstop for the hot-path work: any
+//! change to event ordering, sweep behaviour or cost accounting shows up
+//! as a diff here, whether it comes from the fast engines or the
+//! `reference` ones (the differential suite proves they agree, so one
+//! set of golden files pins both).
+//!
+//! To re-bless after an *intentional* behaviour change:
+//!
+//! ```sh
+//! LATR_BLESS=1 cargo test --test golden_traces
+//! git diff tests/golden/   # review every hunk before committing
+//! ```
+
+use std::path::PathBuf;
+
+use latr_arch::{MachinePreset, Topology};
+use latr_core::LatrConfig;
+use latr_faults::FaultPlan;
+use latr_kernel::{Machine, MachineConfig, Workload};
+use latr_sim::{MILLISECOND, SECOND};
+use latr_workloads::{
+    ChaosShare, MigrationProfile, MigrationWorkload, MunmapMicrobench, PolicyKind, SweepStorm,
+};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+/// Compares the machine's fingerprint against the committed snapshot, or
+/// rewrites the snapshot when `LATR_BLESS` is set.
+fn check_golden(name: &str, machine: &Machine) {
+    let path = golden_path(name);
+    let got = machine.fingerprint();
+    if std::env::var_os("LATR_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {}: {e}\n\
+             generate it with `LATR_BLESS=1 cargo test --test golden_traces`",
+            path.display()
+        )
+    });
+    if got != want {
+        let line = got
+            .lines()
+            .zip(want.lines())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| got.lines().count().min(want.lines().count()));
+        let g = got.lines().nth(line).unwrap_or("<eof>");
+        let w = want.lines().nth(line).unwrap_or("<eof>");
+        panic!(
+            "scenario `{name}` diverged from its golden snapshot at line {line}:\n\
+             got:    {g}\n\
+             golden: {w}\n\
+             ({} got lines vs {} golden lines; re-bless with LATR_BLESS=1 \
+             only if the change is intentional)",
+            got.lines().count(),
+            want.lines().count()
+        );
+    }
+}
+
+/// Runs one golden scenario: fixed topology, seed, plan and workload.
+fn run_scenario(
+    mut config: MachineConfig,
+    seed: u64,
+    plan: Option<FaultPlan>,
+    latr: LatrConfig,
+    workload: Box<dyn Workload>,
+) -> Machine {
+    config.seed = seed;
+    config.trace_capacity = 4096;
+    config.faults = plan;
+    let mut machine = Machine::new(config);
+    machine.run(workload, PolicyKind::Latr(latr).build(), SECOND);
+    machine
+}
+
+fn commodity16() -> MachineConfig {
+    MachineConfig::new(Topology::preset(MachinePreset::Commodity2S16C))
+}
+
+#[test]
+fn golden_sweep_storm() {
+    let m = run_scenario(
+        commodity16(),
+        0x601D_0001,
+        None,
+        LatrConfig::default(),
+        Box::new(SweepStorm::new(8, 5)),
+    );
+    check_golden("sweep_storm", &m);
+}
+
+#[test]
+fn golden_munmap_storm() {
+    let m = run_scenario(
+        commodity16(),
+        0x601D_0002,
+        None,
+        LatrConfig::default(),
+        Box::new(MunmapMicrobench::new(8, 16, 20)),
+    );
+    check_golden("munmap_storm", &m);
+}
+
+#[test]
+fn golden_migration() {
+    let profile = MigrationProfile::by_name("graph500").expect("profile exists");
+    let m = run_scenario(
+        profile.machine_config(Topology::preset(MachinePreset::Commodity2S16C)),
+        0x601D_0003,
+        None,
+        LatrConfig::default(),
+        Box::new(MigrationWorkload::new(profile, 8, 30)),
+    );
+    check_golden("migration", &m);
+}
+
+#[test]
+fn golden_overflow_fallback() {
+    // A 4-slot queue under zero-sleep rounds: the overflow→IPI fallback
+    // and the adaptive enter/exit hysteresis dominate the trace.
+    let latr = LatrConfig {
+        states_per_core: 4,
+        ..LatrConfig::default()
+    };
+    let m = run_scenario(
+        commodity16(),
+        0x601D_0004,
+        None,
+        latr,
+        Box::new(SweepStorm::new(8, 12).with_sleep(0)),
+    );
+    check_golden("overflow_fallback", &m);
+}
+
+#[test]
+fn golden_chaos_drop() {
+    let m = run_scenario(
+        commodity16(),
+        0x601D_0005,
+        Some(FaultPlan::default().with_ipi_drop(0.30)),
+        LatrConfig::default(),
+        Box::new(ChaosShare::new(4, 12)),
+    );
+    check_golden("chaos_drop", &m);
+}
+
+#[test]
+fn golden_chaos_soup() {
+    let plan = FaultPlan::default()
+        .with_ipi_drop(0.10)
+        .with_ipi_delay(0.30, 200_000)
+        .with_tick_miss(0.20)
+        .with_tick_jitter(0.30, 200_000)
+        .with_stall(2, 2 * MILLISECOND, 4 * MILLISECOND)
+        .with_storm(8 * MILLISECOND, 2 * MILLISECOND);
+    let m = run_scenario(
+        commodity16(),
+        0x601D_0006,
+        Some(plan),
+        LatrConfig::default(),
+        Box::new(ChaosShare::new(4, 12)),
+    );
+    check_golden("chaos_soup", &m);
+}

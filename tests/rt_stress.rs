@@ -15,14 +15,36 @@ fn inv(tag: u64) -> RtInvalidation {
     }
 }
 
-/// 130 target CPUs spread over three mask words; the emptiness observation
-/// races across words, so retirement must stay exactly-once (the counter
-/// would underflow loudly otherwise).
+/// The machine sizes the stress suite runs at (ISSUE 4): a 4-core
+/// desktop, the paper's 16-core commodity box, and the 120-core NUMA
+/// monster whose masks span two words. `wide_mask_retirement` adds a
+/// 136-core shape on top so the three-word cross-word race stays
+/// covered.
+const SHAPES: [usize; 3] = [4, 16, 120];
+
+/// Broadcast states to every other core; the emptiness observation races
+/// across mask words at the larger shapes, so retirement must stay
+/// exactly-once (the counter would underflow loudly otherwise).
 #[test]
 fn wide_mask_retirement_is_exactly_once() {
-    let cores = 136;
+    for cores in [4, 16, 120, 136] {
+        wide_mask_retirement_at(cores, RtRegistry::sweep);
+    }
+}
+
+/// The same broadcast race driven through the pending-bitmap drain
+/// instead of the full scan: the fast path must deliver each state to
+/// each target exactly once at every shape too.
+#[test]
+fn wide_mask_retirement_is_exactly_once_via_pending_sweep() {
+    for cores in [4, 16, 120, 136] {
+        wide_mask_retirement_at(cores, RtRegistry::sweep_pending);
+    }
+}
+
+fn wide_mask_retirement_at(cores: usize, sweep: fn(&RtRegistry, usize) -> Vec<RtInvalidation>) {
     let registry = Arc::new(RtRegistry::new(cores, 128));
-    let total = 300u64;
+    let total = if cores >= 120 { 300u64 } else { 600u64 };
 
     // Targets: every core except 0.
     let publisher = {
@@ -50,7 +72,7 @@ fn wide_mask_retirement_is_exactly_once() {
                 loop {
                     let mut progress = false;
                     for &core in &my_cores {
-                        for w in r.sweep(core) {
+                        for w in sweep(&r, core) {
                             seen[w.mm as usize] += 1;
                             progress = true;
                         }
@@ -58,7 +80,7 @@ fn wide_mask_retirement_is_exactly_once() {
                     if !progress && done.load(Ordering::Acquire) {
                         // One final pass to drain stragglers.
                         for &core in &my_cores {
-                            for w in r.sweep(core) {
+                            for w in sweep(&r, core) {
                                 seen[w.mm as usize] += 1;
                             }
                         }
@@ -86,9 +108,13 @@ fn wide_mask_retirement_is_exactly_once() {
         }
     }
     // Every state must have been delivered exactly once to each of the
-    // 135 targets.
+    // `cores - 1` targets.
     for (i, &n) in per_state.iter().enumerate() {
-        assert_eq!(n, (cores - 1) as u64, "state {i} delivered {n} times");
+        assert_eq!(
+            n,
+            (cores - 1) as u64,
+            "state {i} delivered {n} times at {cores} cores"
+        );
     }
     assert_eq!(registry.states_saved(), total);
     assert_eq!(registry.queue(0).active_count(), 0, "all slots recycled");
@@ -99,10 +125,22 @@ fn wide_mask_retirement_is_exactly_once() {
 /// ticked twice past its deferral.
 #[test]
 fn reclaim_pipeline_respects_grace_under_concurrency() {
-    let cores = 4;
+    for cores in SHAPES {
+        // Fewer objects at the bigger shapes: the frontier needs every
+        // one of `cores - 1` ticker threads to advance, so each object
+        // costs more wall-clock as the machine grows.
+        let total = match cores {
+            0..=8 => 2_000u64,
+            9..=32 => 800,
+            _ => 150,
+        };
+        reclaim_pipeline_at(cores, total);
+    }
+}
+
+fn reclaim_pipeline_at(cores: usize, total: u64) {
     let registry = Arc::new(RtRegistry::new(cores, 256));
     let reclaimer: Arc<RtReclaimer<(u64, u64)>> = Arc::new(RtReclaimer::new(2));
-    let total = 2_000u64;
     let stop = Arc::new(AtomicBool::new(false));
 
     let tickers: Vec<_> = (1..cores)
@@ -141,13 +179,12 @@ fn reclaim_pipeline_respects_grace_under_concurrency() {
     }
     // Everything eventually comes back, in FIFO order.
     for _ in 0..4 {
-        registry.sweep(0);
-        registry.sweep(1);
-        registry.sweep(2);
-        registry.sweep(3);
+        for core in 0..cores {
+            registry.sweep(core);
+        }
     }
     collected.extend(reclaimer.collect(&registry).into_iter().map(|(o, _)| o));
-    assert_eq!(collected.len() as u64, total);
+    assert_eq!(collected.len() as u64, total, "{cores} cores");
     assert!(collected.windows(2).all(|w| w[0] < w[1]), "FIFO order");
 }
 
@@ -155,14 +192,24 @@ fn reclaim_pipeline_respects_grace_under_concurrency() {
 /// torn state (mm/start/end always belong together).
 #[test]
 fn recycled_slots_never_tear() {
-    let registry = Arc::new(RtRegistry::new(2, 2));
-    let rounds = 20_000u64;
+    // The registry is sized to the shape but the race is always between
+    // core 0 (publisher) and the machine's last core (sweeper): at 120
+    // cores the target bit lives in the second mask word.
+    for cores in SHAPES {
+        let rounds = if cores >= 120 { 5_000u64 } else { 20_000 };
+        recycled_slots_at(cores, rounds);
+    }
+}
+
+fn recycled_slots_at(cores: usize, rounds: u64) {
+    let registry = Arc::new(RtRegistry::new(cores, 2));
+    let target = cores - 1;
     let sweeper = {
         let r = Arc::clone(&registry);
         std::thread::spawn(move || {
             let mut delivered = 0u64;
             while delivered < rounds {
-                for w in r.sweep(1) {
+                for w in r.sweep(target) {
                     // Consistency of the payload triple.
                     assert_eq!(w.start, w.mm * 0x1000, "torn state {w:?}");
                     assert_eq!(w.end, w.mm * 0x1000 + 0x1000, "torn state {w:?}");
@@ -172,14 +219,19 @@ fn recycled_slots_never_tear() {
             }
         })
     };
+    let mut target_words = [0u64; 4];
+    target_words[target / 64] = 1 << (target % 64);
     let mut published = 0u64;
     while published < rounds {
-        if registry.publish(0, inv(published), 0b10).is_ok() {
+        if registry
+            .publish_wide(0, inv(published), target_words)
+            .is_ok()
+        {
             published += 1;
         } else {
             std::thread::yield_now();
         }
     }
     sweeper.join().expect("sweeper");
-    assert_eq!(registry.states_saved(), rounds);
+    assert_eq!(registry.states_saved(), rounds, "{cores} cores");
 }
