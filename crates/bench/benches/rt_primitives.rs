@@ -4,7 +4,7 @@
 //! baseline (paper: 1594.2 ns for Linux's IPI round).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use latr_core::rt::{RtInvalidation, RtReclaimer, RtRegistry, SoftTlb, SoftTlbTable};
+use latr_core::rt::{CachePadded, RtInvalidation, RtReclaimer, RtRegistry, SoftTlb, SoftTlbTable};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -82,6 +82,94 @@ fn bench_soft_tlb(c: &mut Criterion) {
     });
 }
 
+/// The contended shapes (ISSUE 5): N publisher threads hammer one
+/// sweeper's queue set while the measured thread sweeps. This is the
+/// regime the sharded/padded work targets — the interesting number is
+/// how much the sweep degrades versus `rt_sweep_one_hit`'s quiet run.
+fn bench_contended_sweep(c: &mut Criterion) {
+    for publishers in [2usize, 6] {
+        let cores = publishers + 1;
+        let registry = Arc::new(RtRegistry::new(cores, 256));
+        let stop = Arc::new(AtomicBool::new(false));
+        let threads: Vec<_> = (1..cores)
+            .map(|core| {
+                let r = Arc::clone(&registry);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        // Target only the sweeper (core 0); on overflow
+                        // spin until it drains.
+                        let _ = r.publish(core, inv(), 0b1);
+                        std::hint::spin_loop();
+                    }
+                })
+            })
+            .collect();
+        let mut buf = Vec::new();
+        c.bench_function(
+            &format!("rt_sweep_contended_{publishers}_publishers"),
+            |b| {
+                b.iter(|| {
+                    buf.clear();
+                    registry.sweep_pending_into(0, &mut buf);
+                    black_box(buf.len())
+                })
+            },
+        );
+        stop.store(true, Ordering::Relaxed);
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Padded vs unpadded per-core tick counters: neighbours hammer the
+/// adjacent counters while the measured thread bumps its own. With the
+/// unpadded layout all 8 counters share one or two cache lines, so every
+/// neighbour bump steals the measured core's line (false sharing); the
+/// padded layout keeps the measured counter's line private.
+fn bench_tick_counter_padding(c: &mut Criterion) {
+    const NEIGHBOURS: usize = 3;
+
+    fn run<T: Send + Sync + 'static>(
+        c: &mut Criterion,
+        name: &str,
+        counters: Arc<Vec<T>>,
+        slot: fn(&T) -> &AtomicU64,
+    ) {
+        let stop = Arc::new(AtomicBool::new(false));
+        let threads: Vec<_> = (1..=NEIGHBOURS)
+            .map(|i| {
+                let counters = Arc::clone(&counters);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        slot(&counters[i]).fetch_add(1, Ordering::Release);
+                    }
+                })
+            })
+            .collect();
+        c.bench_function(name, |b| {
+            b.iter(|| slot(&counters[0]).fetch_add(1, Ordering::Release))
+        });
+        stop.store(true, Ordering::Relaxed);
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+
+    let unpadded: Arc<Vec<AtomicU64>> =
+        Arc::new((0..=NEIGHBOURS).map(|_| AtomicU64::new(0)).collect());
+    run(c, "tick_counter_unpadded_contended", unpadded, |s| s);
+
+    let padded: Arc<Vec<CachePadded<AtomicU64>>> = Arc::new(
+        (0..=NEIGHBOURS)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect(),
+    );
+    run(c, "tick_counter_padded_contended", padded, |s| s);
+}
+
 /// The synchronous baseline: wake a remote thread and wait for its ACK —
 /// the user-space analogue of an IPI + ACK round (the cost Latr removes
 /// from the critical path).
@@ -139,6 +227,8 @@ criterion_group!(
     bench_sweep_empty,
     bench_reclaimer,
     bench_soft_tlb,
+    bench_contended_sweep,
+    bench_tick_counter_padding,
     bench_sync_shootdown_baseline
 );
 criterion_main!(benches);

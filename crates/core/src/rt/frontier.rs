@@ -1,0 +1,126 @@
+//! The cached reclamation frontier.
+//!
+//! The reference frontier is [`RtRegistry::min_tick`]: an O(cores) scan
+//! of every per-core tick counter, paid on **every** `defer`/`collect`.
+//! At 120+ real threads that scan touches 120 cache lines each time and
+//! is itself the scaling bottleneck the paper's reclamation path must
+//! avoid.
+//!
+//! [`ReclaimFrontier`] caches a *lower bound* of the minimum in one
+//! global atomic, advanced crossbeam-epoch style: sweepers *announce*
+//! their progress (their per-core tick bump) and only the core that may
+//! have been the laggard — its pre-bump tick equalled the cached value —
+//! re-scans and publishes a fresh minimum with a CAS-max. Everyone else
+//! reads the frontier with a single uncontended load.
+//!
+//! # Invariant (loom-checked)
+//!
+//! The cached value never advances past an unswept core:
+//! `cached ≤ min_tick()` at every instant. It holds because per-core
+//! ticks are monotonic — a scan's observed minimum is a valid lower
+//! bound of the true minimum *forever after* — and [`advance_to`] only
+//! moves the cache up to such an observed minimum, monotonically
+//! (CAS-max, never a blind store).
+//!
+//! # Liveness
+//!
+//! The announce trigger alone can miss: the laggard may bump its tick
+//! after a scanner read it but before the scanner's CAS lands, so no
+//! core ever observes `old == cached` again. [`RtRegistry`] therefore
+//! also forces a refresh every [`REFRESH_TICKS`] sweeps per core — the
+//! cache then lags the true minimum by a bounded number of sweeps
+//! instead of stalling forever, while the O(cores) scan stays off the
+//! common sweep path.
+//!
+//! [`RtRegistry`]: crate::rt::RtRegistry
+//! [`RtRegistry::min_tick`]: crate::rt::RtRegistry::min_tick
+//! [`advance_to`]: ReclaimFrontier::advance_to
+
+use crate::rt::pad::CachePadded;
+use crate::rt::sync::atomic::{AtomicU64, Ordering};
+
+/// Force a frontier re-scan every this many sweeps of a single core, as
+/// the liveness backstop for the announce trigger (see module docs).
+pub const REFRESH_TICKS: u64 = 32;
+
+/// A monotonically advancing cached lower bound of the registry's
+/// minimum tick.
+#[derive(Debug)]
+pub struct ReclaimFrontier {
+    cached: CachePadded<AtomicU64>,
+}
+
+impl Default for ReclaimFrontier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReclaimFrontier {
+    /// A frontier at tick 0.
+    pub fn new() -> Self {
+        ReclaimFrontier {
+            cached: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The cached frontier: one atomic load, guaranteed `≤ min_tick()`.
+    pub fn get(&self) -> u64 {
+        self.cached.load(Ordering::Acquire)
+    }
+
+    /// Publishes an observed minimum tick, advancing the cache
+    /// monotonically (CAS-max: a stale observation never moves it
+    /// backwards). Returns the frontier after the publish.
+    pub fn advance_to(&self, observed_min: u64) -> u64 {
+        let mut current = self.cached.load(Ordering::Acquire);
+        while current < observed_min {
+            match self.cached.compare_exchange(
+                current,
+                observed_min,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return observed_min,
+                Err(now) => current = now,
+            }
+        }
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let f = ReclaimFrontier::new();
+        assert_eq!(f.get(), 0);
+        assert_eq!(f.advance_to(3), 3);
+        // A stale (lower) observation never regresses the cache.
+        assert_eq!(f.advance_to(1), 3);
+        assert_eq!(f.get(), 3);
+        assert_eq!(f.advance_to(7), 7);
+    }
+
+    #[test]
+    fn concurrent_advances_keep_the_max() {
+        use std::sync::Arc;
+        let f = Arc::new(ReclaimFrontier::new());
+        let handles: Vec<_> = (1..=8u64)
+            .map(|n| {
+                let f = Arc::clone(&f);
+                std::thread::spawn(move || {
+                    for v in 0..=n * 10 {
+                        f.advance_to(v);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(f.get(), 80);
+    }
+}

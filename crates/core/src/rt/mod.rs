@@ -25,13 +25,17 @@
 //! assert_eq!(work[0].mm, 7);
 //! ```
 
+pub mod frontier;
 mod mask;
+mod pad;
 mod queue;
 mod reclaim;
 mod soft_tlb;
 pub mod sync;
 
+pub use frontier::ReclaimFrontier;
 pub use mask::AtomicCpuMask;
+pub use pad::CachePadded;
 pub use queue::{PublishError, RtInvalidation, RtQueue, RtRegistry};
-pub use reclaim::RtReclaimer;
-pub use soft_tlb::{SoftTlb, SoftTlbTable};
+pub use reclaim::{ReclaimBackend, Reclaimer, RtReclaimer, ShardedReclaimer};
+pub use soft_tlb::{SoftTlb, SoftTlbTable, SweepMode};

@@ -1,0 +1,67 @@
+//! Cache-line padding for the rt hot state.
+//!
+//! At 120+ real threads the dominant cost of the per-core tick counters,
+//! pending-bitmap rows and queue head state is not the atomic op itself
+//! but the coherence traffic from *neighbouring* fields sharing a cache
+//! line: core A bumping its tick invalidates the line holding core B's
+//! tick, so every sweep ping-pongs lines across the whole machine.
+//! [`CachePadded`] aligns (and therefore sizes) each element to its own
+//! 64-byte line, the same trick as `crossbeam_utils::CachePadded`.
+
+/// Pads and aligns `T` to a 64-byte cache line.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` on its own cache line.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwraps the value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_elements_live_on_distinct_lines() {
+        assert_eq!(std::mem::align_of::<CachePadded<u64>>(), 64);
+        assert_eq!(std::mem::size_of::<CachePadded<u64>>(), 64);
+        let v: Vec<CachePadded<u64>> = (0..4).map(CachePadded::new).collect();
+        for w in v.windows(2) {
+            let a = &*w[0] as *const u64 as usize;
+            let b = &*w[1] as *const u64 as usize;
+            assert!(b - a >= 64, "neighbours must not share a line");
+        }
+    }
+
+    #[test]
+    fn deref_round_trips() {
+        let mut p = CachePadded::new(7u32);
+        *p += 1;
+        assert_eq!(*p, 8);
+        assert_eq!(p.into_inner(), 8);
+    }
+}

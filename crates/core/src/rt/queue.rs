@@ -8,7 +8,9 @@
 //! the `active` flag after the plain field writes, paired with acquire
 //! loads in the sweep.
 
+use crate::rt::frontier::{ReclaimFrontier, REFRESH_TICKS};
 use crate::rt::mask::{mask_first_n_except, AtomicCpuMask};
+use crate::rt::pad::CachePadded;
 use crate::rt::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// The payload of one invalidation: which address space and which virtual
@@ -69,8 +71,11 @@ impl Slot {
 #[derive(Debug)]
 pub struct RtQueue {
     slots: Box<[Slot]>,
-    head: AtomicUsize,
-    active: AtomicUsize,
+    // Head and active counter each own a cache line: the publisher's
+    // head bump must not invalidate the line every sweeper polls for the
+    // idle-queue fast path (and vice versa).
+    head: CachePadded<AtomicUsize>,
+    active: CachePadded<AtomicUsize>,
 }
 
 impl RtQueue {
@@ -78,8 +83,8 @@ impl RtQueue {
     pub fn new(capacity: usize) -> Self {
         RtQueue {
             slots: (0..capacity).map(|_| Slot::new()).collect(),
-            head: AtomicUsize::new(0),
-            active: AtomicUsize::new(0),
+            head: CachePadded::new(AtomicUsize::new(0)),
+            active: CachePadded::new(AtomicUsize::new(0)),
         }
     }
 
@@ -240,10 +245,22 @@ pub struct RtRegistry {
     /// stale-set (a visit that finds nothing) but never stale-clear.
     ///
     /// [`sweep_pending`]: RtRegistry::sweep_pending
-    pending: Vec<AtomicCpuMask>,
-    ticks: Vec<AtomicU64>,
-    saved: AtomicU64,
-    overflows: AtomicU64,
+    ///
+    /// Each row is cache-line-padded: a publisher flagging core A's row
+    /// must not ping-pong the line core B drains every tick.
+    pending: Box<[CachePadded<AtomicCpuMask>]>,
+    /// Per-core tick counters, one cache line each — the hottest state in
+    /// the registry (bumped on every sweep, scanned by the frontier).
+    ticks: Box<[CachePadded<AtomicU64>]>,
+    /// Cached lower bound of [`min_tick`](Self::min_tick), advanced by
+    /// sweepers (see [`ReclaimFrontier`]).
+    frontier: ReclaimFrontier,
+    /// Per-core publish counters (indexed by the publishing core, summed
+    /// on read) so the single shared `fetch_add` line disappears from the
+    /// publish path.
+    saved: Box<[CachePadded<AtomicU64>]>,
+    /// Per-core overflow counters, same layout as `saved`.
+    overflows: Box<[CachePadded<AtomicU64>]>,
 }
 
 impl RtRegistry {
@@ -252,10 +269,19 @@ impl RtRegistry {
     pub fn new(cores: usize, states_per_core: usize) -> Self {
         RtRegistry {
             queues: (0..cores).map(|_| RtQueue::new(states_per_core)).collect(),
-            pending: (0..cores).map(|_| AtomicCpuMask::new()).collect(),
-            ticks: (0..cores).map(|_| AtomicU64::new(0)).collect(),
-            saved: AtomicU64::new(0),
-            overflows: AtomicU64::new(0),
+            pending: (0..cores)
+                .map(|_| CachePadded::new(AtomicCpuMask::new()))
+                .collect(),
+            ticks: (0..cores)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            frontier: ReclaimFrontier::new(),
+            saved: (0..cores)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            overflows: (0..cores)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
         }
     }
 
@@ -315,11 +341,11 @@ impl RtRegistry {
         match self.queues[core].publish(inv, target_words) {
             Ok(idx) => {
                 self.mark_pending(core, target_words);
-                self.saved.fetch_add(1, Ordering::Relaxed);
+                self.saved[core].fetch_add(1, Ordering::Relaxed);
                 Ok(idx)
             }
             Err(e) => {
-                self.overflows.fetch_add(1, Ordering::Relaxed);
+                self.overflows[core].fetch_add(1, Ordering::Relaxed);
                 Err(e)
             }
         }
@@ -345,11 +371,11 @@ impl RtRegistry {
                 for &(_, words) in batch {
                     self.mark_pending(core, words);
                 }
-                self.saved.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                self.saved[core].fetch_add(batch.len() as u64, Ordering::Relaxed);
                 Ok(())
             }
             Err(e) => {
-                self.overflows.fetch_add(1, Ordering::Relaxed);
+                self.overflows[core].fetch_add(1, Ordering::Relaxed);
                 Err(e)
             }
         }
@@ -373,11 +399,18 @@ impl RtRegistry {
     /// returns the invalidations the caller must apply locally.
     pub fn sweep(&self, core: usize) -> Vec<RtInvalidation> {
         let mut out = Vec::new();
-        for q in &self.queues {
-            q.sweep_for(core, &mut out);
-        }
-        self.ticks[core].fetch_add(1, Ordering::Release);
+        self.sweep_into(core, &mut out);
         out
+    }
+
+    /// Allocation-free [`sweep`](Self::sweep): appends the invalidations
+    /// to `out` (not cleared first) so a tick loop can reuse one buffer
+    /// across its whole lifetime.
+    pub fn sweep_into(&self, core: usize, out: &mut Vec<RtInvalidation>) {
+        for q in &self.queues {
+            q.sweep_for(core, out);
+        }
+        self.finish_sweep(core);
     }
 
     /// The fast sweep: drains `core`'s pending row and visits only the
@@ -388,6 +421,13 @@ impl RtRegistry {
     /// into the next sweep.
     pub fn sweep_pending(&self, core: usize) -> Vec<RtInvalidation> {
         let mut out = Vec::new();
+        self.sweep_pending_into(core, &mut out);
+        out
+    }
+
+    /// Allocation-free [`sweep_pending`](Self::sweep_pending): appends to
+    /// `out` (not cleared first) for buffer reuse in tick loops.
+    pub fn sweep_pending_into(&self, core: usize, out: &mut Vec<RtInvalidation>) {
         let row = self.pending[core].take_words();
         for (w, word) in row.into_iter().enumerate() {
             let mut bits = word;
@@ -395,12 +435,23 @@ impl RtRegistry {
                 let qi = w * 64 + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
                 if qi < self.queues.len() {
-                    self.queues[qi].sweep_for(core, &mut out);
+                    self.queues[qi].sweep_for(core, out);
                 }
             }
         }
-        self.ticks[core].fetch_add(1, Ordering::Release);
-        out
+        self.finish_sweep(core);
+    }
+
+    /// Bumps `core`'s tick and announces it to the cached frontier:
+    /// only a core that may have been the frontier laggard (its pre-bump
+    /// tick equalled the cache) re-scans, plus a periodic forced refresh
+    /// as the liveness backstop (see [`crate::rt::frontier`]). Every
+    /// other sweep costs one padded-line `fetch_add` and one load.
+    fn finish_sweep(&self, core: usize) {
+        let old = self.ticks[core].fetch_add(1, Ordering::Release);
+        if old == self.frontier.get() || (old + 1).is_multiple_of(REFRESH_TICKS) {
+            self.advance_frontier();
+        }
     }
 
     /// A core's tick count.
@@ -411,6 +462,9 @@ impl RtRegistry {
     /// The minimum tick across all cores — the reclamation frontier: an
     /// object parked when every core's tick was ≥ `t` may be freed once
     /// `min_tick() ≥ t + 2` (§4.2's two-cycle rule).
+    ///
+    /// This is the reference frontier: an O(cores) scan. The scaling
+    /// path reads [`cached_frontier`](Self::cached_frontier) instead.
     pub fn min_tick(&self) -> u64 {
         self.ticks
             .iter()
@@ -419,14 +473,30 @@ impl RtRegistry {
             .unwrap_or(0)
     }
 
-    /// States successfully published.
-    pub fn states_saved(&self) -> u64 {
-        self.saved.load(Ordering::Relaxed)
+    /// The cached reclamation frontier: a single atomic load, always
+    /// `≤ min_tick()` (it may lag, never lead — the loom suite checks
+    /// this), advanced by sweepers via [`finish_sweep`](Self::sweep).
+    pub fn cached_frontier(&self) -> u64 {
+        self.frontier.get()
     }
 
-    /// Publish attempts that overflowed.
+    /// Forces a frontier refresh: one reference scan published into the
+    /// cache. Returns the frontier after the publish.
+    pub fn advance_frontier(&self) -> u64 {
+        self.frontier.advance_to(self.min_tick())
+    }
+
+    /// States successfully published (sum of the per-core counters).
+    pub fn states_saved(&self) -> u64 {
+        self.saved.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Publish attempts that overflowed (sum of the per-core counters).
     pub fn overflows(&self) -> u64 {
-        self.overflows.load(Ordering::Relaxed)
+        self.overflows
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
     }
 }
 
@@ -506,6 +576,51 @@ mod tests {
         assert_eq!(r.min_tick(), 0, "core 2 never ticked");
         r.sweep(2);
         assert_eq!(r.min_tick(), 1);
+    }
+
+    #[test]
+    fn cached_frontier_tracks_but_never_leads_min_tick() {
+        let r = RtRegistry::new(3, 4);
+        assert_eq!(r.cached_frontier(), 0);
+        for _ in 0..5 {
+            r.sweep(0);
+            r.sweep(1);
+            assert!(r.cached_frontier() <= r.min_tick());
+        }
+        // Core 2 never swept: the cache must still be pinned at 0.
+        assert_eq!(r.min_tick(), 0);
+        assert_eq!(r.cached_frontier(), 0);
+        r.sweep(2);
+        r.sweep(2);
+        // Announce trigger + forced refresh converge the cache.
+        assert_eq!(r.advance_frontier(), 2);
+        assert_eq!(r.cached_frontier(), 2);
+        assert_eq!(r.min_tick(), 2);
+    }
+
+    #[test]
+    fn sweep_into_appends_without_clearing() {
+        let r = RtRegistry::new(2, 4);
+        let mut buf = vec![inv(99)];
+        r.publish(0, inv(1), 0b10).unwrap();
+        r.sweep_into(1, &mut buf);
+        assert_eq!(buf, vec![inv(99), inv(1)]);
+        r.publish(0, inv(2), 0b10).unwrap();
+        buf.clear();
+        r.sweep_pending_into(1, &mut buf);
+        assert_eq!(buf, vec![inv(2)]);
+    }
+
+    #[test]
+    fn per_core_counters_aggregate_on_read() {
+        let r = RtRegistry::new(4, 1);
+        r.publish(0, inv(1), 0b10).unwrap();
+        r.publish(1, inv(2), 0b100).unwrap();
+        r.publish(2, inv(3), 0b10).unwrap();
+        assert_eq!(r.states_saved(), 3);
+        assert_eq!(r.publish(0, inv(4), 0b10), Err(PublishError));
+        assert_eq!(r.publish(2, inv(5), 0b10), Err(PublishError));
+        assert_eq!(r.overflows(), 2);
     }
 
     #[test]

@@ -5,7 +5,29 @@
 //! `grace` more times, guaranteeing every stale local cache entry was
 //! dropped in between — the runtime twin of "Latr waits two full cycles of
 //! TLB invalidations".
+//!
+//! Two engines implement the rule, runtime-selectable behind
+//! [`Reclaimer`] (the same pattern as the PR 4 hot-path engines):
+//!
+//! * [`RtReclaimer`] — the **reference** engine: one global
+//!   `Mutex<VecDeque>`, every `defer`/`collect` pays the O(cores)
+//!   [`RtRegistry::min_tick`] scan. Simple, obviously correct, and the
+//!   executable spec the differential suite compares against.
+//! * [`ShardedReclaimer`] — the **scaling** engine: per-core shards
+//!   (each on its own cache line, each behind an uncontended per-shard
+//!   lock) parking items by the *calling core's* local tick into a small
+//!   calendar of due-buckets. `defer` touches only the caller's shard
+//!   and never reads the global frontier; `collect` gates on the cached
+//!   [`RtRegistry::cached_frontier`] — one atomic load instead of the
+//!   scan.
+//!
+//! The sharded engine is *conservative* relative to the reference: it
+//! parks at `tick_of(core) + grace ≥ min_tick() + grace`, so nothing is
+//! ever handed back earlier than the reference would allow (the
+//! differential proptest pins cumulative-subset at every step and
+//! multiset equality at quiescence).
 
+use crate::rt::pad::CachePadded;
 use crate::rt::queue::RtRegistry;
 use crate::rt::sync::Mutex;
 use std::collections::VecDeque;
@@ -59,16 +81,22 @@ impl<T> RtReclaimer<T> {
 
     /// Collects every item whose grace period has elapsed.
     pub fn collect(&self, registry: &RtRegistry) -> Vec<T> {
+        let mut out = Vec::new();
+        self.collect_into(registry, &mut out);
+        out
+    }
+
+    /// Allocation-free [`collect`](Self::collect): appends the due items
+    /// to `out` (not cleared first) so callers can reuse one buffer.
+    pub fn collect_into(&self, registry: &RtRegistry, out: &mut Vec<T>) {
         let frontier = registry.min_tick();
         let mut pending = self.pending.lock();
-        let mut out = Vec::new();
         while let Some(&(due, _)) = pending.front() {
             if due > frontier {
                 break;
             }
             out.push(pending.pop_front().expect("front exists").1);
         }
-        out
     }
 
     /// Items still parked.
@@ -79,6 +107,266 @@ impl<T> RtReclaimer<T> {
     /// Drains everything unconditionally (shutdown).
     pub fn drain_all(&self) -> Vec<T> {
         self.pending.lock().drain(..).map(|(_, t)| t).collect()
+    }
+}
+
+/// Calendar buckets a shard keeps inline; dues beyond this horizon (a
+/// core far ahead of the frontier) overflow into a side list.
+const WHEEL_SLOTS: usize = 8;
+
+/// One core's slice of the sharded reclaimer.
+#[derive(Debug)]
+struct Shard<T> {
+    /// Every due `< next_due` has been drained; the wheel covers dues in
+    /// `[next_due, next_due + WHEEL_SLOTS)`.
+    next_due: u64,
+    /// The due-bucket calendar: due `d` parks at `wheel[d % WHEEL_SLOTS]`.
+    /// Buffers are recycled on drain, so steady state allocates nothing.
+    wheel: [Vec<T>; WHEEL_SLOTS],
+    /// `(due, item)` pairs beyond the wheel horizon.
+    overflow: VecDeque<(u64, T)>,
+    /// Total items parked in this shard.
+    len: usize,
+}
+
+impl<T> Shard<T> {
+    fn new() -> Self {
+        Shard {
+            next_due: 0,
+            wheel: std::array::from_fn(|_| Vec::new()),
+            overflow: VecDeque::new(),
+            len: 0,
+        }
+    }
+}
+
+/// The sharded, grace-bucketed reclaimer: the scaling engine.
+///
+/// Each core parks and collects through **its own** shard, so `defer`
+/// costs one uncontended per-shard lock plus one load of the *caller's
+/// own* (padded) tick counter — no global mutex, no O(cores) frontier
+/// scan. `collect` gates the shard's calendar on the registry's cached
+/// frontier: a single atomic load.
+///
+/// Safety matches [`RtReclaimer`] conservatively: an item deferred on
+/// `core` is due at `tick_of(core) + grace ≥ min_tick() + grace`, and is
+/// handed back only once `cached_frontier() ≥ due`, which implies
+/// `min_tick() ≥ due` (the cache never leads the scan). The reference
+/// engine's liveness assumption carries over unchanged: a core that
+/// never sweeps pins the frontier and parks every item forever.
+#[derive(Debug)]
+pub struct ShardedReclaimer<T> {
+    grace: u64,
+    shards: Box<[CachePadded<Mutex<Shard<T>>>]>,
+}
+
+impl<T> ShardedReclaimer<T> {
+    /// Creates a reclaimer with one shard per core, waiting `grace` full
+    /// sweep cycles (the paper uses 2).
+    pub fn new(grace: u64, cores: usize) -> Self {
+        ShardedReclaimer {
+            grace,
+            shards: (0..cores.max(1))
+                .map(|_| CachePadded::new(Mutex::new(Shard::new())))
+                .collect(),
+        }
+    }
+
+    /// Parks `item` on `core`'s shard until every core has swept `grace`
+    /// more times. Reads only the calling core's own tick counter —
+    /// never the global frontier.
+    pub fn defer(&self, registry: &RtRegistry, core: usize, item: T) {
+        let due = registry.tick_of(core) + self.grace;
+        let mut s = self.shards[core].lock();
+        // A due behind the drained window means the grace already
+        // elapsed; park it in the next drainable bucket.
+        let due = due.max(s.next_due);
+        if due - s.next_due < WHEEL_SLOTS as u64 {
+            let idx = (due % WHEEL_SLOTS as u64) as usize;
+            s.wheel[idx].push(item);
+        } else {
+            s.overflow.push_back((due, item));
+        }
+        s.len += 1;
+    }
+
+    /// Collects every item on `core`'s shard whose grace elapsed,
+    /// gated on the cached frontier (one atomic load).
+    pub fn collect(&self, registry: &RtRegistry, core: usize) -> Vec<T> {
+        let mut out = Vec::new();
+        self.collect_into(registry, core, &mut out);
+        out
+    }
+
+    /// Allocation-free [`collect`](Self::collect): appends to `out` (not
+    /// cleared first), recycling the shard's bucket buffers.
+    pub fn collect_into(&self, registry: &RtRegistry, core: usize, out: &mut Vec<T>) {
+        let frontier = registry.cached_frontier();
+        let mut s = self.shards[core].lock();
+        self.drain_due(&mut s, frontier, out);
+    }
+
+    fn drain_due(&self, s: &mut Shard<T>, frontier: u64, out: &mut Vec<T>) {
+        if s.next_due > frontier {
+            return;
+        }
+        // The wheel only holds dues within WHEEL_SLOTS of next_due, so at
+        // most that many buckets can be non-empty below the frontier; the
+        // window then jumps straight to frontier + 1.
+        let steps = (frontier - s.next_due + 1).min(WHEEL_SLOTS as u64);
+        for _ in 0..steps {
+            let idx = (s.next_due % WHEEL_SLOTS as u64) as usize;
+            let mut bucket = std::mem::take(&mut s.wheel[idx]);
+            s.len -= bucket.len();
+            out.append(&mut bucket);
+            s.wheel[idx] = bucket;
+            s.next_due += 1;
+        }
+        s.next_due = s.next_due.max(frontier + 1);
+        // Far-future items whose due caught up are still in the overflow
+        // list; release them in arrival order.
+        let mut i = 0;
+        while i < s.overflow.len() {
+            if s.overflow[i].0 <= frontier {
+                let (_, item) = s.overflow.remove(i).expect("index checked");
+                out.push(item);
+                s.len -= 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Items still parked, summed across every shard.
+    pub fn pending_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len).sum()
+    }
+
+    /// Drains everything unconditionally (shutdown), shard by shard, in
+    /// each shard's due order. The shards stay usable afterwards.
+    pub fn drain_all(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let mut s = shard.lock();
+            for offset in 0..WHEEL_SLOTS as u64 {
+                let idx = ((s.next_due + offset) % WHEEL_SLOTS as u64) as usize;
+                let mut bucket = std::mem::take(&mut s.wheel[idx]);
+                s.len -= bucket.len();
+                out.append(&mut bucket);
+                s.wheel[idx] = bucket;
+            }
+            while let Some((_, item)) = s.overflow.pop_front() {
+                out.push(item);
+                s.len -= 1;
+            }
+        }
+        out
+    }
+}
+
+/// Which reclaimer engine a [`Reclaimer`] runs — both stay available in
+/// every build; the `reference` cargo feature only flips the default
+/// (the PR 4 engine-selection pattern).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReclaimBackend {
+    /// [`ShardedReclaimer`]: per-core shards + cached frontier.
+    Sharded,
+    /// [`RtReclaimer`]: global mutex + O(cores) frontier scan.
+    Reference,
+}
+
+impl Default for ReclaimBackend {
+    fn default() -> Self {
+        if cfg!(feature = "reference") {
+            ReclaimBackend::Reference
+        } else {
+            ReclaimBackend::Sharded
+        }
+    }
+}
+
+/// Runtime-selectable deferred reclamation: one call surface over the
+/// [`ShardedReclaimer`] scaling engine and the [`RtReclaimer`] reference
+/// engine, so embedders (and the differential/bench harnesses) pick an
+/// engine per instance.
+///
+/// The reference engine ignores `core` (its queue and frontier are
+/// global); the sharded engine requires `defer`/`collect` to be called
+/// with the calling core's id.
+#[derive(Debug)]
+pub struct Reclaimer<T> {
+    engine: Engine<T>,
+}
+
+#[derive(Debug)]
+enum Engine<T> {
+    Reference(RtReclaimer<T>),
+    Sharded(ShardedReclaimer<T>),
+}
+
+impl<T> Reclaimer<T> {
+    /// Creates a reclaimer on `backend` waiting `grace` sweep cycles,
+    /// sized for `cores` cores.
+    pub fn new(backend: ReclaimBackend, grace: u64, cores: usize) -> Self {
+        Reclaimer {
+            engine: match backend {
+                ReclaimBackend::Reference => Engine::Reference(RtReclaimer::new(grace)),
+                ReclaimBackend::Sharded => Engine::Sharded(ShardedReclaimer::new(grace, cores)),
+            },
+        }
+    }
+
+    /// [`new`](Self::new) with the build's default backend.
+    pub fn with_default_backend(grace: u64, cores: usize) -> Self {
+        Self::new(ReclaimBackend::default(), grace, cores)
+    }
+
+    /// The engine this instance runs.
+    pub fn backend(&self) -> ReclaimBackend {
+        match self.engine {
+            Engine::Reference(_) => ReclaimBackend::Reference,
+            Engine::Sharded(_) => ReclaimBackend::Sharded,
+        }
+    }
+
+    /// Parks `item` until every core has swept `grace` more times.
+    pub fn defer(&self, registry: &RtRegistry, core: usize, item: T) {
+        match &self.engine {
+            Engine::Reference(r) => r.defer(registry, item),
+            Engine::Sharded(s) => s.defer(registry, core, item),
+        }
+    }
+
+    /// Collects every due item visible to `core` (everything for the
+    /// reference engine, `core`'s shard for the sharded one).
+    pub fn collect(&self, registry: &RtRegistry, core: usize) -> Vec<T> {
+        let mut out = Vec::new();
+        self.collect_into(registry, core, &mut out);
+        out
+    }
+
+    /// Allocation-free [`collect`](Self::collect): appends to `out`.
+    pub fn collect_into(&self, registry: &RtRegistry, core: usize, out: &mut Vec<T>) {
+        match &self.engine {
+            Engine::Reference(r) => r.collect_into(registry, out),
+            Engine::Sharded(s) => s.collect_into(registry, core, out),
+        }
+    }
+
+    /// Items still parked.
+    pub fn pending_count(&self) -> usize {
+        match &self.engine {
+            Engine::Reference(r) => r.pending_count(),
+            Engine::Sharded(s) => s.pending_count(),
+        }
+    }
+
+    /// Drains everything unconditionally (shutdown).
+    pub fn drain_all(&self) -> Vec<T> {
+        match &self.engine {
+            Engine::Reference(r) => r.drain_all(),
+            Engine::Sharded(s) => s.drain_all(),
+        }
     }
 }
 
@@ -154,6 +442,137 @@ mod tests {
         assert_eq!(rec.pending_count(), 2);
         assert_eq!(rec.drain_all(), vec!["a", "b"]);
         assert_eq!(rec.pending_count(), 0);
+    }
+
+    #[test]
+    fn sharded_grace_gates_on_slowest_core() {
+        let registry = RtRegistry::new(3, 8);
+        let rec: ShardedReclaimer<u32> = ShardedReclaimer::new(2, 3);
+        rec.defer(&registry, 0, 1);
+        for _ in 0..10 {
+            registry.sweep(0);
+            registry.sweep(1);
+        }
+        assert!(
+            rec.collect(&registry, 0).is_empty(),
+            "core 2 never swept: the cached frontier must still gate"
+        );
+        registry.sweep(2);
+        registry.sweep(2);
+        assert_eq!(rec.collect(&registry, 0), vec![1]);
+        assert_eq!(rec.pending_count(), 0);
+    }
+
+    #[test]
+    fn sharded_collect_only_drains_the_callers_shard() {
+        let registry = RtRegistry::new(2, 8);
+        let rec: ShardedReclaimer<u32> = ShardedReclaimer::new(1, 2);
+        rec.defer(&registry, 0, 10);
+        rec.defer(&registry, 1, 11);
+        registry.sweep(0);
+        registry.sweep(1);
+        registry.advance_frontier();
+        assert_eq!(rec.collect(&registry, 0), vec![10]);
+        assert_eq!(rec.pending_count(), 1, "core 1's item stays parked");
+        assert_eq!(rec.collect(&registry, 1), vec![11]);
+    }
+
+    #[test]
+    fn sharded_far_future_dues_overflow_and_return() {
+        // A single core races 20 ticks ahead of a fresh shard: the due
+        // lands beyond the calendar horizon and must take the overflow
+        // path, then come back in order once the frontier catches up.
+        let registry = RtRegistry::new(1, 8);
+        let rec: ShardedReclaimer<u32> = ShardedReclaimer::new(2, 1);
+        for _ in 0..20 {
+            registry.sweep(0);
+        }
+        rec.defer(&registry, 0, 7); // due 22, next_due 0: overflow
+        rec.defer(&registry, 0, 8);
+        assert_eq!(rec.pending_count(), 2);
+        assert!(rec.collect(&registry, 0).is_empty(), "due 22 > frontier 20");
+        registry.sweep(0);
+        registry.sweep(0);
+        assert_eq!(rec.collect(&registry, 0), vec![7, 8]);
+        // The shard window is re-anchored: a fresh defer uses the wheel.
+        rec.defer(&registry, 0, 9);
+        registry.sweep(0);
+        registry.sweep(0);
+        assert_eq!(rec.collect(&registry, 0), vec![9]);
+    }
+
+    #[test]
+    fn sharded_drain_all_ignores_grace_and_stays_usable() {
+        let registry = RtRegistry::new(2, 8);
+        let rec: ShardedReclaimer<&str> = ShardedReclaimer::new(2, 2);
+        rec.defer(&registry, 0, "a");
+        rec.defer(&registry, 1, "b");
+        let mut drained = rec.drain_all();
+        drained.sort_unstable();
+        assert_eq!(drained, vec!["a", "b"]);
+        assert_eq!(rec.pending_count(), 0);
+        rec.defer(&registry, 0, "c");
+        for _ in 0..2 {
+            registry.sweep(0);
+            registry.sweep(1);
+        }
+        assert_eq!(rec.collect(&registry, 0), vec!["c"]);
+    }
+
+    #[test]
+    fn sharded_never_collects_before_the_reference_scan_allows() {
+        // Cross-check against ground truth on a mixed schedule: anything
+        // the sharded engine hands back must satisfy min_tick ≥ its due.
+        let registry = RtRegistry::new(4, 8);
+        let rec: ShardedReclaimer<(u32, u64)> = ShardedReclaimer::new(2, 4);
+        let mut handed_back = 0;
+        for round in 0..50u32 {
+            let core = (round % 4) as usize;
+            let due = registry.tick_of(core) + 2;
+            rec.defer(&registry, core, (round, due));
+            for c in 0..4 {
+                if !(round + c as u32).is_multiple_of(3) {
+                    registry.sweep(c);
+                }
+            }
+            for c in 0..4 {
+                for (_, due) in rec.collect(&registry, c) {
+                    assert!(registry.min_tick() >= due, "reclaimed early");
+                    handed_back += 1;
+                }
+            }
+        }
+        assert!(handed_back > 0, "schedule must actually reclaim");
+    }
+
+    #[test]
+    fn selectable_backend_defaults_follow_the_feature() {
+        let expected = if cfg!(feature = "reference") {
+            ReclaimBackend::Reference
+        } else {
+            ReclaimBackend::Sharded
+        };
+        assert_eq!(ReclaimBackend::default(), expected);
+        let rec: Reclaimer<u32> = Reclaimer::with_default_backend(2, 2);
+        assert_eq!(rec.backend(), expected);
+    }
+
+    #[test]
+    fn selectable_front_runs_both_engines() {
+        for backend in [ReclaimBackend::Reference, ReclaimBackend::Sharded] {
+            let registry = RtRegistry::new(2, 8);
+            let rec: Reclaimer<u32> = Reclaimer::new(backend, 2, 2);
+            rec.defer(&registry, 0, 5);
+            assert!(rec.collect(&registry, 0).is_empty());
+            for _ in 0..2 {
+                registry.sweep(0);
+                registry.sweep(1);
+            }
+            assert_eq!(rec.collect(&registry, 0), vec![5], "{backend:?}");
+            rec.defer(&registry, 1, 6);
+            assert_eq!(rec.pending_count(), 1);
+            assert_eq!(rec.drain_all(), vec![6], "{backend:?}");
+        }
     }
 
     #[test]

@@ -69,28 +69,51 @@ impl SoftTlbTable {
     }
 }
 
+/// How a [`SoftTlb`] sweeps at its tick.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SweepMode {
+    /// [`RtRegistry::sweep_into`]: the reference full scan of every
+    /// core's queue.
+    #[default]
+    FullScan,
+    /// [`RtRegistry::sweep_pending_into`]: drain the pending row and
+    /// visit only the flagged queues — the scaling path.
+    Pending,
+}
+
 /// One thread's software TLB.
 #[derive(Debug)]
 pub struct SoftTlb {
     core: usize,
     table: Arc<SoftTlbTable>,
     cache: HashMap<u64, u64>,
+    sweep_mode: SweepMode,
+    /// Reused across ticks so the tick loop allocates nothing.
+    scratch: Vec<RtInvalidation>,
     hits: u64,
     misses: u64,
     stale_hits_possible: u64,
 }
 
 impl SoftTlb {
-    /// Creates the cache for `core`.
+    /// Creates the cache for `core` (reference full-scan sweep).
     pub fn new(core: usize, table: Arc<SoftTlbTable>) -> Self {
         SoftTlb {
             core,
             table,
             cache: HashMap::new(),
+            sweep_mode: SweepMode::default(),
+            scratch: Vec::new(),
             hits: 0,
             misses: 0,
             stale_hits_possible: 0,
         }
+    }
+
+    /// Selects how [`tick`](Self::tick) sweeps.
+    pub fn with_sweep_mode(mut self, mode: SweepMode) -> Self {
+        self.sweep_mode = mode;
+        self
     }
 
     /// Looks `key` up, consulting the private cache first (a cached entry
@@ -109,23 +132,32 @@ impl SoftTlb {
 
     /// The scheduler-tick hook: sweeps the registry and drops every cached
     /// key named by an invalidation. Returns how many entries were
-    /// dropped.
+    /// dropped. Allocation-free in steady state: the sweep reuses one
+    /// scratch buffer for the whole lifetime of the TLB.
     pub fn tick(&mut self) -> usize {
-        let work = self.table.registry().sweep(self.core);
+        let mut work = std::mem::take(&mut self.scratch);
+        work.clear();
+        match self.sweep_mode {
+            SweepMode::FullScan => self.table.registry().sweep_into(self.core, &mut work),
+            SweepMode::Pending => self
+                .table
+                .registry()
+                .sweep_pending_into(self.core, &mut work),
+        }
         let mut dropped = 0;
-        for inv in work {
-            let keys: Vec<u64> = self
-                .cache
-                .keys()
-                .copied()
-                .filter(|&k| k >= inv.start && k < inv.end)
-                .collect();
-            for k in keys {
-                self.cache.remove(&k);
-                dropped += 1;
+        for inv in &work {
+            if inv.end == inv.start + 1 {
+                // Point invalidation (the common case for unmap_lazy):
+                // O(1) instead of a full-cache scan.
+                dropped += usize::from(self.cache.remove(&inv.start).is_some());
+            } else {
+                let before = self.cache.len();
+                self.cache.retain(|&k, _| !(k >= inv.start && k < inv.end));
+                dropped += before - self.cache.len();
             }
             self.stale_hits_possible += 1;
         }
+        self.scratch = work;
         dropped
     }
 
@@ -210,6 +242,23 @@ mod tests {
         // mapping.
         assert_eq!(table.unmap_lazy(0, 2), Err(PublishError));
         assert_eq!(table.walk(2), Some(20));
+    }
+
+    #[test]
+    fn pending_sweep_mode_matches_the_full_scan() {
+        let registry = Arc::new(RtRegistry::new(2, 64));
+        let table = Arc::new(SoftTlbTable::new(registry));
+        table.map_key(10, 100);
+        table.map_key(11, 110);
+        let mut tlb = SoftTlb::new(1, Arc::clone(&table)).with_sweep_mode(SweepMode::Pending);
+        assert_eq!(tlb.lookup(10), Some(100));
+        assert_eq!(tlb.lookup(11), Some(110));
+        table.unmap_lazy(0, 10).unwrap();
+        assert_eq!(tlb.lookup(10), Some(100), "stale until the tick");
+        assert_eq!(tlb.tick(), 1);
+        assert_eq!(tlb.lookup(10), None);
+        assert_eq!(tlb.lookup(11), Some(110), "unrelated entry survives");
+        assert_eq!(tlb.tick(), 0, "pending row drained: nothing to visit");
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! relaxations; see `third_party/loom`.
 #![cfg(loom)]
 
-use latr_core::rt::{RtInvalidation, RtQueue, RtReclaimer, RtRegistry};
+use latr_core::rt::{RtInvalidation, RtQueue, RtReclaimer, RtRegistry, ShardedReclaimer};
 use loom::sync::Arc;
 use loom::thread;
 
@@ -181,6 +181,99 @@ fn batched_publish_fence_covers_every_slot() {
         mms.sort_unstable();
         assert_eq!(mms, vec![7, 8], "both batched states swept exactly once");
         assert_eq!(reg.queue(0).active_count(), 0);
+    });
+}
+
+/// The cached reclamation frontier (ISSUE 5): concurrent sweeps and
+/// advances must never push the cache past an unswept core's tick. The
+/// read order matters for the assertion itself — load the cache *before*
+/// the reference scan, so a concurrent advance between the two loads can
+/// only make the scan larger, never fake a violation.
+#[test]
+fn cached_frontier_never_passes_an_unswept_core() {
+    loom::model(|| {
+        let reg = Arc::new(RtRegistry::new(2, 1));
+        let sweeper = {
+            let reg = Arc::clone(&reg);
+            thread::spawn(move || {
+                reg.sweep_into(1, &mut Vec::new());
+                reg.advance_frontier();
+            })
+        };
+        // Core 0 sweeps once, concurrently with core 1's sweep+advance.
+        reg.sweep_into(0, &mut Vec::new());
+        let cached = reg.cached_frontier();
+        let min = reg.min_tick();
+        assert!(
+            cached <= min,
+            "cache {cached} passed the scan minimum {min}"
+        );
+        sweeper.join().unwrap();
+        // Quiescent: a forced refresh converges the cache on the true
+        // minimum exactly (both cores at tick 1).
+        assert_eq!(reg.advance_frontier(), 1);
+        assert_eq!(reg.cached_frontier(), 1);
+        assert_eq!(reg.min_tick(), 1);
+    });
+}
+
+/// The sharded reclaimer under the cached frontier: an item deferred on
+/// core 0 with grace 1 must never be collected before every core swept
+/// past its due tick, for every interleaving of the other core's sweeps
+/// with the collector.
+#[test]
+fn sharded_reclaimer_never_collects_before_grace_on_every_core() {
+    loom::model(|| {
+        let reg = Arc::new(RtRegistry::new(2, 1));
+        let rec: Arc<ShardedReclaimer<u32>> = Arc::new(ShardedReclaimer::new(1, 2));
+        rec.defer(&reg, 0, 42); // due = tick_of(0) + 1 = 1
+        let sweeper = {
+            let reg = Arc::clone(&reg);
+            thread::spawn(move || {
+                reg.sweep_into(1, &mut Vec::new());
+            })
+        };
+        // Concurrent with core 1's sweep: core 0 has not swept yet, so
+        // min_tick is 0 < due — nothing may come back.
+        let early = rec.collect(&reg, 0);
+        assert!(early.is_empty(), "collected before core 0 swept: {early:?}");
+        reg.sweep_into(0, &mut Vec::new());
+        sweeper.join().unwrap();
+        // Both cores at tick 1 = due; converge the cache and collect
+        // exactly once.
+        reg.advance_frontier();
+        assert_eq!(rec.collect(&reg, 0), vec![42]);
+        assert_eq!(rec.pending_count(), 0);
+    });
+}
+
+/// The stall behaviour of `never_sweeping_core_pins_frontier_forever`,
+/// mirrored onto the scaling engines: while core 1 never sweeps, no
+/// amount of concurrent sweeping and collecting on core 0 may move the
+/// cached frontier off 0 or release the parked item.
+#[test]
+fn never_sweeping_core_pins_cached_frontier_and_sharded_reclaimer() {
+    loom::model(|| {
+        let reg = Arc::new(RtRegistry::new(2, 1));
+        let rec: Arc<ShardedReclaimer<u32>> = Arc::new(ShardedReclaimer::new(1, 2));
+        rec.defer(&reg, 0, 7);
+        let other = {
+            let (reg, rec) = (Arc::clone(&reg), Arc::clone(&rec));
+            thread::spawn(move || {
+                reg.sweep_into(0, &mut Vec::new());
+                assert!(rec.collect(&reg, 0).is_empty());
+            })
+        };
+        reg.sweep_into(0, &mut Vec::new());
+        reg.advance_frontier();
+        assert_eq!(reg.cached_frontier(), 0, "straggler pins the cache");
+        assert!(rec.collect(&reg, 0).is_empty());
+        other.join().unwrap();
+        assert_eq!(rec.pending_count(), 1, "item stays parked");
+        // Only the straggler itself unpins reclamation.
+        reg.sweep_into(1, &mut Vec::new());
+        reg.advance_frontier();
+        assert_eq!(rec.collect(&reg, 0), vec![7]);
     });
 }
 

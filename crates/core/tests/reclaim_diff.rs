@@ -1,0 +1,145 @@
+//! Differential property test: sharded vs reference reclaimer (ISSUE 5).
+//!
+//! Both engines are driven through the identical random schedule of
+//! defer/sweep/collect ops on identically-shaped registries (same sweep
+//! schedule ⇒ identical per-core ticks ⇒ identical frontiers), and must
+//! agree on the reclaimed multiset:
+//!
+//! * **Safety, per collect** — every item the sharded engine hands back
+//!   satisfies `min_tick() ≥ due` on the ground-truth reference scan
+//!   (never reclaimed early), and the sharded engine's cumulative
+//!   reclaimed set is a subset of the reference's at every step (the
+//!   sharded due `tick_of(core) + grace` is conservative relative to the
+//!   reference's `min_tick() + grace`).
+//! * **Equivalence at quiescence** — once every core has swept past
+//!   every due, both engines have reclaimed exactly the full deferred
+//!   multiset.
+
+use latr_core::rt::{ReclaimBackend, Reclaimer, RtRegistry};
+use proptest::prelude::*;
+use std::collections::{BTreeSet, HashMap};
+
+const CORES: usize = 4;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// `core` defers the next sequential item.
+    Defer(u8),
+    /// `core` sweeps — via the full scan or the pending-bitmap drain
+    /// (both bump the tick identically).
+    Sweep(u8, bool),
+    /// `core` collects whatever its engine considers due.
+    Collect(u8),
+}
+
+fn ops() -> impl Strategy<Value = (u64, Vec<Op>)> {
+    let core = 0u8..CORES as u8;
+    let defer = core.clone().prop_map(Op::Defer);
+    let sweep = (core.clone(), 0u8..2).prop_map(|(c, p)| Op::Sweep(c, p == 1));
+    let collect = core.prop_map(Op::Collect);
+    (
+        0u64..4, // grace
+        prop::collection::vec(
+            prop_oneof![
+                defer.clone(),
+                defer,
+                sweep.clone(),
+                sweep.clone(),
+                sweep,
+                collect.clone(),
+                collect
+            ],
+            0..250,
+        ),
+    )
+}
+
+proptest! {
+    #[test]
+    fn sharded_and_reference_reclaim_the_same_multiset((grace, ops) in ops()) {
+        let reg_ref = RtRegistry::new(CORES, 8);
+        let reg_sh = RtRegistry::new(CORES, 8);
+        let rec_ref: Reclaimer<u64> = Reclaimer::new(ReclaimBackend::Reference, grace, CORES);
+        let rec_sh: Reclaimer<u64> = Reclaimer::new(ReclaimBackend::Sharded, grace, CORES);
+
+        let mut next_item = 0u64;
+        let mut dues_sharded: HashMap<u64, u64> = HashMap::new();
+        let mut got_ref: BTreeSet<u64> = BTreeSet::new();
+        let mut got_sh: BTreeSet<u64> = BTreeSet::new();
+        let mut max_due = 0u64;
+
+        for op in &ops {
+            match *op {
+                Op::Defer(core) => {
+                    let core = core as usize;
+                    let due = reg_sh.tick_of(core) + grace;
+                    dues_sharded.insert(next_item, due);
+                    max_due = max_due.max(due).max(reg_ref.min_tick() + grace);
+                    rec_ref.defer(&reg_ref, core, next_item);
+                    rec_sh.defer(&reg_sh, core, next_item);
+                    next_item += 1;
+                }
+                Op::Sweep(core, pending) => {
+                    let core = core as usize;
+                    let mut buf = Vec::new();
+                    if pending {
+                        reg_ref.sweep_pending_into(core, &mut buf);
+                        reg_sh.sweep_pending_into(core, &mut buf);
+                    } else {
+                        reg_ref.sweep_into(core, &mut buf);
+                        reg_sh.sweep_into(core, &mut buf);
+                    }
+                    // Identical schedules keep the ground-truth frontiers
+                    // in lock-step.
+                    prop_assert_eq!(reg_ref.min_tick(), reg_sh.min_tick());
+                }
+                Op::Collect(core) => {
+                    let core = core as usize;
+                    for item in rec_ref.collect(&reg_ref, core) {
+                        prop_assert!(got_ref.insert(item), "reference reclaimed {item} twice");
+                    }
+                    for item in rec_sh.collect(&reg_sh, core) {
+                        prop_assert!(got_sh.insert(item), "sharded reclaimed {item} twice");
+                        let due = dues_sharded[&item];
+                        prop_assert!(
+                            reg_sh.min_tick() >= due,
+                            "sharded reclaimed {item} early: due {due}, min {}",
+                            reg_sh.min_tick()
+                        );
+                    }
+                    // The cached frontier never leads the scan, so the
+                    // sharded engine can only lag the reference.
+                    prop_assert!(
+                        got_sh.is_subset(&got_ref),
+                        "sharded reclaimed {:?} before the reference did",
+                        got_sh.difference(&got_ref).collect::<Vec<_>>()
+                    );
+                }
+            }
+        }
+
+        // Quiesce: sweep every core until the slowest passed every due,
+        // then both engines must have handed back the identical multiset
+        // — all of it.
+        let target = max_due.max(grace);
+        let mut rounds = 0;
+        while reg_sh.min_tick() < target {
+            for core in 0..CORES {
+                reg_ref.sweep(core);
+                reg_sh.sweep(core);
+            }
+            rounds += 1;
+            prop_assert!(rounds <= target + 1, "quiescence must terminate");
+        }
+        reg_sh.advance_frontier();
+        for core in 0..CORES {
+            got_ref.extend(rec_ref.collect(&reg_ref, core));
+            got_sh.extend(rec_sh.collect(&reg_sh, core));
+        }
+        let all: BTreeSet<u64> = (0..next_item).collect();
+        prop_assert_eq!(&got_ref, &all, "reference lost or duplicated items");
+        prop_assert_eq!(&got_sh, &all, "sharded lost or duplicated items");
+        prop_assert_eq!(rec_ref.pending_count(), 0);
+        prop_assert_eq!(rec_sh.pending_count(), 0);
+    }
+}

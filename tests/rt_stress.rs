@@ -1,9 +1,10 @@
 //! Concurrency stress for the lock-free runtime beyond what the crate's
 //! unit tests cover: wide (multi-word) CPU masks exercising the CAS-based
 //! retirement race, publisher/sweeper/reclaimer pipelines, and queue-slot
-//! recycling under pressure.
+//! recycling under pressure. Every sweep loop goes through the `_into`
+//! variants with a reused buffer — the steady state allocates nothing.
 
-use latr_core::rt::{RtInvalidation, RtReclaimer, RtRegistry};
+use latr_core::rt::{ReclaimBackend, Reclaimer, RtInvalidation, RtRegistry};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -28,7 +29,7 @@ const SHAPES: [usize; 3] = [4, 16, 120];
 #[test]
 fn wide_mask_retirement_is_exactly_once() {
     for cores in [4, 16, 120, 136] {
-        wide_mask_retirement_at(cores, RtRegistry::sweep);
+        wide_mask_retirement_at(cores, RtRegistry::sweep_into);
     }
 }
 
@@ -38,11 +39,11 @@ fn wide_mask_retirement_is_exactly_once() {
 #[test]
 fn wide_mask_retirement_is_exactly_once_via_pending_sweep() {
     for cores in [4, 16, 120, 136] {
-        wide_mask_retirement_at(cores, RtRegistry::sweep_pending);
+        wide_mask_retirement_at(cores, RtRegistry::sweep_pending_into);
     }
 }
 
-fn wide_mask_retirement_at(cores: usize, sweep: fn(&RtRegistry, usize) -> Vec<RtInvalidation>) {
+fn wide_mask_retirement_at(cores: usize, sweep: fn(&RtRegistry, usize, &mut Vec<RtInvalidation>)) {
     let registry = Arc::new(RtRegistry::new(cores, 128));
     let total = if cores >= 120 { 300u64 } else { 600u64 };
 
@@ -60,7 +61,8 @@ fn wide_mask_retirement_at(cores: usize, sweep: fn(&RtRegistry, usize) -> Vec<Rt
             }
         })
     };
-    // Four sweeper threads, each responsible for a band of cores.
+    // Four sweeper threads, each responsible for a band of cores, all
+    // reusing one sweep buffer for their whole lifetime.
     let done = Arc::new(AtomicBool::new(false));
     let sweepers: Vec<_> = (0..4)
         .map(|band| {
@@ -69,10 +71,13 @@ fn wide_mask_retirement_at(cores: usize, sweep: fn(&RtRegistry, usize) -> Vec<Rt
             std::thread::spawn(move || {
                 let my_cores: Vec<usize> = (1..cores).filter(|c| c % 4 == band).collect();
                 let mut seen = vec![0u64; total as usize];
+                let mut buf = Vec::new();
                 loop {
                     let mut progress = false;
                     for &core in &my_cores {
-                        for w in sweep(&r, core) {
+                        buf.clear();
+                        sweep(&r, core, &mut buf);
+                        for w in &buf {
                             seen[w.mm as usize] += 1;
                             progress = true;
                         }
@@ -80,7 +85,9 @@ fn wide_mask_retirement_at(cores: usize, sweep: fn(&RtRegistry, usize) -> Vec<Rt
                     if !progress && done.load(Ordering::Acquire) {
                         // One final pass to drain stragglers.
                         for &core in &my_cores {
-                            for w in sweep(&r, core) {
+                            buf.clear();
+                            sweep(&r, core, &mut buf);
+                            for w in &buf {
                                 seen[w.mm as usize] += 1;
                             }
                         }
@@ -122,25 +129,29 @@ fn wide_mask_retirement_at(cores: usize, sweep: fn(&RtRegistry, usize) -> Vec<Rt
 
 /// Full pipeline: publisher frees "objects" through the reclaimer while
 /// sweepers tick; no object may be handed back before every core has
-/// ticked twice past its deferral.
+/// ticked twice past its deferral. Runs under both the reference
+/// (mutexed VecDeque + full scan) and sharded (per-core wheel + cached
+/// frontier) engines.
 #[test]
 fn reclaim_pipeline_respects_grace_under_concurrency() {
-    for cores in SHAPES {
-        // Fewer objects at the bigger shapes: the frontier needs every
-        // one of `cores - 1` ticker threads to advance, so each object
-        // costs more wall-clock as the machine grows.
-        let total = match cores {
-            0..=8 => 2_000u64,
-            9..=32 => 800,
-            _ => 150,
-        };
-        reclaim_pipeline_at(cores, total);
+    for backend in [ReclaimBackend::Reference, ReclaimBackend::Sharded] {
+        for cores in SHAPES {
+            // Fewer objects at the bigger shapes: the frontier needs every
+            // one of `cores - 1` ticker threads to advance, so each object
+            // costs more wall-clock as the machine grows.
+            let total = match cores {
+                0..=8 => 2_000u64,
+                9..=32 => 800,
+                _ => 150,
+            };
+            reclaim_pipeline_at(cores, total, backend);
+        }
     }
 }
 
-fn reclaim_pipeline_at(cores: usize, total: u64) {
+fn reclaim_pipeline_at(cores: usize, total: u64, backend: ReclaimBackend) {
     let registry = Arc::new(RtRegistry::new(cores, 256));
-    let reclaimer: Arc<RtReclaimer<(u64, u64)>> = Arc::new(RtReclaimer::new(2));
+    let reclaimer: Arc<Reclaimer<(u64, u64)>> = Arc::new(Reclaimer::new(backend, 2, cores));
     let stop = Arc::new(AtomicBool::new(false));
 
     let tickers: Vec<_> = (1..cores)
@@ -148,8 +159,10 @@ fn reclaim_pipeline_at(cores: usize, total: u64) {
             let r = Arc::clone(&registry);
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
+                let mut buf = Vec::new();
                 while !stop.load(Ordering::Acquire) {
-                    r.sweep(core);
+                    buf.clear();
+                    r.sweep_into(core, &mut buf);
                     std::thread::yield_now();
                 }
             })
@@ -157,12 +170,17 @@ fn reclaim_pipeline_at(cores: usize, total: u64) {
         .collect();
 
     let mut collected = Vec::new();
+    let mut due = Vec::new();
+    let mut sweep_buf = Vec::new();
     for i in 0..total {
         // Defer the object recording the tick frontier at deferral time.
         let frontier = registry.min_tick();
-        reclaimer.defer(&registry, (i, frontier));
-        registry.sweep(0);
-        for (obj, deferred_at) in reclaimer.collect(&registry) {
+        reclaimer.defer(&registry, 0, (i, frontier));
+        sweep_buf.clear();
+        registry.sweep_into(0, &mut sweep_buf);
+        due.clear();
+        reclaimer.collect_into(&registry, 0, &mut due);
+        for &(obj, deferred_at) in &due {
             // Grace: every core ticked at least twice since deferral.
             assert!(
                 registry.min_tick() >= deferred_at + 2,
@@ -177,14 +195,19 @@ fn reclaim_pipeline_at(cores: usize, total: u64) {
     for t in tickers {
         t.join().expect("ticker");
     }
-    // Everything eventually comes back, in FIFO order.
-    for _ in 0..4 {
+    // Quiesce: the sharded engine stamps dues off the *publisher's* tick
+    // (conservative), so every core must catch up to core 0 plus grace
+    // before the stragglers become due.
+    let target = registry.tick_of(0) + 2;
+    while registry.min_tick() < target {
         for core in 0..cores {
-            registry.sweep(core);
+            sweep_buf.clear();
+            registry.sweep_into(core, &mut sweep_buf);
         }
     }
-    collected.extend(reclaimer.collect(&registry).into_iter().map(|(o, _)| o));
-    assert_eq!(collected.len() as u64, total, "{cores} cores");
+    registry.advance_frontier();
+    collected.extend(reclaimer.collect(&registry, 0).into_iter().map(|(o, _)| o));
+    assert_eq!(collected.len() as u64, total, "{cores} cores {backend:?}");
     assert!(collected.windows(2).all(|w| w[0] < w[1]), "FIFO order");
 }
 
@@ -208,8 +231,11 @@ fn recycled_slots_at(cores: usize, rounds: u64) {
         let r = Arc::clone(&registry);
         std::thread::spawn(move || {
             let mut delivered = 0u64;
+            let mut buf = Vec::new();
             while delivered < rounds {
-                for w in r.sweep(target) {
+                buf.clear();
+                r.sweep_into(target, &mut buf);
+                for w in &buf {
                     // Consistency of the payload triple.
                     assert_eq!(w.start, w.mm * 0x1000, "torn state {w:?}");
                     assert_eq!(w.end, w.mm * 0x1000 + 0x1000, "torn state {w:?}");
