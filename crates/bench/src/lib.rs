@@ -21,12 +21,14 @@
 //! | `ablations`          | §4.1/§8 design-choice ablations |
 //! | `hotpath`            | fast vs `reference` engine throughput → `BENCH_hotpath.json` |
 //! | `rt_scale`           | real-thread rt scaling, lazy vs sync-IPI → `BENCH_rt_scale.json` |
+//! | `soak`               | real-thread robustness soak under injected faults → `BENCH_soak.json` |
 //!
 //! Run with `cargo run --release -p latr-bench --bin <name>`; pass
 //! `--quick` for a shorter, less smooth sweep.
 
 pub mod hotpath;
 pub mod rt_scale;
+pub mod soak;
 
 use latr_arch::{MachinePreset, Topology};
 use latr_kernel::{metrics, Machine, MachineConfig};

@@ -263,7 +263,8 @@ fn run_lazy(engine: ScaleEngine, threads: usize, duration: Duration) -> RtScaleP
                             table.map_key(key, key + 1000);
                         }
                         Err(_) => {
-                            stats.overflows += 1;
+                            // Overflow counting moved to the registry's
+                            // unified stats snapshot; just back off.
                             std::thread::yield_now();
                         }
                     }
@@ -301,13 +302,20 @@ fn run_lazy(engine: ScaleEngine, threads: usize, duration: Duration) -> RtScaleP
         .map(|h| h.join().expect("bench thread"))
         .collect();
     let wall = start.elapsed().as_nanos().max(1);
-    finish(
+    let mut point = finish(
         engine,
         threads,
         wall,
         per_thread,
         canary_ok.load(Ordering::Acquire),
-    )
+    );
+    // Queue-side counters come from the registry's unified snapshot
+    // rather than per-thread tallies; a fault-free run also ends with
+    // no core excluded.
+    let reg_stats = registry.stats();
+    debug_assert_eq!(reg_stats.excluded_cores, 0);
+    point.overflows = reg_stats.overflows;
+    point
 }
 
 /// One thread's shootdown mailbox: request/ack sequence numbers on their

@@ -78,6 +78,14 @@ impl AtomicCpuMask {
         self.words[cpu / 64].fetch_or(1 << (cpu % 64), Ordering::AcqRel);
     }
 
+    /// Atomically sets `cpu`'s bit like [`set_bit`](Self::set_bit), but
+    /// returns whether it was already set — the arbitration the exclusion
+    /// mask needs so exactly one caller wins an exclude/poison race.
+    pub fn set_returning(&self, cpu: usize) -> bool {
+        let bit = 1u64 << (cpu % 64);
+        self.words[cpu / 64].fetch_or(bit, Ordering::AcqRel) & bit != 0
+    }
+
     /// Atomically takes and clears all bits, word by word (acquire
     /// semantics pairing with [`set_bit`](Self::set_bit)). Bits set
     /// concurrently with the drain land either in the returned snapshot

@@ -8,10 +8,17 @@
 //! the `active` flag after the plain field writes, paired with acquire
 //! loads in the sweep.
 
-use crate::rt::frontier::{ReclaimFrontier, REFRESH_TICKS};
+use crate::rt::frontier::{FrontierWatchdog, ReclaimFrontier, REFRESH_TICKS};
 use crate::rt::mask::{mask_first_n_except, AtomicCpuMask};
 use crate::rt::pad::CachePadded;
 use crate::rt::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use crate::rt::sync::Mutex;
+
+/// Sentinel slot index returned by a publish whose entire target mask was
+/// excluded cores: the invalidation is moot (a dead core has no cache to
+/// keep coherent, and an excluded core must flush before rejoining), so
+/// no queue slot was consumed.
+pub const NO_SLOT: usize = usize::MAX;
 
 /// The payload of one invalidation: which address space and which virtual
 /// byte range must be flushed from the sweeper's local cache/TLB analogue.
@@ -230,6 +237,131 @@ impl RtQueue {
             }
         }
     }
+
+    /// Clears `cpu`'s bit from every active state *without* delivering the
+    /// payload, retiring slots whose masks empty — the "leak, never
+    /// corrupt" reap done on behalf of an excluded core whose local cache
+    /// either no longer exists (dead thread) or will be flushed wholesale
+    /// before it rejoins. Returns the number of states cleared.
+    fn reap_for(&self, cpu: usize) -> u64 {
+        if self.active.load(Ordering::Acquire) == 0 {
+            return 0;
+        }
+        let mut reaped = 0;
+        for slot in self.slots.iter() {
+            if !slot.active.load(Ordering::Acquire) {
+                continue;
+            }
+            if !slot.cpus.test(cpu, Ordering::Acquire) {
+                continue;
+            }
+            let (was_set, now_empty) = slot.cpus.clear(cpu);
+            if was_set {
+                reaped += 1;
+                if now_empty
+                    && slot
+                        .active
+                        .compare_exchange(true, false, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                {
+                    self.active.fetch_sub(1, Ordering::Release);
+                }
+            }
+        }
+        reaped
+    }
+}
+
+/// Cold robustness counters. They are bumped only on exclusion events
+/// (rare by construction), so they share one padded line instead of
+/// taking five.
+#[derive(Debug, Default)]
+struct RobustCounters {
+    /// Cores excluded by the frontier watchdog (stall detection).
+    stall_exclusions: AtomicU64,
+    /// Cores excluded because their sweep panicked (see [`SweepGuard`]).
+    panic_poisons: AtomicU64,
+    /// Excluded cores that flushed and rejoined the frontier.
+    rejoins: AtomicU64,
+    /// States dropped while reaping excluded cores' bits from the queues.
+    reaped_states: AtomicU64,
+    /// Exclusion *epoch*: bumped on every exclusion AND every rejoin, so
+    /// an unchanged value brackets a window with a stable live set (the
+    /// soak canary compares epochs to know its ground-truth recheck is
+    /// race-free).
+    exclusion_events: AtomicU64,
+}
+
+/// Unified snapshot of every rt runtime counter, taken in one pass with
+/// saturating aggregation. This is the one API benches, tests, and the
+/// adaptive tuner read instead of poking individual counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RtStats {
+    /// Number of cores in the registry.
+    pub cores: usize,
+    /// States successfully published (queue path taken, IPI avoided).
+    pub states_saved: u64,
+    /// Publish attempts that overflowed to the synchronous path.
+    pub overflows: u64,
+    /// Minimum tick over **all** cores (excluded ones included — this is
+    /// the PR-5 reference frontier and stops advancing once a core dies).
+    pub min_tick: u64,
+    /// Minimum tick over live (non-excluded) cores; equals `min_tick`
+    /// when nothing is excluded.
+    pub min_live_tick: u64,
+    /// Maximum tick over all cores.
+    pub max_tick: u64,
+    /// The cached reclamation frontier.
+    pub cached_frontier: u64,
+    /// How far the fastest sweeper leads the cached frontier
+    /// (`max_tick - cached_frontier`, saturating) — the live reclaim-lag
+    /// signal the adaptive tuner sizes the grace wheel from.
+    pub reclaim_lag_ticks: u64,
+    /// Cores currently excluded from the frontier.
+    pub excluded_cores: usize,
+    /// Watchdog-driven exclusions to date.
+    pub stall_exclusions: u64,
+    /// Panic-driven exclusions to date.
+    pub panic_poisons: u64,
+    /// Flush-and-rejoin events to date.
+    pub rejoins: u64,
+    /// States leaked (reaped undelivered) on behalf of excluded cores.
+    pub reaped_states: u64,
+    /// Exclusion epoch (see [`RtRegistry::exclusion_events`]).
+    pub exclusion_events: u64,
+}
+
+/// RAII panic fence around a sweep/reclaim critical section: if the
+/// guarded scope unwinds (or the thread dies mid-sweep and Rust unwinds
+/// it), `Drop` poisons only this core — it is excluded from the frontier
+/// so every *other* core's reclamation keeps advancing, and its
+/// undelivered states are reaped (leaked, never delivered corrupt).
+/// Call [`complete`](SweepGuard::complete) on the success path.
+#[derive(Debug)]
+pub struct SweepGuard<'a> {
+    registry: &'a RtRegistry,
+    core: usize,
+    armed: bool,
+}
+
+impl SweepGuard<'_> {
+    /// The guarded core.
+    pub fn core(&self) -> usize {
+        self.core
+    }
+
+    /// Disarms the guard: the sweep completed normally.
+    pub fn complete(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for SweepGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            self.registry.poison_core(self.core);
+        }
+    }
 }
 
 /// All cores' queues plus per-core tick counters: the complete §4.1
@@ -261,12 +393,54 @@ pub struct RtRegistry {
     saved: Box<[CachePadded<AtomicU64>]>,
     /// Per-core overflow counters, same layout as `saved`.
     overflows: Box<[CachePadded<AtomicU64>]>,
+    /// Cores excluded from the frontier (watchdog-stalled or poisoned).
+    /// A set bit means the core's tick no longer gates reclamation and
+    /// its queue bits are reaped; the owner must flush its local cache
+    /// and [`rejoin`](Self::rejoin) before sweeping normally again.
+    excluded: CachePadded<AtomicCpuMask>,
+    /// Fast-path mirror of `excluded.count()`: publishers check one
+    /// relaxed load of this (a line that is never written in healthy
+    /// runs) before paying the mask filter.
+    excluded_count: CachePadded<AtomicUsize>,
+    /// Real-time stall detector, present only when constructed via
+    /// [`with_watchdog`](Self::with_watchdog). `None` keeps the fault-free
+    /// sweep path bit-identical to the un-hardened registry.
+    watchdog: Option<FrontierWatchdog>,
+    /// The hotplug-style transition lock: serializes exclusion-mask
+    /// transitions (exclude/rejoin) against *live-set* frontier scans. A
+    /// scan whose mask snapshot predates a rejoin could otherwise pass
+    /// the rejoined core's freshly caught-up tick and advance the cached
+    /// frontier over a live core — the one way "leak, never corrupt"
+    /// could turn into corruption. Scans take it with `try_lock` (skip
+    /// on contention, the forced refresh retries), so the healthy sweep
+    /// path never blocks; transitions are rare and may.
+    transition: Mutex<()>,
+    robust: CachePadded<RobustCounters>,
 }
 
 impl RtRegistry {
     /// Creates the registry for `cores` cores with `states_per_core` slots
-    /// each.
+    /// each. The frontier watchdog is disabled; panic poisoning via
+    /// [`sweep_guard`](Self::sweep_guard) still works.
     pub fn new(cores: usize, states_per_core: usize) -> Self {
+        Self::build(cores, states_per_core, None)
+    }
+
+    /// [`new`](Self::new) plus a real-time frontier watchdog: a core that
+    /// goes `watchdog_timeout_ns` without completing a sweep is excluded
+    /// from the frontier by the next [`check_watchdog`](Self::check_watchdog)
+    /// (also run in-band from the periodic forced refresh), so a dead or
+    /// wedged thread pins reclamation for at most the timeout plus one
+    /// detection interval instead of forever.
+    pub fn with_watchdog(cores: usize, states_per_core: usize, watchdog_timeout_ns: u64) -> Self {
+        Self::build(
+            cores,
+            states_per_core,
+            Some(FrontierWatchdog::new(cores, watchdog_timeout_ns)),
+        )
+    }
+
+    fn build(cores: usize, states_per_core: usize, watchdog: Option<FrontierWatchdog>) -> Self {
         RtRegistry {
             queues: (0..cores).map(|_| RtQueue::new(states_per_core)).collect(),
             pending: (0..cores)
@@ -282,6 +456,11 @@ impl RtRegistry {
             overflows: (0..cores)
                 .map(|_| CachePadded::new(AtomicU64::new(0)))
                 .collect(),
+            excluded: CachePadded::new(AtomicCpuMask::new()),
+            excluded_count: CachePadded::new(AtomicUsize::new(0)),
+            watchdog,
+            transition: Mutex::new(()),
+            robust: CachePadded::new(RobustCounters::default()),
         }
     }
 
@@ -329,6 +508,13 @@ impl RtRegistry {
 
     /// [`publish`](Self::publish) with a full 256-bit target mask.
     ///
+    /// Excluded cores are filtered out of the target mask (their caches
+    /// are gone or will be flushed before rejoin, so delivering to them
+    /// is moot); a mask that empties entirely consumes no slot and
+    /// returns [`NO_SLOT`]. On overflow while cores are excluded the
+    /// queue is reaped of dead bits and the publish retried once — a dead
+    /// core must not be able to pin every slot of a live publisher.
+    ///
     /// # Errors
     ///
     /// Returns [`PublishError`] on queue overflow.
@@ -338,11 +524,37 @@ impl RtRegistry {
         inv: RtInvalidation,
         target_words: [u64; 4],
     ) -> Result<usize, PublishError> {
-        match self.queues[core].publish(inv, target_words) {
+        let mut words = target_words;
+        let degraded = self.excluded_count.load(Ordering::Relaxed) > 0;
+        if degraded {
+            let ex = self.excluded.load_words(Ordering::Acquire);
+            for (w, e) in words.iter_mut().zip(ex) {
+                *w &= !e;
+            }
+            if words == [0u64; 4] {
+                self.saved[core].fetch_add(1, Ordering::Relaxed);
+                return Ok(NO_SLOT);
+            }
+        }
+        match self.queues[core].publish(inv, words) {
             Ok(idx) => {
-                self.mark_pending(core, target_words);
+                self.mark_pending(core, words);
                 self.saved[core].fetch_add(1, Ordering::Relaxed);
                 Ok(idx)
+            }
+            Err(_) if degraded && self.reap_queue_of_excluded(core) > 0 => {
+                // Dead-core bits were pinning slots; retry once post-reap.
+                match self.queues[core].publish(inv, words) {
+                    Ok(idx) => {
+                        self.mark_pending(core, words);
+                        self.saved[core].fetch_add(1, Ordering::Relaxed);
+                        Ok(idx)
+                    }
+                    Err(e) => {
+                        self.overflows[core].fetch_add(1, Ordering::Relaxed);
+                        Err(e)
+                    }
+                }
             }
             Err(e) => {
                 self.overflows[core].fetch_add(1, Ordering::Relaxed);
@@ -360,12 +572,19 @@ impl RtRegistry {
     ///
     /// Returns [`PublishError`] when the batch doesn't fit; the whole
     /// batch falls back to the synchronous path and counts one overflow.
+    ///
+    /// While cores are excluded, each entry's mask is filtered like
+    /// [`publish_wide`](Self::publish_wide); entries whose masks empty
+    /// report [`NO_SLOT`] in `out` (batch order is preserved).
     pub fn publish_batch(
         &self,
         core: usize,
         batch: &[(RtInvalidation, [u64; 4])],
         out: &mut Vec<usize>,
     ) -> Result<(), PublishError> {
+        if self.excluded_count.load(Ordering::Relaxed) > 0 {
+            return self.publish_batch_degraded(core, batch, out);
+        }
         match self.queues[core].publish_batch(batch, out) {
             Ok(()) => {
                 for &(_, words) in batch {
@@ -379,6 +598,59 @@ impl RtRegistry {
                 Err(e)
             }
         }
+    }
+
+    /// [`publish_batch`](Self::publish_batch), exclusion-filtered slow
+    /// path. Only taken while at least one core is excluded, so the
+    /// allocation is off the healthy hot path.
+    fn publish_batch_degraded(
+        &self,
+        core: usize,
+        batch: &[(RtInvalidation, [u64; 4])],
+        out: &mut Vec<usize>,
+    ) -> Result<(), PublishError> {
+        let ex = self.excluded.load_words(Ordering::Acquire);
+        let mut filtered: Vec<(RtInvalidation, [u64; 4])> = Vec::with_capacity(batch.len());
+        let mut live_mask = Vec::with_capacity(batch.len());
+        for &(inv, words) in batch {
+            let mut w = words;
+            for (wi, e) in w.iter_mut().zip(ex) {
+                *wi &= !e;
+            }
+            let live = w != [0u64; 4];
+            live_mask.push(live);
+            if live {
+                filtered.push((inv, w));
+            }
+        }
+        let mut claimed = Vec::with_capacity(filtered.len());
+        let published = match self.queues[core].publish_batch(&filtered, &mut claimed) {
+            Ok(()) => true,
+            // Dead-core bits may be pinning slots; reap and retry once.
+            Err(_) if self.reap_queue_of_excluded(core) > 0 => self.queues[core]
+                .publish_batch(&filtered, &mut claimed)
+                .is_ok(),
+            Err(_) => false,
+        };
+        if !published {
+            out.clear();
+            self.overflows[core].fetch_add(1, Ordering::Relaxed);
+            return Err(PublishError);
+        }
+        for &(_, words) in &filtered {
+            self.mark_pending(core, words);
+        }
+        self.saved[core].fetch_add(batch.len() as u64, Ordering::Relaxed);
+        out.clear();
+        let mut next = claimed.into_iter();
+        for live in live_mask {
+            out.push(if live {
+                next.next().expect("one claimed slot per live entry")
+            } else {
+                NO_SLOT
+            });
+        }
+        Ok(())
     }
 
     /// Publishes to every core except the initiator.
@@ -410,7 +682,21 @@ impl RtRegistry {
         for q in &self.queues {
             q.sweep_for(core, out);
         }
-        self.finish_sweep(core);
+        self.finish_sweep(core, true);
+    }
+
+    /// [`sweep_into`](Self::sweep_into) without the frontier announce:
+    /// the tick still bumps (and the watchdog still sees the sweep — the
+    /// thread is alive), but the announce/forced-refresh trigger is
+    /// skipped. This models a delayed frontier announce: correctness is
+    /// untouched (the invalidations are applied; the cached frontier only
+    /// lags further), and other cores' forced refreshes eventually pick
+    /// the progress up.
+    pub fn sweep_into_unannounced(&self, core: usize, out: &mut Vec<RtInvalidation>) {
+        for q in &self.queues {
+            q.sweep_for(core, out);
+        }
+        self.finish_sweep(core, false);
     }
 
     /// The fast sweep: drains `core`'s pending row and visits only the
@@ -428,6 +714,17 @@ impl RtRegistry {
     /// Allocation-free [`sweep_pending`](Self::sweep_pending): appends to
     /// `out` (not cleared first) for buffer reuse in tick loops.
     pub fn sweep_pending_into(&self, core: usize, out: &mut Vec<RtInvalidation>) {
+        self.sweep_pending_inner(core, out, true);
+    }
+
+    /// [`sweep_pending_into`](Self::sweep_pending_into) without the
+    /// frontier announce (see
+    /// [`sweep_into_unannounced`](Self::sweep_into_unannounced)).
+    pub fn sweep_pending_into_unannounced(&self, core: usize, out: &mut Vec<RtInvalidation>) {
+        self.sweep_pending_inner(core, out, false);
+    }
+
+    fn sweep_pending_inner(&self, core: usize, out: &mut Vec<RtInvalidation>, announce: bool) {
         let row = self.pending[core].take_words();
         for (w, word) in row.into_iter().enumerate() {
             let mut bits = word;
@@ -439,7 +736,7 @@ impl RtRegistry {
                 }
             }
         }
-        self.finish_sweep(core);
+        self.finish_sweep(core, announce);
     }
 
     /// Bumps `core`'s tick and announces it to the cached frontier:
@@ -447,10 +744,20 @@ impl RtRegistry {
     /// tick equalled the cache) re-scans, plus a periodic forced refresh
     /// as the liveness backstop (see [`crate::rt::frontier`]). Every
     /// other sweep costs one padded-line `fetch_add` and one load.
-    fn finish_sweep(&self, core: usize) {
+    ///
+    /// With the watchdog enabled the sweep is also timestamped, and the
+    /// periodic forced refresh doubles as the in-band stall check.
+    fn finish_sweep(&self, core: usize, announce: bool) {
+        if let Some(w) = &self.watchdog {
+            w.record_sweep(core);
+        }
         let old = self.ticks[core].fetch_add(1, Ordering::Release);
-        if old == self.frontier.get() || (old + 1).is_multiple_of(REFRESH_TICKS) {
+        let forced = (old + 1).is_multiple_of(REFRESH_TICKS);
+        if announce && (old == self.frontier.get() || forced) {
             self.advance_frontier();
+        }
+        if forced && self.watchdog.is_some() {
+            self.check_watchdog();
         }
     }
 
@@ -480,23 +787,310 @@ impl RtRegistry {
         self.frontier.get()
     }
 
+    /// The minimum tick across *live* (non-excluded) cores — the frontier
+    /// the hardened runtime gates reclamation on. With nothing excluded
+    /// this is exactly [`min_tick`](Self::min_tick) (one relaxed load
+    /// decides, so the healthy path is unchanged). With exclusions, a
+    /// core observed as excluded contributes the *cached frontier* as its
+    /// stand-in tick instead of being skipped: this read is lock-free and
+    /// can race a concurrent [`rejoin`](Self::rejoin), and the cached
+    /// frontier is the one value guaranteed not to exceed the rejoined
+    /// core's caught-up tick (`cached ≤ min-live` is the transition-lock
+    /// invariant). The result is a sound lower bound for any caller; the
+    /// advancement path uses the exact live scan under the transition
+    /// lock instead ([`advance_frontier`](Self::advance_frontier)), so
+    /// dead cores still stop gating reclamation.
+    pub fn min_live_tick(&self) -> u64 {
+        if self.excluded_count.load(Ordering::Relaxed) == 0 {
+            return self.min_tick();
+        }
+        let floor = self.frontier.get();
+        let mut min = u64::MAX;
+        for (core, t) in self.ticks.iter().enumerate() {
+            if self.excluded.test(core, Ordering::Acquire) {
+                min = min.min(floor);
+            } else {
+                min = min.min(t.load(Ordering::Acquire));
+            }
+        }
+        min
+    }
+
+    /// The exact minimum over live cores. Only sound while `transition`
+    /// is held (or when no core is excluded): a concurrent rejoin would
+    /// let this pass the rejoining core's tick.
+    fn min_live_tick_locked(&self) -> u64 {
+        let mut min = u64::MAX;
+        let mut any_live = false;
+        for (core, t) in self.ticks.iter().enumerate() {
+            if self.excluded.test(core, Ordering::Acquire) {
+                continue;
+            }
+            min = min.min(t.load(Ordering::Acquire));
+            any_live = true;
+        }
+        if any_live {
+            min
+        } else {
+            self.frontier.get()
+        }
+    }
+
     /// Forces a frontier refresh: one reference scan published into the
     /// cache. Returns the frontier after the publish.
+    ///
+    /// With no exclusions this is the full-set scan — unconditionally
+    /// safe to publish, since the minimum over *all* ticks lower-bounds
+    /// the minimum over any live subset even mid-transition. With
+    /// exclusions the scan must skip dead cores to make progress, which
+    /// is only sound against a stable mask: it runs under the transition
+    /// lock, and skips the refresh entirely if the lock is contended (an
+    /// exclude/rejoin is in flight; the next announce or forced refresh
+    /// retries).
     pub fn advance_frontier(&self) -> u64 {
-        self.frontier.advance_to(self.min_tick())
+        if self.excluded_count.load(Ordering::Acquire) == 0 {
+            return self.frontier.advance_to(self.min_tick());
+        }
+        match self.transition.try_lock() {
+            Some(_guard) => self.frontier.advance_to(self.min_live_tick_locked()),
+            None => self.frontier.get(),
+        }
     }
 
     /// States successfully published (sum of the per-core counters).
     pub fn states_saved(&self) -> u64 {
-        self.saved.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        self.saved
+            .iter()
+            .fold(0u64, |a, c| a.saturating_add(c.load(Ordering::Relaxed)))
     }
 
     /// Publish attempts that overflowed (sum of the per-core counters).
     pub fn overflows(&self) -> u64 {
         self.overflows
             .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .sum()
+            .fold(0u64, |a, c| a.saturating_add(c.load(Ordering::Relaxed)))
+    }
+
+    /// Whether this registry was built with a frontier watchdog.
+    pub fn watchdog_enabled(&self) -> bool {
+        self.watchdog.is_some()
+    }
+
+    /// The frontier watchdog, if enabled (benches read timestamps and,
+    /// under loom, drive the virtual clock through this).
+    pub fn watchdog(&self) -> Option<&FrontierWatchdog> {
+        self.watchdog.as_ref()
+    }
+
+    /// Whether any core is currently excluded (one relaxed load).
+    pub fn has_exclusions(&self) -> bool {
+        self.excluded_count.load(Ordering::Relaxed) > 0
+    }
+
+    /// Whether `core` is currently excluded from the frontier.
+    pub fn is_excluded(&self, core: usize) -> bool {
+        core < self.queues.len() && self.excluded.test(core, Ordering::Acquire)
+    }
+
+    /// The exclusion epoch: bumped on every exclusion and every rejoin.
+    /// A canary that records it at defer and re-reads it at collect knows
+    /// the live set was stable in between — only then is the strict
+    /// ground-truth recheck (`min_live_tick() ≥ due`) race-free.
+    pub fn exclusion_events(&self) -> u64 {
+        self.robust.exclusion_events.load(Ordering::Acquire)
+    }
+
+    /// Scans every core against the watchdog timeout and excludes the
+    /// stalled ones. Returns how many cores were newly excluded. No-op
+    /// (returns 0) when the registry has no watchdog.
+    ///
+    /// Run from a monitor thread and in-band from the periodic forced
+    /// refresh, so detection latency is bounded by the refresh cadence of
+    /// the *live* cores, not by the dead one.
+    pub fn check_watchdog(&self) -> usize {
+        let Some(w) = &self.watchdog else {
+            return 0;
+        };
+        let now = w.now_ns();
+        let mut newly = 0;
+        for core in 0..self.queues.len() {
+            if w.timed_out(core, now)
+                && !self.excluded.test(core, Ordering::Acquire)
+                && self.exclude_core(core)
+            {
+                newly += 1;
+            }
+        }
+        newly
+    }
+
+    /// Excludes `core` from the frontier as watchdog-stalled: its tick no
+    /// longer gates reclamation, its undelivered queue bits are reaped
+    /// ("leak, never corrupt"), and the frontier is force-refreshed so
+    /// reclamation advances over it. Returns `false` if the core was
+    /// already excluded (or out of range) — exactly one caller wins.
+    pub fn exclude_core(&self, core: usize) -> bool {
+        self.exclude_inner(core, false)
+    }
+
+    /// [`exclude_core`](Self::exclude_core) with the panic-poison reason,
+    /// used by [`SweepGuard`] when a sweep unwinds.
+    pub fn poison_core(&self, core: usize) -> bool {
+        self.exclude_inner(core, true)
+    }
+
+    fn exclude_inner(&self, core: usize, poisoned: bool) -> bool {
+        if core >= self.queues.len() {
+            return false;
+        }
+        // Mask transition: serialized against live-set frontier scans
+        // (see the `transition` field). Taken before the bit flips so a
+        // scan never observes a half-applied transition.
+        let _guard = self.transition.lock();
+        if self.excluded.set_returning(core) {
+            return false;
+        }
+        self.excluded_count.fetch_add(1, Ordering::AcqRel);
+        self.robust.exclusion_events.fetch_add(1, Ordering::AcqRel);
+        let reason = if poisoned {
+            &self.robust.panic_poisons
+        } else {
+            &self.robust.stall_exclusions
+        };
+        reason.fetch_add(1, Ordering::Relaxed);
+        // Leak, never corrupt: drop the dead core's undelivered
+        // invalidations so its bits stop pinning live publishers' slots.
+        // Safe because the core either never reads its cache again (dead)
+        // or must flush it wholesale before rejoining.
+        let mut reaped = 0;
+        for q in &self.queues {
+            reaped += q.reap_for(core);
+        }
+        self.robust
+            .reaped_states
+            .fetch_add(reaped, Ordering::Relaxed);
+        // Let the frontier advance over the excluded core immediately —
+        // inline, since we already hold the transition lock.
+        self.frontier.advance_to(self.min_live_tick_locked());
+        true
+    }
+
+    /// Reaps every *excluded* core's bits from `core`'s own queue,
+    /// returning the number of states cleared. Called on publish overflow
+    /// while exclusions are active, so a dead core can't permanently pin
+    /// a live publisher's slots between exclusion-time reaps.
+    fn reap_queue_of_excluded(&self, core: usize) -> u64 {
+        let ex = self.excluded.load_words(Ordering::Acquire);
+        let mut reaped = 0;
+        for (w, word) in ex.into_iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let cpu = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                reaped += self.queues[core].reap_for(cpu);
+            }
+        }
+        self.robust
+            .reaped_states
+            .fetch_add(reaped, Ordering::Relaxed);
+        reaped
+    }
+
+    /// Rejoins a previously excluded `core` to the frontier. **Owner-core
+    /// contract**: only the core's own thread may call this, and it must
+    /// have flushed its entire local cache first — while excluded its
+    /// invalidations were reaped undelivered, so any cached translation
+    /// may be stale ("leak, never corrupt" leaks the states, the flush
+    /// restores coherence).
+    ///
+    /// The core's tick is fast-forwarded to the cached frontier before
+    /// the exclusion bit clears, so its stale (low) tick can never drag
+    /// dues computed after the rejoin below what live cores already
+    /// promised. Returns `false` if the core wasn't excluded.
+    pub fn rejoin(&self, core: usize) -> bool {
+        if core >= self.queues.len() || !self.excluded.test(core, Ordering::Acquire) {
+            return false;
+        }
+        // Mask transition: under the lock the cached frontier cannot
+        // advance past this core — live-set scans are serialized out,
+        // and a racing full-set scan (a thread that still observed zero
+        // exclusions) includes this core's tick, so it can only publish
+        // values ≤ it. The catch-up below therefore closes the race for
+        // good: once the bit clears, every scan sees the caught-up tick.
+        let _guard = self.transition.lock();
+        let f = self.frontier.get();
+        if self.ticks[core].load(Ordering::Acquire) < f {
+            // Owner-core contract makes this store single-writer.
+            self.ticks[core].store(f, Ordering::Release);
+        }
+        self.excluded.clear(core);
+        self.excluded_count.fetch_sub(1, Ordering::AcqRel);
+        self.robust.rejoins.fetch_add(1, Ordering::Relaxed);
+        self.robust.exclusion_events.fetch_add(1, Ordering::AcqRel);
+        true
+    }
+
+    /// Arms a panic fence for `core`'s sweep/reclaim critical section:
+    /// if the scope unwinds before [`SweepGuard::complete`], the core is
+    /// poisoned (excluded) so only its shard degrades.
+    pub fn sweep_guard(&self, core: usize) -> SweepGuard<'_> {
+        SweepGuard {
+            registry: self,
+            core,
+            armed: true,
+        }
+    }
+
+    /// One-pass snapshot of every runtime counter (see [`RtStats`]).
+    /// Aggregation saturates; the snapshot is racy per-field but each
+    /// field is internally consistent enough for monitoring and tuning.
+    pub fn stats(&self) -> RtStats {
+        let mut min_tick = u64::MAX;
+        let mut min_live = u64::MAX;
+        let mut max_tick = 0u64;
+        let mut any = false;
+        let mut any_live = false;
+        let mut any_excluded = false;
+        for (core, t) in self.ticks.iter().enumerate() {
+            let v = t.load(Ordering::Acquire);
+            min_tick = min_tick.min(v);
+            max_tick = max_tick.max(v);
+            any = true;
+            if self.excluded.test(core, Ordering::Acquire) {
+                any_excluded = true;
+            } else {
+                min_live = min_live.min(v);
+                any_live = true;
+            }
+        }
+        let cached_frontier = self.frontier.get();
+        if !any {
+            min_tick = 0;
+        }
+        if !any_live {
+            min_live = cached_frontier;
+        } else if any_excluded {
+            // Same cached-frontier floor as `min_live_tick()`: the
+            // snapshot races mask transitions, and the floor is the one
+            // stand-in that never passes a rejoining core's tick.
+            min_live = min_live.min(cached_frontier);
+        }
+        RtStats {
+            cores: self.queues.len(),
+            states_saved: self.states_saved(),
+            overflows: self.overflows(),
+            min_tick,
+            min_live_tick: min_live,
+            max_tick,
+            cached_frontier,
+            reclaim_lag_ticks: max_tick.saturating_sub(cached_frontier),
+            excluded_cores: self.excluded_count.load(Ordering::Acquire),
+            stall_exclusions: self.robust.stall_exclusions.load(Ordering::Relaxed),
+            panic_poisons: self.robust.panic_poisons.load(Ordering::Relaxed),
+            rejoins: self.robust.rejoins.load(Ordering::Relaxed),
+            reaped_states: self.robust.reaped_states.load(Ordering::Relaxed),
+            exclusion_events: self.robust.exclusion_events.load(Ordering::Acquire),
+        }
     }
 }
 
@@ -807,5 +1401,195 @@ mod tests {
         }
         assert_eq!(r.queue(0).active_count(), 0);
         assert_eq!(r.states_saved(), total);
+    }
+
+    #[test]
+    fn excluding_a_core_reaps_and_unpins_the_frontier() {
+        let r = RtRegistry::new(3, 4);
+        r.publish(0, inv(1), 0b110).unwrap();
+        // Cores 1 sweeps, core 2 never does: frontier pinned at 0 and the
+        // slot stays active on core 2's behalf.
+        for _ in 0..4 {
+            r.sweep(0);
+            r.sweep(1);
+        }
+        assert_eq!(r.cached_frontier(), 0);
+        assert_eq!(r.queue(0).active_count(), 1);
+
+        assert!(r.exclude_core(2));
+        assert!(!r.exclude_core(2), "second exclude loses the race");
+        assert!(r.is_excluded(2));
+        let st = r.stats();
+        assert_eq!(st.excluded_cores, 1);
+        assert_eq!(st.stall_exclusions, 1);
+        assert_eq!(st.reaped_states, 1, "undelivered state is leaked");
+        assert_eq!(r.queue(0).active_count(), 0, "reap retired the pinned slot");
+        // Frontier now tracks the live minimum (both live cores at 4).
+        assert_eq!(r.cached_frontier(), 4);
+        assert_eq!(r.min_live_tick(), 4);
+        assert_eq!(r.min_tick(), 0, "reference min still sees the dead core");
+    }
+
+    #[test]
+    fn publishes_skip_excluded_targets() {
+        let r = RtRegistry::new(3, 2);
+        r.exclude_core(2);
+        // Mask reduced to live cores only.
+        let idx = r.publish(0, inv(1), 0b110).unwrap();
+        assert_ne!(idx, NO_SLOT);
+        assert_eq!(r.sweep(1).len(), 1);
+        assert_eq!(
+            r.queue(0).active_count(),
+            0,
+            "core 2's bit was filtered out, core 1's sweep retires the slot"
+        );
+        // Fully-excluded target: no slot consumed, still counted saved.
+        assert_eq!(r.publish(0, inv(2), 0b100).unwrap(), NO_SLOT);
+        assert_eq!(r.queue(0).active_count(), 0);
+        assert_eq!(r.states_saved(), 2);
+    }
+
+    #[test]
+    fn batch_publish_filters_excluded_targets_in_order() {
+        let r = RtRegistry::new(3, 4);
+        r.exclude_core(2);
+        let batch = [
+            (inv(1), [0b110u64, 0, 0, 0]),
+            (inv(2), [0b100u64, 0, 0, 0]), // only the dead core
+            (inv(3), [0b010u64, 0, 0, 0]),
+        ];
+        let mut slots = Vec::new();
+        r.publish_batch(0, &batch, &mut slots).unwrap();
+        assert_eq!(slots.len(), 3);
+        assert_eq!(slots[1], NO_SLOT);
+        assert_ne!(slots[0], NO_SLOT);
+        assert_ne!(slots[2], NO_SLOT);
+        assert_eq!(r.queue(0).active_count(), 2);
+        assert_eq!(r.states_saved(), 3);
+        assert_eq!(r.sweep(1).len(), 2);
+        assert_eq!(r.queue(0).active_count(), 0);
+    }
+
+    #[test]
+    fn overflow_with_exclusions_reaps_and_retries() {
+        let r = RtRegistry::new(3, 2);
+        // Fill both slots targeting core 2, then kill core 2: its bits pin
+        // the queue.
+        r.publish(0, inv(1), 0b100).unwrap();
+        r.publish(0, inv(2), 0b100).unwrap();
+        r.exclude_core(2);
+        // Exclusion-time reap already freed the slots; publish succeeds
+        // without an overflow even though the queue *was* full.
+        assert!(r.publish(0, inv(3), 0b010).is_ok());
+        assert_eq!(r.overflows(), 0);
+    }
+
+    #[test]
+    fn rejoin_fast_forwards_the_tick() {
+        let r = RtRegistry::new(2, 4);
+        for _ in 0..6 {
+            r.sweep(0);
+        }
+        r.exclude_core(1);
+        assert_eq!(r.cached_frontier(), 6);
+        assert!(r.rejoin(1));
+        assert!(!r.rejoin(1), "already rejoined");
+        assert!(!r.is_excluded(1));
+        assert_eq!(
+            r.tick_of(1),
+            6,
+            "tick fast-forwarded to the frontier so post-rejoin dues stay sound"
+        );
+        let st = r.stats();
+        assert_eq!(st.rejoins, 1);
+        assert_eq!(st.excluded_cores, 0);
+        assert_eq!(st.exclusion_events, 2, "one exclude + one rejoin");
+    }
+
+    #[test]
+    fn sweep_guard_poisons_only_on_panic() {
+        let r = RtRegistry::new(2, 4);
+        {
+            let g = r.sweep_guard(0);
+            assert_eq!(g.core(), 0);
+            g.complete();
+        }
+        // A guard dropped without panic (and without complete) stays quiet.
+        {
+            let _g = r.sweep_guard(0);
+        }
+        assert_eq!(r.stats().panic_poisons, 0);
+
+        let r = Arc::new(RtRegistry::new(2, 4));
+        let r2 = Arc::clone(&r);
+        let res = std::thread::spawn(move || {
+            let _g = r2.sweep_guard(1);
+            panic!("injected sweep death");
+        })
+        .join();
+        assert!(res.is_err());
+        assert!(r.is_excluded(1), "panicking sweep poisoned its core");
+        assert_eq!(r.stats().panic_poisons, 1);
+    }
+
+    #[test]
+    fn watchdog_excludes_silent_cores() {
+        // 1 ms timeout: core 1 sweeps once then goes silent.
+        let r = RtRegistry::with_watchdog(2, 4, 1_000_000);
+        assert!(r.watchdog_enabled());
+        r.sweep(0);
+        r.sweep(1);
+        assert_eq!(r.check_watchdog(), 0, "both cores fresh");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        r.sweep(0); // core 0 stays live
+        assert_eq!(r.check_watchdog(), 1);
+        assert!(r.is_excluded(1));
+        assert!(!r.is_excluded(0));
+        assert_eq!(r.stats().stall_exclusions, 1);
+        // Idempotent: already excluded.
+        assert_eq!(r.check_watchdog(), 0);
+    }
+
+    #[test]
+    fn unannounced_sweeps_bump_ticks_but_not_the_frontier() {
+        let r = RtRegistry::new(2, 4);
+        let mut buf = Vec::new();
+        r.publish(0, inv(1), 0b10).unwrap();
+        r.sweep_into_unannounced(1, &mut buf);
+        assert_eq!(buf, vec![inv(1)], "invalidations still delivered");
+        r.sweep_into_unannounced(0, &mut buf);
+        assert_eq!(r.min_tick(), 1);
+        assert_eq!(r.cached_frontier(), 0, "announce was skipped");
+        // A normal sweep (or forced refresh) catches the frontier up.
+        r.sweep(0);
+        r.sweep(1);
+        r.advance_frontier();
+        assert_eq!(r.cached_frontier(), 2);
+
+        // Pending flavor too.
+        r.publish(0, inv(2), 0b10).unwrap();
+        buf.clear();
+        r.sweep_pending_into_unannounced(1, &mut buf);
+        assert_eq!(buf, vec![inv(2)]);
+    }
+
+    #[test]
+    fn stats_snapshot_is_consistent() {
+        let r = RtRegistry::new(3, 2);
+        r.publish(0, inv(1), 0b110).unwrap();
+        r.publish(0, inv(2), 0b110).unwrap();
+        assert!(r.publish(0, inv(3), 0b110).is_err());
+        r.sweep(1);
+        r.sweep(1);
+        let st = r.stats();
+        assert_eq!(st.cores, 3);
+        assert_eq!(st.states_saved, 2);
+        assert_eq!(st.overflows, 1);
+        assert_eq!(st.max_tick, 2);
+        assert_eq!(st.min_tick, 0);
+        assert_eq!(st.min_live_tick, 0);
+        assert_eq!(st.reclaim_lag_ticks, 2 - st.cached_frontier);
+        assert_eq!(st.excluded_cores, 0);
+        assert_eq!(st.exclusion_events, 0);
     }
 }

@@ -29,6 +29,7 @@
 
 use crate::rt::pad::CachePadded;
 use crate::rt::queue::RtRegistry;
+use crate::rt::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use crate::rt::sync::Mutex;
 use std::collections::VecDeque;
 
@@ -59,7 +60,11 @@ use std::collections::VecDeque;
 /// locks in this stall behaviour.
 #[derive(Debug)]
 pub struct RtReclaimer<T> {
-    grace: u64,
+    /// Grace in sweep cycles; atomic so the adaptive tuner can retarget
+    /// it live (relaxed loads — a defer races with retuning benignly:
+    /// either grace value is a sound "every core sweeps this many more
+    /// times" promise).
+    grace: AtomicU64,
     pending: Mutex<VecDeque<(u64, T)>>,
 }
 
@@ -68,14 +73,31 @@ impl<T> RtReclaimer<T> {
     /// uses 2).
     pub fn new(grace: u64) -> Self {
         RtReclaimer {
-            grace,
+            grace: AtomicU64::new(grace),
             pending: Mutex::new(VecDeque::new()),
         }
     }
 
+    /// The current grace period in sweep cycles.
+    pub fn grace(&self) -> u64 {
+        self.grace.load(Ordering::Relaxed)
+    }
+
+    /// Retargets the grace period (adaptive tuning). Only affects items
+    /// deferred after the store; parked items keep their recorded due.
+    pub fn set_grace(&self, grace: u64) {
+        self.grace.store(grace, Ordering::Relaxed);
+    }
+
     /// Parks `item` until every core has swept `grace` more times.
+    ///
+    /// The baseline is the minimum tick over *live* cores (identical to
+    /// `min_tick()` while nothing is excluded): anchoring to the all-core
+    /// minimum would let a long-dead core's frozen tick produce a due the
+    /// live cores already passed, reclaiming before they swept even once
+    /// after this defer.
     pub fn defer(&self, registry: &RtRegistry, item: T) {
-        let due = registry.min_tick() + self.grace;
+        let due = registry.min_live_tick() + self.grace();
         self.pending.lock().push_back((due, item));
     }
 
@@ -88,8 +110,14 @@ impl<T> RtReclaimer<T> {
 
     /// Allocation-free [`collect`](Self::collect): appends the due items
     /// to `out` (not cleared first) so callers can reuse one buffer.
+    ///
+    /// Gates on the live-core minimum, so an excluded (dead) core stops
+    /// pinning reclamation. Dues are only *nearly* monotone once cores
+    /// rejoin (the live minimum can step down), so a larger due at the
+    /// queue front may briefly park smaller ones behind it — strictly
+    /// conservative, never early.
     pub fn collect_into(&self, registry: &RtRegistry, out: &mut Vec<T>) {
-        let frontier = registry.min_tick();
+        let frontier = registry.min_live_tick();
         let mut pending = self.pending.lock();
         while let Some(&(due, _)) = pending.front() {
             if due > frontier {
@@ -110,19 +138,25 @@ impl<T> RtReclaimer<T> {
     }
 }
 
-/// Calendar buckets a shard keeps inline; dues beyond this horizon (a
-/// core far ahead of the frontier) overflow into a side list.
-const WHEEL_SLOTS: usize = 8;
+/// Default calendar buckets a shard keeps inline; dues beyond this
+/// horizon (a core far ahead of the frontier) overflow into a side list.
+pub const DEFAULT_WHEEL_SLOTS: usize = 8;
+
+/// Upper clamp on the adaptive wheel size (a runaway tuner must not
+/// allocate unbounded calendars).
+pub const MAX_WHEEL_SLOTS: usize = 1024;
 
 /// One core's slice of the sharded reclaimer.
 #[derive(Debug)]
 struct Shard<T> {
     /// Every due `< next_due` has been drained; the wheel covers dues in
-    /// `[next_due, next_due + WHEEL_SLOTS)`.
+    /// `[next_due, next_due + wheel.len())`.
     next_due: u64,
-    /// The due-bucket calendar: due `d` parks at `wheel[d % WHEEL_SLOTS]`.
+    /// The due-bucket calendar: due `d` parks at `wheel[d % wheel.len()]`.
     /// Buffers are recycled on drain, so steady state allocates nothing.
-    wheel: [Vec<T>; WHEEL_SLOTS],
+    /// The length is the shard's current wheel size; it follows the
+    /// reclaimer-wide target lazily (resynced under the shard lock).
+    wheel: Vec<Vec<T>>,
     /// `(due, item)` pairs beyond the wheel horizon.
     overflow: VecDeque<(u64, T)>,
     /// Total items parked in this shard.
@@ -130,12 +164,55 @@ struct Shard<T> {
 }
 
 impl<T> Shard<T> {
-    fn new() -> Self {
+    fn new(slots: usize) -> Self {
         Shard {
             next_due: 0,
-            wheel: std::array::from_fn(|_| Vec::new()),
+            wheel: (0..slots).map(|_| Vec::new()).collect(),
             overflow: VecDeque::new(),
             len: 0,
+        }
+    }
+
+    /// Rebuilds the calendar at `new_slots` buckets, preserving every
+    /// item's due. Dues inside the old window stay distinct modulo the
+    /// new size iff they fit the new window; anything beyond it moves to
+    /// the overflow list (and overflow items newly within the horizon
+    /// move in). Called only when the tuner retargets, never on the
+    /// steady-state path.
+    fn resize_wheel(&mut self, new_slots: usize) {
+        let old = self.wheel.len() as u64;
+        let mut moved: Vec<(u64, Vec<T>)> = Vec::new();
+        for offset in 0..old {
+            let due = self.next_due + offset;
+            let idx = (due % old) as usize;
+            if !self.wheel[idx].is_empty() {
+                moved.push((due, std::mem::take(&mut self.wheel[idx])));
+            }
+        }
+        self.wheel.clear();
+        self.wheel.resize_with(new_slots, Vec::new);
+        let horizon = new_slots as u64;
+        for (due, mut items) in moved {
+            if due - self.next_due < horizon {
+                // Window dues are distinct mod the window size, so the
+                // target bucket is empty; append keeps order regardless.
+                let idx = (due % horizon) as usize;
+                self.wheel[idx].append(&mut items);
+            } else {
+                for item in items.drain(..) {
+                    self.overflow.push_back((due, item));
+                }
+            }
+        }
+        let mut i = 0;
+        while i < self.overflow.len() {
+            let due = self.overflow[i].0;
+            if due >= self.next_due && due - self.next_due < horizon {
+                let (due, item) = self.overflow.remove(i).expect("index checked");
+                self.wheel[(due % horizon) as usize].push(item);
+            } else {
+                i += 1;
+            }
         }
     }
 }
@@ -156,7 +233,12 @@ impl<T> Shard<T> {
 /// never sweeps pins the frontier and parks every item forever.
 #[derive(Debug)]
 pub struct ShardedReclaimer<T> {
-    grace: u64,
+    /// Grace in sweep cycles, atomic for live retuning (see
+    /// [`RtReclaimer`]'s field docs).
+    grace: AtomicU64,
+    /// Reclaimer-wide wheel-size target; shards resync to it lazily
+    /// under their own lock (one relaxed load per defer/collect).
+    target_slots: AtomicUsize,
     shards: Box<[CachePadded<Mutex<Shard<T>>>]>,
 }
 
@@ -165,24 +247,71 @@ impl<T> ShardedReclaimer<T> {
     /// sweep cycles (the paper uses 2).
     pub fn new(grace: u64, cores: usize) -> Self {
         ShardedReclaimer {
-            grace,
+            grace: AtomicU64::new(grace),
+            target_slots: AtomicUsize::new(DEFAULT_WHEEL_SLOTS),
             shards: (0..cores.max(1))
-                .map(|_| CachePadded::new(Mutex::new(Shard::new())))
+                .map(|_| CachePadded::new(Mutex::new(Shard::new(DEFAULT_WHEEL_SLOTS))))
                 .collect(),
+        }
+    }
+
+    /// The current grace period in sweep cycles.
+    pub fn grace(&self) -> u64 {
+        self.grace.load(Ordering::Relaxed)
+    }
+
+    /// Retargets the grace period (adaptive tuning). Only affects items
+    /// deferred after the store; parked items keep their recorded due.
+    pub fn set_grace(&self, grace: u64) {
+        self.grace.store(grace, Ordering::Relaxed);
+    }
+
+    /// The current wheel-size target.
+    pub fn wheel_slots(&self) -> usize {
+        self.target_slots.load(Ordering::Relaxed)
+    }
+
+    /// Retargets the calendar size, clamped to
+    /// `[1, `[`MAX_WHEEL_SLOTS`]`]`. Shards rebucket lazily the next time
+    /// each is locked; dues are preserved exactly, so safety is untouched
+    /// — a wider wheel only moves far dues off the O(n) overflow list.
+    pub fn set_wheel_slots(&self, slots: usize) {
+        self.target_slots
+            .store(slots.clamp(1, MAX_WHEEL_SLOTS), Ordering::Relaxed);
+    }
+
+    /// Resyncs a locked shard's wheel to the reclaimer-wide target.
+    fn sync_shard(&self, s: &mut Shard<T>) {
+        let want = self.target_slots.load(Ordering::Relaxed);
+        if want != s.wheel.len() {
+            s.resize_wheel(want);
         }
     }
 
     /// Parks `item` on `core`'s shard until every core has swept `grace`
     /// more times. Reads only the calling core's own tick counter —
-    /// never the global frontier.
+    /// never the global frontier — except while cores are excluded, when
+    /// the base is clamped up to the cached frontier: a core that was
+    /// itself excluded (and whose tick is behind the frontier) must not
+    /// produce an already-due item before it flushes and rejoins.
     pub fn defer(&self, registry: &RtRegistry, core: usize, item: T) {
-        let due = registry.tick_of(core) + self.grace;
+        let mut base = registry.tick_of(core);
+        if registry.has_exclusions() {
+            base = base.max(registry.cached_frontier());
+        }
+        let due = base + self.grace();
         let mut s = self.shards[core].lock();
-        // A due behind the drained window means the grace already
-        // elapsed; park it in the next drainable bucket.
-        let due = due.max(s.next_due);
-        if due - s.next_due < WHEEL_SLOTS as u64 {
-            let idx = (due % WHEEL_SLOTS as u64) as usize;
+        self.sync_shard(&mut s);
+        let horizon = s.wheel.len() as u64;
+        if due < s.next_due {
+            // The grace already elapsed relative to the drained window
+            // (e.g. grace 0 right after a collect). Park on the overflow
+            // list under the *true* due so the very next collect with
+            // frontier ≥ due hands it back — bumping it into the wheel
+            // would wait on a future sweep that may never come.
+            s.overflow.push_back((due, item));
+        } else if due - s.next_due < horizon {
+            let idx = (due % horizon) as usize;
             s.wheel[idx].push(item);
         } else {
             s.overflow.push_back((due, item));
@@ -203,28 +332,30 @@ impl<T> ShardedReclaimer<T> {
     pub fn collect_into(&self, registry: &RtRegistry, core: usize, out: &mut Vec<T>) {
         let frontier = registry.cached_frontier();
         let mut s = self.shards[core].lock();
+        self.sync_shard(&mut s);
         self.drain_due(&mut s, frontier, out);
     }
 
     fn drain_due(&self, s: &mut Shard<T>, frontier: u64, out: &mut Vec<T>) {
-        if s.next_due > frontier {
-            return;
+        if s.next_due <= frontier {
+            // The wheel only holds dues within wheel.len() of next_due,
+            // so at most that many buckets can be non-empty below the
+            // frontier; the window then jumps straight to frontier + 1.
+            let horizon = s.wheel.len() as u64;
+            let steps = (frontier - s.next_due + 1).min(horizon);
+            for _ in 0..steps {
+                let idx = (s.next_due % horizon) as usize;
+                let mut bucket = std::mem::take(&mut s.wheel[idx]);
+                s.len -= bucket.len();
+                out.append(&mut bucket);
+                s.wheel[idx] = bucket;
+                s.next_due += 1;
+            }
+            s.next_due = s.next_due.max(frontier + 1);
         }
-        // The wheel only holds dues within WHEEL_SLOTS of next_due, so at
-        // most that many buckets can be non-empty below the frontier; the
-        // window then jumps straight to frontier + 1.
-        let steps = (frontier - s.next_due + 1).min(WHEEL_SLOTS as u64);
-        for _ in 0..steps {
-            let idx = (s.next_due % WHEEL_SLOTS as u64) as usize;
-            let mut bucket = std::mem::take(&mut s.wheel[idx]);
-            s.len -= bucket.len();
-            out.append(&mut bucket);
-            s.wheel[idx] = bucket;
-            s.next_due += 1;
-        }
-        s.next_due = s.next_due.max(frontier + 1);
-        // Far-future items whose due caught up are still in the overflow
-        // list; release them in arrival order.
+        // The overflow list holds far-future dues AND already-elapsed
+        // ones (see `defer`), so it is scanned even when the wheel window
+        // sits ahead of the frontier; due items release in arrival order.
         let mut i = 0;
         while i < s.overflow.len() {
             if s.overflow[i].0 <= frontier {
@@ -248,8 +379,9 @@ impl<T> ShardedReclaimer<T> {
         let mut out = Vec::new();
         for shard in self.shards.iter() {
             let mut s = shard.lock();
-            for offset in 0..WHEEL_SLOTS as u64 {
-                let idx = ((s.next_due + offset) % WHEEL_SLOTS as u64) as usize;
+            let horizon = s.wheel.len() as u64;
+            for offset in 0..horizon {
+                let idx = ((s.next_due + offset) % horizon) as usize;
                 let mut bucket = std::mem::take(&mut s.wheel[idx]);
                 s.len -= bucket.len();
                 out.append(&mut bucket);
@@ -366,6 +498,39 @@ impl<T> Reclaimer<T> {
         match &self.engine {
             Engine::Reference(r) => r.drain_all(),
             Engine::Sharded(s) => s.drain_all(),
+        }
+    }
+
+    /// The current grace period in sweep cycles.
+    pub fn grace(&self) -> u64 {
+        match &self.engine {
+            Engine::Reference(r) => r.grace(),
+            Engine::Sharded(s) => s.grace(),
+        }
+    }
+
+    /// Retargets the grace period on either engine (adaptive tuning).
+    pub fn set_grace(&self, grace: u64) {
+        match &self.engine {
+            Engine::Reference(r) => r.set_grace(grace),
+            Engine::Sharded(s) => s.set_grace(grace),
+        }
+    }
+
+    /// Retargets the sharded engine's calendar size; a no-op on the
+    /// reference engine (its queue has no wheel).
+    pub fn set_wheel_slots(&self, slots: usize) {
+        if let Engine::Sharded(s) = &self.engine {
+            s.set_wheel_slots(slots);
+        }
+    }
+
+    /// The sharded engine's wheel-size target (0 for the reference
+    /// engine, which has no calendar).
+    pub fn wheel_slots(&self) -> usize {
+        match &self.engine {
+            Engine::Reference(_) => 0,
+            Engine::Sharded(s) => s.wheel_slots(),
         }
     }
 }
@@ -572,6 +737,151 @@ mod tests {
             rec.defer(&registry, 1, 6);
             assert_eq!(rec.pending_count(), 1);
             assert_eq!(rec.drain_all(), vec![6], "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn excluded_core_stops_pinning_reference_reclamation() {
+        // The robustness counterpart of
+        // `never_sweeping_core_pins_frontier_forever`: once the dead core
+        // is excluded, the live minimum gates instead and items flow.
+        let registry = RtRegistry::new(4, 8);
+        let rec: RtReclaimer<u32> = RtReclaimer::new(2);
+        rec.defer(&registry, 7);
+        for _ in 0..10 {
+            registry.sweep(0);
+            registry.sweep(1);
+            registry.sweep(2);
+            // Core 3 never sweeps.
+        }
+        assert!(rec.collect(&registry).is_empty(), "pinned pre-exclusion");
+        registry.exclude_core(3);
+        assert_eq!(rec.collect(&registry), vec![7]);
+        // Items deferred while excluded anchor to the live minimum: the
+        // live cores must still sweep `grace` more times.
+        rec.defer(&registry, 8);
+        assert!(rec.collect(&registry).is_empty());
+        for _ in 0..2 {
+            registry.sweep(0);
+            registry.sweep(1);
+            registry.sweep(2);
+        }
+        assert_eq!(rec.collect(&registry), vec![8]);
+    }
+
+    #[test]
+    fn excluded_core_stops_pinning_sharded_reclamation() {
+        let registry = RtRegistry::new(4, 8);
+        let rec: ShardedReclaimer<u32> = ShardedReclaimer::new(2, 4);
+        rec.defer(&registry, 0, 1);
+        for _ in 0..10 {
+            registry.sweep(0);
+            registry.sweep(1);
+            registry.sweep(2);
+        }
+        assert!(rec.collect(&registry, 0).is_empty(), "core 3 pins");
+        registry.exclude_core(3);
+        assert_eq!(rec.collect(&registry, 0), vec![1]);
+    }
+
+    #[test]
+    fn defer_from_a_stale_excluded_core_is_never_already_due() {
+        // A core that was excluded (tick frozen at 0) but keeps calling
+        // defer before it flushes/rejoins: the due must clamp up to the
+        // frontier, not land already-collectable.
+        let registry = RtRegistry::new(2, 8);
+        let rec: ShardedReclaimer<u32> = ShardedReclaimer::new(2, 2);
+        for _ in 0..10 {
+            registry.sweep(0);
+        }
+        registry.exclude_core(1);
+        assert!(registry.cached_frontier() >= 10);
+        rec.defer(&registry, 1, 42); // tick_of(1) == 0, frontier ≥ 10
+        assert!(
+            rec.collect(&registry, 1).is_empty(),
+            "due clamps to frontier + grace, not tick + grace"
+        );
+        // After the live core sweeps out the grace, it becomes due.
+        for _ in 0..3 {
+            registry.sweep(0);
+        }
+        registry.advance_frontier();
+        assert_eq!(rec.collect(&registry, 1), vec![42]);
+    }
+
+    #[test]
+    fn retuned_grace_applies_to_new_defers_only() {
+        let registry = RtRegistry::new(1, 8);
+        let rec: RtReclaimer<u32> = RtReclaimer::new(4);
+        rec.defer(&registry, 1); // due 4
+        rec.set_grace(1);
+        assert_eq!(rec.grace(), 1);
+        rec.defer(&registry, 2); // due 1
+        registry.sweep(0);
+        // Item 1's recorded due (4) still gates it; the queue is FIFO so
+        // item 2 parks behind it — conservative, never early.
+        assert!(rec.collect(&registry).is_empty());
+        for _ in 0..3 {
+            registry.sweep(0);
+        }
+        assert_eq!(rec.collect(&registry), vec![1, 2]);
+    }
+
+    #[test]
+    fn wheel_resize_preserves_dues_both_directions() {
+        let registry = RtRegistry::new(1, 8);
+        let rec: ShardedReclaimer<u32> = ShardedReclaimer::new(2, 1);
+        assert_eq!(rec.wheel_slots(), DEFAULT_WHEEL_SLOTS);
+        // Park items across the window and beyond it.
+        for _ in 0..4 {
+            registry.sweep(0);
+        }
+        rec.defer(&registry, 0, 1); // due 6, in-window
+        for _ in 0..16 {
+            registry.sweep(0);
+        }
+        rec.defer(&registry, 0, 2); // due 22
+                                    // Widen: overflow items within the new horizon move into the
+                                    // wheel with dues intact; item 1 (due 6 ≤ frontier 20) is due,
+                                    // item 2 (due 22) is not.
+        rec.set_wheel_slots(64);
+        let mut got = rec.collect(&registry, 0);
+        assert_eq!(got, vec![1]);
+        // Shrink below the spread: wheel items past the new horizon move
+        // back to overflow, dues still intact.
+        rec.set_wheel_slots(2);
+        assert_eq!(rec.wheel_slots(), 2);
+        assert_eq!(rec.pending_count(), 1);
+        for _ in 0..8 {
+            registry.sweep(0);
+        }
+        registry.advance_frontier();
+        got.extend(rec.collect(&registry, 0));
+        assert_eq!(got, vec![1, 2], "every item survives both resizes");
+        assert_eq!(rec.pending_count(), 0);
+    }
+
+    #[test]
+    fn wheel_resize_is_clamped() {
+        let rec: ShardedReclaimer<u32> = ShardedReclaimer::new(2, 1);
+        rec.set_wheel_slots(0);
+        assert_eq!(rec.wheel_slots(), 1);
+        rec.set_wheel_slots(1 << 20);
+        assert_eq!(rec.wheel_slots(), MAX_WHEEL_SLOTS);
+    }
+
+    #[test]
+    fn reclaimer_front_tunes_both_engines() {
+        for backend in [ReclaimBackend::Reference, ReclaimBackend::Sharded] {
+            let rec: Reclaimer<u32> = Reclaimer::new(backend, 2, 2);
+            assert_eq!(rec.grace(), 2);
+            rec.set_grace(5);
+            assert_eq!(rec.grace(), 5, "{backend:?}");
+            rec.set_wheel_slots(32);
+            match backend {
+                ReclaimBackend::Sharded => assert_eq!(rec.wheel_slots(), 32),
+                ReclaimBackend::Reference => assert_eq!(rec.wheel_slots(), 0),
+            }
         }
     }
 

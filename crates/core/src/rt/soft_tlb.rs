@@ -134,17 +134,50 @@ impl SoftTlb {
     /// key named by an invalidation. Returns how many entries were
     /// dropped. Allocation-free in steady state: the sweep reuses one
     /// scratch buffer for the whole lifetime of the TLB.
+    ///
+    /// Robustness behavior: the sweep runs under a [`SweepGuard`] (a
+    /// panic mid-sweep poisons only this core), and if this core was
+    /// excluded (watchdog stall or poison) the whole cache is flushed
+    /// before it [`rejoin`]s — while excluded its invalidations were
+    /// reaped undelivered, so every cached entry is suspect. That flush
+    /// is the "leak, never corrupt" contract's second half.
+    ///
+    /// [`SweepGuard`]: crate::rt::SweepGuard
+    /// [`rejoin`]: RtRegistry::rejoin
     pub fn tick(&mut self) -> usize {
+        self.tick_inner(true)
+    }
+
+    /// [`tick`](Self::tick) without the frontier announce — the
+    /// delayed-announce fault: invalidations are still applied and the
+    /// tick still counts, but the cached frontier learns of it only via
+    /// other cores' forced refreshes.
+    pub fn tick_unannounced(&mut self) -> usize {
+        self.tick_inner(false)
+    }
+
+    fn tick_inner(&mut self, announce: bool) -> usize {
+        let registry = self.table.registry();
+        let mut flushed = 0;
+        if registry.has_exclusions() && registry.is_excluded(self.core) {
+            // Flush-before-rejoin: every entry cached before/through the
+            // exclusion window may be stale (its invalidation was reaped).
+            flushed = self.cache.len();
+            self.cache.clear();
+            registry.rejoin(self.core);
+        }
         let mut work = std::mem::take(&mut self.scratch);
         work.clear();
-        match self.sweep_mode {
-            SweepMode::FullScan => self.table.registry().sweep_into(self.core, &mut work),
-            SweepMode::Pending => self
-                .table
-                .registry()
-                .sweep_pending_into(self.core, &mut work),
+        let guard = registry.sweep_guard(self.core);
+        match (self.sweep_mode, announce) {
+            (SweepMode::FullScan, true) => registry.sweep_into(self.core, &mut work),
+            (SweepMode::FullScan, false) => registry.sweep_into_unannounced(self.core, &mut work),
+            (SweepMode::Pending, true) => registry.sweep_pending_into(self.core, &mut work),
+            (SweepMode::Pending, false) => {
+                registry.sweep_pending_into_unannounced(self.core, &mut work)
+            }
         }
-        let mut dropped = 0;
+        let mut dropped = flushed;
         for inv in &work {
             if inv.end == inv.start + 1 {
                 // Point invalidation (the common case for unmap_lazy):
@@ -157,6 +190,7 @@ impl SoftTlb {
             }
             self.stale_hits_possible += 1;
         }
+        guard.complete();
         self.scratch = work;
         dropped
     }
@@ -259,6 +293,46 @@ mod tests {
         assert_eq!(tlb.lookup(10), None);
         assert_eq!(tlb.lookup(11), Some(110), "unrelated entry survives");
         assert_eq!(tlb.tick(), 0, "pending row drained: nothing to visit");
+    }
+
+    #[test]
+    fn excluded_tlb_flushes_everything_and_rejoins_on_tick() {
+        let (table, mut tlbs) = setup(2);
+        table.map_key(10, 100);
+        table.map_key(11, 110);
+        assert_eq!(tlbs[1].lookup(10), Some(100));
+        assert_eq!(tlbs[1].lookup(11), Some(110));
+
+        // Core 1 is declared dead; its pending invalidation is reaped.
+        table.unmap_lazy(0, 10).unwrap();
+        table.registry().exclude_core(1);
+        assert_eq!(table.registry().stats().reaped_states, 1);
+
+        // Its next tick must drop the WHOLE cache (both entries — it can't
+        // know which invalidations it missed) and rejoin the frontier.
+        assert_eq!(tlbs[1].tick(), 2);
+        assert_eq!(tlbs[1].cached(), 0);
+        assert!(!table.registry().is_excluded(1));
+        assert_eq!(table.registry().stats().rejoins, 1);
+        // Coherent again: the unmapped key misses, the live one re-walks.
+        assert_eq!(tlbs[1].lookup(10), None);
+        assert_eq!(tlbs[1].lookup(11), Some(110));
+    }
+
+    #[test]
+    fn unannounced_tick_still_applies_invalidations() {
+        let (table, mut tlbs) = setup(2);
+        table.map_key(10, 100);
+        assert_eq!(tlbs[1].lookup(10), Some(100));
+        table.unmap_lazy(0, 10).unwrap();
+        assert_eq!(tlbs[1].tick_unannounced(), 1);
+        assert_eq!(tlbs[1].lookup(10), None);
+        assert_eq!(
+            table.registry().cached_frontier(),
+            0,
+            "announce was delayed"
+        );
+        assert_eq!(table.registry().tick_of(1), 1, "the tick still counted");
     }
 
     #[test]

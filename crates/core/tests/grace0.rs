@@ -11,5 +11,10 @@ fn grace_zero_defer_after_collect_is_collectable_at_quiescence() {
     // min_tick is already >= due(0): reference engine would hand it back now.
     reg.advance_frontier();
     let got = rec.collect(&reg, 0);
-    assert_eq!(got, vec![42], "item parked past its due; pending={}", rec.pending_count());
+    assert_eq!(
+        got,
+        vec![42],
+        "item parked past its due; pending={}",
+        rec.pending_count()
+    );
 }

@@ -277,6 +277,43 @@ fn never_sweeping_core_pins_cached_frontier_and_sharded_reclaimer() {
     });
 }
 
+/// The frontier watchdog (ISSUE 6): a core that dies (never sweeps) is
+/// excluded once the virtual clock passes the timeout, and a concurrent
+/// healthy sweeper is never blocked past that bound — nor ever excluded
+/// itself while its sweeps stay fresh. The exclusion (mask set, queue-bit
+/// reap, frontier re-derivation) races the healthy core's sweep in every
+/// interleaving; afterwards the parked item must be collectable exactly
+/// once.
+#[test]
+fn excluded_dead_core_never_blocks_reclamation() {
+    loom::model(|| {
+        let reg = Arc::new(RtRegistry::with_watchdog(2, 1, 1_000));
+        let rec: Arc<ShardedReclaimer<u32>> = Arc::new(ShardedReclaimer::new(1, 2));
+        // Clock 500: core 0 sweeps (freshly stamped), core 1 never will.
+        reg.watchdog().unwrap().advance_clock(500);
+        reg.sweep_into(0, &mut Vec::new());
+        rec.defer(&reg, 0, 9); // due = tick_of(0) + 1 = 2
+                               // Clock 1500: core 1 is 1500 ns stale (> timeout); core 0 is at
+                               // most 1000 ns stale (= timeout, not past it) whether the racing
+                               // sweep below lands before or after the scan.
+        reg.watchdog().unwrap().advance_clock(1_000);
+        let killer = {
+            let reg = Arc::clone(&reg);
+            thread::spawn(move || reg.check_watchdog())
+        };
+        reg.sweep_into(0, &mut Vec::new());
+        let excluded = killer.join().unwrap();
+        assert_eq!(excluded, 1, "exactly the dead core gets excluded");
+        assert!(reg.is_excluded(1) && !reg.is_excluded(0));
+        // The dead core no longer pins anything: the live minimum is
+        // core 0's tick, and the parked item comes back exactly once.
+        reg.advance_frontier();
+        assert_eq!(reg.cached_frontier(), 2);
+        assert_eq!(rec.collect(&reg, 0), vec![9]);
+        assert_eq!(rec.pending_count(), 0);
+    });
+}
+
 /// §4.2's grace-period frontier: an item deferred with grace 2 must
 /// never be collected before *every* core has swept twice, no matter how
 /// sweeps and collects interleave — and it must be collected exactly

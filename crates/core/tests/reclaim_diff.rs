@@ -14,6 +14,15 @@
 //! * **Equivalence at quiescence** — once every core has swept past
 //!   every due, both engines have reclaimed exactly the full deferred
 //!   multiset.
+//!
+//! ISSUE 6 adds thread death to the schedule: a [`Op::Kill`] excludes a
+//! core on *both* registries (as the frontier watchdog or the sweep
+//! guard's panic fence would), after which the dead core defers, sweeps
+//! and collects nothing. The properties must survive unchanged — with
+//! the ground truth now the *live* minimum, since the whole point of
+//! exclusion is that a dead core's frozen tick stops gating reclamation
+//! ("leak, never corrupt": its undelivered states are reaped, its
+//! deferred items still drain through the quiescent collects).
 
 use latr_core::rt::{ReclaimBackend, Reclaimer, RtRegistry};
 use proptest::prelude::*;
@@ -30,13 +39,17 @@ enum Op {
     Sweep(u8, bool),
     /// `core` collects whatever its engine considers due.
     Collect(u8),
+    /// `core` dies: excluded on both registries, silent forever after.
+    /// Ignored if it would kill the last live core.
+    Kill(u8),
 }
 
 fn ops() -> impl Strategy<Value = (u64, Vec<Op>)> {
     let core = 0u8..CORES as u8;
     let defer = core.clone().prop_map(Op::Defer);
     let sweep = (core.clone(), 0u8..2).prop_map(|(c, p)| Op::Sweep(c, p == 1));
-    let collect = core.prop_map(Op::Collect);
+    let collect = core.clone().prop_map(Op::Collect);
+    let kill = core.prop_map(Op::Kill);
     (
         0u64..4, // grace
         prop::collection::vec(
@@ -47,7 +60,8 @@ fn ops() -> impl Strategy<Value = (u64, Vec<Op>)> {
                 sweep.clone(),
                 sweep,
                 collect.clone(),
-                collect
+                collect,
+                kill
             ],
             0..250,
         ),
@@ -66,21 +80,32 @@ proptest! {
         let mut dues_sharded: HashMap<u64, u64> = HashMap::new();
         let mut got_ref: BTreeSet<u64> = BTreeSet::new();
         let mut got_sh: BTreeSet<u64> = BTreeSet::new();
+        let mut killed: BTreeSet<usize> = BTreeSet::new();
         let mut max_due = 0u64;
 
         for op in &ops {
             match *op {
                 Op::Defer(core) => {
                     let core = core as usize;
+                    if killed.contains(&core) {
+                        continue;
+                    }
+                    // The deferring core is live, so its own tick bounds
+                    // every base either engine may anchor to — the
+                    // recorded due is conservative for the safety check
+                    // and an upper bound for the quiescence target.
                     let due = reg_sh.tick_of(core) + grace;
                     dues_sharded.insert(next_item, due);
-                    max_due = max_due.max(due).max(reg_ref.min_tick() + grace);
+                    max_due = max_due.max(due).max(reg_ref.min_live_tick() + grace);
                     rec_ref.defer(&reg_ref, core, next_item);
                     rec_sh.defer(&reg_sh, core, next_item);
                     next_item += 1;
                 }
                 Op::Sweep(core, pending) => {
                     let core = core as usize;
+                    if killed.contains(&core) {
+                        continue;
+                    }
                     let mut buf = Vec::new();
                     if pending {
                         reg_ref.sweep_pending_into(core, &mut buf);
@@ -91,10 +116,13 @@ proptest! {
                     }
                     // Identical schedules keep the ground-truth frontiers
                     // in lock-step.
-                    prop_assert_eq!(reg_ref.min_tick(), reg_sh.min_tick());
+                    prop_assert_eq!(reg_ref.min_live_tick(), reg_sh.min_live_tick());
                 }
                 Op::Collect(core) => {
                     let core = core as usize;
+                    if killed.contains(&core) {
+                        continue;
+                    }
                     for item in rec_ref.collect(&reg_ref, core) {
                         prop_assert!(got_ref.insert(item), "reference reclaimed {item} twice");
                     }
@@ -102,32 +130,52 @@ proptest! {
                         prop_assert!(got_sh.insert(item), "sharded reclaimed {item} twice");
                         let due = dues_sharded[&item];
                         prop_assert!(
-                            reg_sh.min_tick() >= due,
-                            "sharded reclaimed {item} early: due {due}, min {}",
-                            reg_sh.min_tick()
+                            reg_sh.min_live_tick() >= due,
+                            "sharded reclaimed {item} early: due {due}, live min {}",
+                            reg_sh.min_live_tick()
                         );
                     }
-                    // The cached frontier never leads the scan, so the
-                    // sharded engine can only lag the reference.
+                    // The cached frontier never leads the live scan, so
+                    // the sharded engine can only lag the reference.
                     prop_assert!(
                         got_sh.is_subset(&got_ref),
                         "sharded reclaimed {:?} before the reference did",
                         got_sh.difference(&got_ref).collect::<Vec<_>>()
                     );
                 }
+                Op::Kill(core) => {
+                    let core = core as usize;
+                    if killed.contains(&core) || killed.len() + 1 >= CORES {
+                        continue;
+                    }
+                    killed.insert(core);
+                    prop_assert!(reg_ref.exclude_core(core));
+                    prop_assert!(reg_sh.exclude_core(core));
+                }
             }
         }
 
-        // Quiesce: sweep every core until the slowest passed every due,
-        // then both engines must have handed back the identical multiset
-        // — all of it.
+        // Quiesce: sweep every *live* core until the slowest live one
+        // passed every due, then both engines must have handed back the
+        // identical multiset — all of it, including items the dead cores
+        // deferred before dying (their shards drain through the collects
+        // below: leak of queue states, never of reclaimer items).
         let target = max_due.max(grace);
         let mut rounds = 0;
-        while reg_sh.min_tick() < target {
+        while reg_sh.min_live_tick() < target {
             for core in 0..CORES {
+                if killed.contains(&core) {
+                    continue;
+                }
                 reg_ref.sweep(core);
                 reg_sh.sweep(core);
             }
+            // With exclusions, `min_live_tick()` floors at the cached
+            // frontier (which only live-scans under the transition lock
+            // may pass a dead core) — refresh it explicitly so the loop
+            // advances one tick per round.
+            reg_ref.advance_frontier();
+            reg_sh.advance_frontier();
             rounds += 1;
             prop_assert!(rounds <= target + 1, "quiescence must terminate");
         }

@@ -29,10 +29,17 @@
 
 mod inject;
 mod plan;
+pub mod rt;
 
 pub use inject::{FaultInjector, IpiFault, TickFault};
 pub use plan::{FaultPlan, IpiFaults, OverflowStorm, PlanParseError, StalledCore, TickFaults};
+pub use rt::{ThreadDeath, ThreadFault, ThreadFaultInjector, ThreadFaultPlan, ThreadFaultStream};
 
 /// Stream tag used to fork the injector's RNG off the machine seed; any
 /// fixed constant works, it only has to be stable across runs.
 pub const FAULT_STREAM: u64 = 0xFA017;
+
+/// Stream tag for the real-thread fault injector ([`ThreadFaultInjector`]);
+/// distinct from [`FAULT_STREAM`] so a run using both stays decorrelated,
+/// and XOR-mixed with the worker index so every thread gets its own stream.
+pub const THREAD_FAULT_STREAM: u64 = 0x007F_A017;

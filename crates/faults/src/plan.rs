@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 
 /// Probabilistic faults applied to every IPI delivery.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct IpiFaults {
     /// Probability in `[0, 1]` that an individual IPI delivery is dropped
     /// outright (never arrives; the initiator must retransmit).
@@ -28,6 +29,7 @@ pub struct IpiFaults {
 
 /// Probabilistic faults applied to every scheduler tick.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct TickFaults {
     /// Probability in `[0, 1]` that a tick is skipped entirely (no sweep,
     /// no accounting — models a missed timer interrupt).
@@ -46,6 +48,7 @@ pub struct TickFaults {
 /// interrupts — which is exactly what makes the watchdog's targeted-IPI
 /// escalation effective against stalled sweepers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct StalledCore {
     /// Core that stalls.
     pub cpu: u16,
@@ -60,6 +63,7 @@ pub struct StalledCore {
 /// were full, driving the policy onto its fallback path regardless of
 /// actual occupancy. Used to exercise the adaptive sync-mode hysteresis.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct OverflowStorm {
     /// Simulated time (ns) at which the storm begins.
     pub at: Nanos,
@@ -71,6 +75,7 @@ pub struct OverflowStorm {
 /// simulation run. Construct with [`FaultPlan::default`] (no faults) and
 /// the chainable `with_*` builders.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct FaultPlan {
     /// IPI delivery faults.
     pub ipi: IpiFaults,
@@ -135,6 +140,46 @@ impl FaultPlan {
     /// when a plan is active.
     pub fn is_active(&self) -> bool {
         *self != FaultPlan::default()
+    }
+
+    /// Range-check every knob: probabilities must lie in `[0, 1]` (NaN is
+    /// rejected by the interval test), scheduled windows must have a
+    /// non-zero duration, and a non-zero delay/jitter probability needs a
+    /// non-zero magnitude to have any effect. [`FaultPlan::parse`] calls
+    /// this, so a plan loaded from text is always well-formed; builders
+    /// stay unchecked for ergonomic test construction.
+    pub fn validate(&self) -> Result<(), String> {
+        let prob = |name: &str, p: f64| {
+            if (0.0..=1.0).contains(&p) {
+                Ok(())
+            } else {
+                Err(format!("{name} must be in [0, 1], got {p}"))
+            }
+        };
+        prob("ipi.drop_prob", self.ipi.drop_prob)?;
+        prob("ipi.delay_prob", self.ipi.delay_prob)?;
+        prob("tick.miss_prob", self.tick.miss_prob)?;
+        prob("tick.jitter_prob", self.tick.jitter_prob)?;
+        if self.ipi.delay_prob > 0.0 && self.ipi.delay_max == 0 {
+            return Err("ipi.delay_prob > 0 requires ipi.delay_max > 0".into());
+        }
+        if self.tick.jitter_prob > 0.0 && self.tick.jitter_max == 0 {
+            return Err("tick.jitter_prob > 0 requires tick.jitter_max > 0".into());
+        }
+        for s in &self.stalls {
+            if s.duration == 0 {
+                return Err(format!(
+                    "stall of cpu{} at {} has zero duration",
+                    s.cpu, s.at
+                ));
+            }
+        }
+        for s in &self.storms {
+            if s.duration == 0 {
+                return Err(format!("storm at {} has zero duration", s.at));
+            }
+        }
+        Ok(())
     }
 
     /// Serialize to the stable `key=value` text format accepted by
@@ -212,6 +257,12 @@ impl FaultPlan {
                 }
             }
         }
+        plan.validate().map_err(|message| PlanParseError {
+            // Whole-plan errors (cross-field constraints) have no single
+            // offending line; report them as line 0.
+            line: 0,
+            message,
+        })?;
         Ok(plan)
     }
 }
@@ -305,5 +356,42 @@ mod tests {
         assert!(FaultPlan::parse("stall=1@2+3").is_err()); // missing cpu prefix
         assert!(FaultPlan::parse("stall=cpu1@2").is_err()); // missing '+'
         assert!(FaultPlan::parse("storm=5").is_err()); // missing '+'
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range_probabilities() {
+        let err = FaultPlan::parse("ipi.drop_prob=1.5\n").unwrap_err();
+        assert_eq!(err.line, 0);
+        assert!(err.message.contains("[0, 1]"), "{}", err.message);
+        assert!(FaultPlan::parse("tick.miss_prob=-0.1\n").is_err());
+        assert!(FaultPlan::parse("ipi.delay_prob=NaN\n").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_zero_duration_windows() {
+        let err = FaultPlan::parse("stall=cpu1@5+0\n").unwrap_err();
+        assert!(err.message.contains("zero duration"), "{}", err.message);
+        assert!(FaultPlan::parse("storm=5+0\n").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_probability_without_magnitude() {
+        assert!(FaultPlan::parse("ipi.delay_prob=0.5\n").is_err());
+        assert!(FaultPlan::parse("ipi.delay_prob=0.5\nipi.delay_max=100\n").is_ok());
+        assert!(FaultPlan::parse("tick.jitter_prob=0.5\n").is_err());
+        assert!(FaultPlan::parse("tick.jitter_prob=0.5\ntick.jitter_max=100\n").is_ok());
+    }
+
+    #[test]
+    fn validate_accepts_every_builder_example() {
+        let plan = FaultPlan::default()
+            .with_ipi_drop(1.0)
+            .with_ipi_delay(0.5, 30_000)
+            .with_tick_miss(0.1)
+            .with_tick_jitter(0.2, 400_000)
+            .with_stall(2, 0, 5_000_000)
+            .with_storm(2_000_000, 3_000_000);
+        assert_eq!(plan.validate(), Ok(()));
+        assert_eq!(FaultPlan::default().validate(), Ok(()));
     }
 }

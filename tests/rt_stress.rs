@@ -123,7 +123,12 @@ fn wide_mask_retirement_at(cores: usize, sweep: fn(&RtRegistry, usize, &mut Vec<
             "state {i} delivered {n} times at {cores} cores"
         );
     }
-    assert_eq!(registry.states_saved(), total);
+    // Counter checks go through the unified stats snapshot (ISSUE 6):
+    // same numbers, one consistent read, and a fault-free run must end
+    // with every core live.
+    let stats = registry.stats();
+    assert_eq!(stats.states_saved, total);
+    assert_eq!(stats.excluded_cores, 0);
     assert_eq!(registry.queue(0).active_count(), 0, "all slots recycled");
 }
 
@@ -209,6 +214,12 @@ fn reclaim_pipeline_at(cores: usize, total: u64, backend: ReclaimBackend) {
     collected.extend(reclaimer.collect(&registry, 0).into_iter().map(|(o, _)| o));
     assert_eq!(collected.len() as u64, total, "{cores} cores {backend:?}");
     assert!(collected.windows(2).all(|w| w[0] < w[1]), "FIFO order");
+    // With no exclusions the live minimum and the all-core minimum are
+    // the same frontier, and the cache never leads either.
+    let stats = registry.stats();
+    assert_eq!(stats.min_live_tick, stats.min_tick);
+    assert!(stats.cached_frontier <= stats.min_live_tick);
+    assert_eq!(stats.excluded_cores, 0);
 }
 
 /// Slot recycling: a tiny queue cycled many times must never deliver a
@@ -259,5 +270,7 @@ fn recycled_slots_at(cores: usize, rounds: u64) {
         }
     }
     sweeper.join().expect("sweeper");
-    assert_eq!(registry.states_saved(), rounds, "{cores} cores");
+    let stats = registry.stats();
+    assert_eq!(stats.states_saved, rounds, "{cores} cores");
+    assert_eq!(stats.excluded_cores, 0);
 }

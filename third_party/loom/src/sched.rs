@@ -353,6 +353,46 @@ impl<T> Mutex<T> {
         }
     }
 
+    /// Attempts to acquire the lock without blocking, parking_lot-style
+    /// (`Option`, not `Result`). A scheduling point either way, so the
+    /// model explores both the acquired and the contended outcome.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let id = self.id();
+        let Some(sched) = with_ctx(|c| Arc::clone(&c.sched)) else {
+            // Outside a model run: behave as a plain try_lock.
+            return match self.data.try_lock() {
+                Ok(inner) => Some(MutexGuard {
+                    mutex: self,
+                    inner: Some(inner),
+                }),
+                Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                    mutex: self,
+                    inner: Some(p.into_inner()),
+                }),
+                Err(std::sync::TryLockError::WouldBlock) => None,
+            };
+        };
+        yield_point();
+        let mut g = sched.inner.lock().expect("scheduler lock");
+        bail_if_panicked(&g);
+        if g.mutexes_held.len() <= id {
+            g.mutexes_held.resize(id + 1, false);
+        }
+        if g.mutexes_held[id] {
+            return None;
+        }
+        g.mutexes_held[id] = true;
+        drop(g);
+        let inner = self
+            .data
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Some(MutexGuard {
+            mutex: self,
+            inner: Some(inner),
+        })
+    }
+
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
         self.data
