@@ -576,6 +576,7 @@ impl RtRegistry {
     /// While cores are excluded, each entry's mask is filtered like
     /// [`publish_wide`](Self::publish_wide); entries whose masks empty
     /// report [`NO_SLOT`] in `out` (batch order is preserved).
+    #[latr::hot_path]
     pub fn publish_batch(
         &self,
         core: usize,
@@ -603,6 +604,10 @@ impl RtRegistry {
     /// [`publish_batch`](Self::publish_batch), exclusion-filtered slow
     /// path. Only taken while at least one core is excluded, so the
     /// allocation is off the healthy hot path.
+    // alloc_ok: only reachable while at least one core is excluded, so
+    // the filtered-batch buffers are off the healthy hot path by
+    // construction (the `excluded_count` gate above this call).
+    #[latr::alloc_ok]
     fn publish_batch_degraded(
         &self,
         core: usize,
@@ -678,6 +683,7 @@ impl RtRegistry {
     /// Allocation-free [`sweep`](Self::sweep): appends the invalidations
     /// to `out` (not cleared first) so a tick loop can reuse one buffer
     /// across its whole lifetime.
+    #[latr::hot_path]
     pub fn sweep_into(&self, core: usize, out: &mut Vec<RtInvalidation>) {
         for q in &self.queues {
             q.sweep_for(core, out);
@@ -713,6 +719,7 @@ impl RtRegistry {
 
     /// Allocation-free [`sweep_pending`](Self::sweep_pending): appends to
     /// `out` (not cleared first) for buffer reuse in tick loops.
+    #[latr::hot_path]
     pub fn sweep_pending_into(&self, core: usize, out: &mut Vec<RtInvalidation>) {
         self.sweep_pending_inner(core, out, true);
     }
@@ -800,6 +807,7 @@ impl RtRegistry {
     /// advancement path uses the exact live scan under the transition
     /// lock instead ([`advance_frontier`](Self::advance_frontier)), so
     /// dead cores still stop gating reclamation.
+    #[latr::hot_path]
     pub fn min_live_tick(&self) -> u64 {
         if self.excluded_count.load(Ordering::Relaxed) == 0 {
             return self.min_tick();

@@ -156,6 +156,9 @@ impl SoftTlb {
         self.tick_inner(false)
     }
 
+    // Hot-path root: point invalidation + sweep; allocation-free in
+    // steady state (the scratch buffer is reused across ticks).
+    #[latr::hot_path]
     fn tick_inner(&mut self, announce: bool) -> usize {
         let registry = self.table.registry();
         let mut flushed = 0;
@@ -337,7 +340,7 @@ mod tests {
 
     #[test]
     fn concurrent_readers_never_see_garbage() {
-        use std::sync::atomic::{AtomicBool, Ordering};
+        use crate::rt::sync::atomic::{AtomicBool, Ordering};
         let cores = 4;
         let registry = Arc::new(RtRegistry::new(cores, 256));
         let table = Arc::new(SoftTlbTable::new(registry));

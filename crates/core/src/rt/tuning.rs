@@ -222,7 +222,10 @@ impl RtTuner {
         w.prev_saved = stats.states_saved;
         w.prev_overflows = stats.overflows;
         let attempts = d_saved.saturating_add(d_over);
-        let overflow_pct = d_over.saturating_mul(100).checked_div(attempts).unwrap_or(0);
+        let overflow_pct = d_over
+            .saturating_mul(100)
+            .checked_div(attempts)
+            .unwrap_or(0);
 
         let mut report = TuningReport {
             overflow_pct,

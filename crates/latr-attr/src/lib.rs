@@ -1,0 +1,33 @@
+//! Inert marker attributes for the rt concurrency protocol.
+//!
+//! These attributes change nothing at compile time — each one returns its
+//! item untouched. They exist so source code can carry machine-readable
+//! protocol annotations that `latr-lint` (the protocol-aware static
+//! analyzer, see `crates/lint`) keys its call-graph walks off:
+//!
+//! * [`macro@hot_path`] marks a function as a hot-path *root*: everything
+//!   reachable from it must be allocation-free and may take the
+//!   transition lock only via `try_lock` (PROTOCOL.toml, DESIGN.md §13).
+//! * [`macro@alloc_ok`] marks a function as a sanctioned cold-path
+//!   allocation point: the hot-path walk does not descend into it. Every
+//!   use must justify itself in a comment (e.g. "only taken while cores
+//!   are excluded").
+//!
+//! A plain proc-macro pass-through is used instead of
+//! `#[register_tool]`-style tool attributes so the annotations work on
+//! stable Rust with no extra compiler flags.
+
+use proc_macro::TokenStream;
+
+/// Marks a hot-path root for `latr-lint`'s reachability walks. Inert.
+#[proc_macro_attribute]
+pub fn hot_path(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    item
+}
+
+/// Marks a sanctioned cold-path allocation point: `latr-lint`'s
+/// allocation-freedom walk stops here. Inert.
+#[proc_macro_attribute]
+pub fn alloc_ok(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    item
+}

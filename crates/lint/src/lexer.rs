@@ -1,0 +1,296 @@
+//! A small span-tracking Rust lexer.
+//!
+//! `latr-lint` works at the token level (there is no vendored `syn`; the
+//! workspace builds fully offline), so this lexer is the foundation of
+//! every check. It handles exactly what real rt code throws at it:
+//! nested block comments, doc comments, (raw/byte) strings, char vs.
+//! lifetime disambiguation, and numeric literals. Every token carries
+//! the 1-based line it starts on, which is what the diagnostics report.
+
+/// What a token is. Punctuation is kept one character per token
+/// (`::` is two `Punct(':')` tokens); pattern helpers match sequences.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`self`, `fn`, `Ordering`, ...).
+    Ident,
+    /// Lifetime (`'a`, `'_`) — text excludes the quote.
+    Lifetime,
+    /// Numeric literal.
+    Number,
+    /// String literal of any flavor (text excludes quotes/hashes).
+    Str,
+    /// Char literal.
+    Char,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// One token with its source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The token's kind.
+    pub kind: TokenKind,
+    /// The token's text (see [`TokenKind`] for what's included).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens, discarding whitespace and comments.
+/// Unterminated constructs simply end the token stream — a lint should
+/// degrade, not panic, on weird input (rustc is the real syntax gate).
+pub fn lex(src: &str) -> Vec<Token> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+
+    let count_lines = |slice: &[char]| slice.iter().filter(|&&c| c == '\n').count() as u32;
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments (doc comments included — the lint ignores them all).
+        if c == '/' && i + 1 < n {
+            if chars[i + 1] == '/' {
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                let start = i;
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                line += count_lines(&chars[start..i.min(n)]);
+                continue;
+            }
+        }
+        // Raw / byte string prefixes.
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            // r"...", r#"..."#, b"...", br#"..."# — the prefix lexes as an
+            // ident that runs straight into `"` or `#`.
+            let is_raw_prefix = matches!(word.as_str(), "r" | "br" | "b" | "rb");
+            if is_raw_prefix && i < n && (chars[i] == '"' || chars[i] == '#') {
+                let mut hashes = 0usize;
+                while i < n && chars[i] == '#' {
+                    hashes += 1;
+                    i += 1;
+                }
+                if i < n && chars[i] == '"' {
+                    i += 1;
+                    let text_start = i;
+                    'raw: while i < n {
+                        if chars[i] == '"' {
+                            let mut ok = true;
+                            for k in 0..hashes {
+                                if i + 1 + k >= n || chars[i + 1 + k] != '#' {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            if ok {
+                                let text: String = chars[text_start..i].iter().collect();
+                                line += count_lines(&chars[start..i]);
+                                tokens.push(Token {
+                                    kind: TokenKind::Str,
+                                    text,
+                                    line,
+                                });
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        i += 1;
+                    }
+                    continue;
+                }
+                // `r#ident` raw identifier: hashes consumed, next is ident.
+                if hashes == 1 && i < n && is_ident_start(chars[i]) {
+                    let id_start = i;
+                    while i < n && is_ident_continue(chars[i]) {
+                        i += 1;
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Ident,
+                        text: chars[id_start..i].iter().collect(),
+                        line,
+                    });
+                    continue;
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: word,
+                line,
+            });
+            continue;
+        }
+        if c == '"' {
+            let start = i;
+            i += 1;
+            let text_start = i;
+            while i < n && chars[i] != '"' {
+                if chars[i] == '\\' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            let text: String = chars[text_start..i.min(n)].iter().collect();
+            tokens.push(Token {
+                kind: TokenKind::Str,
+                text,
+                line,
+            });
+            line += count_lines(&chars[start..i.min(n)]);
+            i = (i + 1).min(n);
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime vs. char: `'` + ident-start + (no closing `'`) is a
+            // lifetime; everything else is a char literal.
+            if i + 1 < n && is_ident_start(chars[i + 1]) && (i + 2 >= n || chars[i + 2] != '\'') {
+                let start = i + 1;
+                i += 1;
+                while i < n && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+                continue;
+            }
+            let start = i;
+            i += 1;
+            while i < n && chars[i] != '\'' {
+                if chars[i] == '\\' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            i = (i + 1).min(n);
+            tokens.push(Token {
+                kind: TokenKind::Char,
+                text: chars[start..i.min(n)].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (is_ident_continue(chars[i])) {
+                i += 1;
+            }
+            // Consume a fractional part only when followed by a digit, so
+            // `0..n` stays Number Punct Punct Ident.
+            if i + 1 < n && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < n && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Number,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_ordering_paths() {
+        let toks = lex("slot.active.store(true, Ordering::Release);");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec![
+                "slot", ".", "active", ".", "store", "(", "true", ",", "Ordering", ":", ":",
+                "Release", ")", ";"
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_lines_through_comments_and_strings() {
+        let src = "a\n/* x\n y */ b\n\"s\ntr\" c";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1); // a
+        assert_eq!(toks[1].line, 3); // b
+        assert_eq!(toks[3].line, 5); // c (string spans lines 4-5)
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = lex("&'a str; 'x'; '\\n'");
+        assert_eq!(toks[1].kind, TokenKind::Lifetime);
+        assert_eq!(toks[1].text, "a");
+        assert_eq!(toks[4].kind, TokenKind::Char);
+    }
+
+    #[test]
+    fn raw_strings_and_nested_comments() {
+        let toks = lex(r##"let s = r#"not // a "comment""#; x"##);
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Str));
+        assert!(toks.iter().any(|t| t.is_ident("x")));
+    }
+}

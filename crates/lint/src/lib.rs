@@ -1,0 +1,20 @@
+//! `latr-lint`: a protocol-aware static analyzer for the rt runtime.
+//!
+//! The rt memory model is written down once, machine-readably, in
+//! `crates/core/src/rt/PROTOCOL.toml`. This crate parses the rt sources
+//! (no `syn`; a small lexer + item extractor, offline-friendly) and
+//! enforces that spec: atomic-ordering discipline, hot-path allocation
+//! freedom, lock discipline, and loom-shim hygiene. See
+//! [`analyze`] for the checks and [`protocol`] for the spec format.
+//!
+//! The `latr-lint` binary wires this up for the workspace:
+//! `cargo run -p latr-lint -- --workspace` exits non-zero on any
+//! diagnostic and is a hard CI gate.
+
+pub mod analyze;
+pub mod lexer;
+pub mod parser;
+pub mod protocol;
+
+pub use analyze::{analyze_dir, analyze_sources, CfgEnv, Check, Diagnostic, Report};
+pub use protocol::{ProtocolSpec, SpecParseError};

@@ -1,0 +1,627 @@
+//! A lightweight item extractor over the token stream.
+//!
+//! Not a Rust parser — a single linear pass that recognizes the item
+//! shapes the checks need (structs + typed fields, fns + attributes +
+//! body spans, `use` declarations, `mod`/`impl` scope context) and
+//! ignores everything else. rustc is the real syntax gate; this pass
+//! only has to be *sound on code rustc accepts*, and conservative where
+//! it cannot tell (unresolvable constructs surface as diagnostics in
+//! the checks, never as silent passes).
+
+use crate::lexer::{Token, TokenKind};
+
+/// A struct field: name, type tokens, accumulated cfg conditions.
+#[derive(Clone, Debug)]
+pub struct FieldDef {
+    /// Field name.
+    pub name: String,
+    /// The field's type as lexed tokens (texts only).
+    pub ty: Vec<String>,
+    /// cfg conditions guarding the field (own + enclosing scopes).
+    pub cfgs: Vec<String>,
+    /// 1-based declaration line.
+    pub line: u32,
+}
+
+impl FieldDef {
+    /// Whether the declared type mentions an atomic (`AtomicU64`,
+    /// `AtomicCpuMask`, ... — anything `Atomic*`).
+    pub fn is_atomic(&self) -> bool {
+        self.ty.iter().any(|t| t.starts_with("Atomic"))
+    }
+
+    /// Whether the declared type mentions a `Mutex`.
+    pub fn is_mutex(&self) -> bool {
+        self.ty.iter().any(|t| t == "Mutex")
+    }
+}
+
+/// A struct definition with its fields.
+#[derive(Clone, Debug)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Named fields (tuple structs record none).
+    pub fields: Vec<FieldDef>,
+    /// cfg conditions guarding the struct.
+    pub cfgs: Vec<String>,
+    /// Whether the struct lives under `#[cfg(test)]`.
+    pub in_test: bool,
+    /// 1-based declaration line.
+    pub line: u32,
+}
+
+/// A function definition (or bodyless declaration).
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// Innermost `impl` self-type, if any.
+    pub owner: Option<String>,
+    /// Canonicalized attribute texts (`latr::hot_path`, `cfg(test)`, ...).
+    pub attrs: Vec<String>,
+    /// cfg conditions guarding the fn (own + enclosing scopes).
+    pub cfgs: Vec<String>,
+    /// Whether the fn lives under `#[cfg(test)]` / `#[test]`.
+    pub in_test: bool,
+    /// 1-based declaration line.
+    pub line: u32,
+    /// Token index range of the body, *exclusive* of the braces.
+    /// Empty for bodyless trait-method declarations.
+    pub body: std::ops::Range<usize>,
+}
+
+impl FnDef {
+    /// Whether the fn carries the given canonicalized attribute.
+    pub fn has_attr(&self, attr: &str) -> bool {
+        self.attrs.iter().any(|a| a == attr)
+    }
+
+    /// `Owner::name`, or just `name` for free functions.
+    pub fn qualified(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A `use` declaration (item- or statement-position).
+#[derive(Clone, Debug)]
+pub struct UseDef {
+    /// Canonicalized path text (no spaces), e.g. `std::sync::atomic::{AtomicBool,Ordering}`.
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// Everything extracted from one file.
+#[derive(Clone, Debug, Default)]
+pub struct Parsed {
+    /// Struct definitions.
+    pub structs: Vec<StructDef>,
+    /// Function definitions.
+    pub fns: Vec<FnDef>,
+    /// `use` declarations, including ones inside fn bodies.
+    pub uses: Vec<UseDef>,
+}
+
+/// Joins tokens into a canonical spaceless string (strings re-quoted),
+/// used for attribute and use-path texts.
+pub fn canonical(tokens: &[Token]) -> String {
+    let mut out = String::new();
+    for t in tokens {
+        match t.kind {
+            TokenKind::Str => {
+                out.push('"');
+                out.push_str(&t.text);
+                out.push('"');
+            }
+            TokenKind::Lifetime => {
+                out.push('\'');
+                out.push_str(&t.text);
+            }
+            _ => out.push_str(&t.text),
+        }
+    }
+    out
+}
+
+/// Skips a balanced delimiter group starting at `open` (which must index
+/// the opening delimiter); returns the index *after* the matching close.
+pub fn skip_group(tokens: &[Token], open: usize, open_c: char, close_c: char) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        if tokens[i].is_punct(open_c) {
+            depth += 1;
+        } else if tokens[i].is_punct(close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Skips a generics group `<...>` starting at `open` if present.
+fn skip_generics(tokens: &[Token], i: usize) -> usize {
+    if i < tokens.len() && tokens[i].is_punct('<') {
+        let mut depth = 0isize;
+        let mut j = i;
+        while j < tokens.len() {
+            if tokens[j].is_punct('<') {
+                depth += 1;
+            } else if tokens[j].is_punct('>') {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        return tokens.len();
+    }
+    i
+}
+
+fn cfg_of(attr: &str) -> Option<String> {
+    attr.strip_prefix("cfg(")
+        .and_then(|s| s.strip_suffix(')'))
+        .map(str::to_string)
+}
+
+struct Scope {
+    /// Brace depth once this scope's `{` has been processed.
+    depth: usize,
+    owner: Option<String>,
+    cfgs: Vec<String>,
+    test: bool,
+}
+
+/// Parses one file's tokens into items.
+pub fn parse_items(tokens: &[Token]) -> Parsed {
+    let mut out = Parsed::default();
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut depth = 0usize;
+    let mut pending_attrs: Vec<String> = Vec::new();
+    let mut i = 0usize;
+
+    let item_position = |tokens: &[Token], i: usize| -> bool {
+        if i == 0 {
+            return true;
+        }
+        let prev = &tokens[i - 1];
+        prev.is_punct(';')
+            || prev.is_punct('{')
+            || prev.is_punct('}')
+            || prev.is_punct(']')
+            || prev.is_punct(',') // `,` for enum-variant-struct edge; harmless
+            || (prev.kind == TokenKind::Ident
+                && matches!(
+                    prev.text.as_str(),
+                    "pub" | "unsafe" | "async" | "const" | "extern" | "default"
+                ))
+            || prev.kind == TokenKind::Str
+    };
+
+    while i < tokens.len() {
+        let tok = &tokens[i];
+
+        // Attributes: `#[...]` recorded, `#![...]` skipped.
+        if tok.is_punct('#') {
+            if i + 1 < tokens.len() && tokens[i + 1].is_punct('[') {
+                let end = skip_group(tokens, i + 1, '[', ']');
+                pending_attrs.push(canonical(&tokens[i + 2..end - 1]));
+                i = end;
+                continue;
+            }
+            if i + 2 < tokens.len() && tokens[i + 1].is_punct('!') && tokens[i + 2].is_punct('[') {
+                i = skip_group(tokens, i + 2, '[', ']');
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+
+        if tok.is_punct('{') {
+            depth += 1;
+            i += 1;
+            pending_attrs.clear();
+            continue;
+        }
+        if tok.is_punct('}') {
+            while scopes.last().is_some_and(|s| s.depth == depth) {
+                scopes.pop();
+            }
+            depth = depth.saturating_sub(1);
+            i += 1;
+            pending_attrs.clear();
+            continue;
+        }
+
+        if tok.kind == TokenKind::Ident {
+            let scope_cfgs = |scopes: &[Scope]| -> Vec<String> {
+                scopes.iter().flat_map(|s| s.cfgs.iter().cloned()).collect()
+            };
+            let scope_test = |scopes: &[Scope]| scopes.iter().any(|s| s.test);
+            match tok.text.as_str() {
+                // `pub`, `pub(crate)` etc. keep pending attrs alive.
+                "pub" => {
+                    i += 1;
+                    if i < tokens.len() && tokens[i].is_punct('(') {
+                        i = skip_group(tokens, i, '(', ')');
+                    }
+                    continue;
+                }
+                "unsafe" | "async" | "const" | "extern" | "default" => {
+                    i += 1;
+                    continue;
+                }
+                "struct" if item_position(tokens, i) => {
+                    let (s, next) = parse_struct(
+                        tokens,
+                        i,
+                        &pending_attrs,
+                        &scope_cfgs(&scopes),
+                        scope_test(&scopes),
+                    );
+                    if let Some(s) = s {
+                        out.structs.push(s);
+                    }
+                    pending_attrs.clear();
+                    i = next;
+                    continue;
+                }
+                "mod" if item_position(tokens, i) => {
+                    let cfgs: Vec<String> =
+                        pending_attrs.iter().filter_map(|a| cfg_of(a)).collect();
+                    let test = scope_test(&scopes) || cfgs.iter().any(|c| c == "test");
+                    let mut all_cfgs = scope_cfgs(&scopes);
+                    all_cfgs.extend(cfgs);
+                    pending_attrs.clear();
+                    i += 1; // past `mod`
+                    if i < tokens.len() && tokens[i].kind == TokenKind::Ident {
+                        i += 1; // past the name
+                    }
+                    if i < tokens.len() && tokens[i].is_punct('{') {
+                        scopes.push(Scope {
+                            depth: depth + 1,
+                            owner: None,
+                            cfgs: all_cfgs,
+                            test,
+                        });
+                        // The `{` itself is processed on the next iteration.
+                    }
+                    continue;
+                }
+                "impl" if item_position(tokens, i) => {
+                    let cfgs: Vec<String> =
+                        pending_attrs.iter().filter_map(|a| cfg_of(a)).collect();
+                    let test = scope_test(&scopes) || cfgs.iter().any(|c| c == "test");
+                    let mut all_cfgs = scope_cfgs(&scopes);
+                    all_cfgs.extend(cfgs);
+                    pending_attrs.clear();
+                    let mut j = skip_generics(tokens, i + 1);
+                    // Header runs to the `{` at angle depth 0; the self type
+                    // is the last top-level ident after the last `for` (or
+                    // of the whole header), stopping at `where`.
+                    let mut angle = 0isize;
+                    let mut self_name: Option<String> = None;
+                    while j < tokens.len() {
+                        let t = &tokens[j];
+                        if t.is_punct('<') {
+                            angle += 1;
+                        } else if t.is_punct('>') {
+                            angle -= 1;
+                        } else if angle == 0 {
+                            if t.is_punct('{') {
+                                break;
+                            }
+                            if t.is_ident("where") {
+                                // Self type is settled; skip to the `{`.
+                                while j < tokens.len() && !tokens[j].is_punct('{') {
+                                    j += 1;
+                                }
+                                break;
+                            }
+                            if t.is_ident("for") {
+                                self_name = None;
+                            } else if t.kind == TokenKind::Ident {
+                                self_name = Some(t.text.clone());
+                            }
+                        }
+                        j += 1;
+                    }
+                    if j < tokens.len() && tokens[j].is_punct('{') {
+                        scopes.push(Scope {
+                            depth: depth + 1,
+                            owner: self_name,
+                            cfgs: all_cfgs,
+                            test,
+                        });
+                    }
+                    i = j;
+                    continue;
+                }
+                "fn" if item_position(tokens, i) => {
+                    let (f, next) = parse_fn(
+                        tokens,
+                        i,
+                        &pending_attrs,
+                        scopes.iter().rev().find_map(|s| s.owner.clone()),
+                        &scope_cfgs(&scopes),
+                        scope_test(&scopes),
+                    );
+                    if let Some(f) = f {
+                        out.fns.push(f);
+                    }
+                    pending_attrs.clear();
+                    i = next;
+                    continue;
+                }
+                "use" if item_position(tokens, i) => {
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < tokens.len() && !tokens[j].is_punct(';') {
+                        j += 1;
+                    }
+                    out.uses.push(UseDef {
+                        text: canonical(&tokens[start..j]),
+                        line: tok.line,
+                    });
+                    pending_attrs.clear();
+                    i = j + 1;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+
+        pending_attrs.clear();
+        i += 1;
+    }
+    out
+}
+
+fn parse_struct(
+    tokens: &[Token],
+    kw: usize,
+    attrs: &[String],
+    scope_cfgs: &[String],
+    scope_test: bool,
+) -> (Option<StructDef>, usize) {
+    let mut i = kw + 1;
+    let Some(name_tok) = tokens.get(i) else {
+        return (None, i);
+    };
+    if name_tok.kind != TokenKind::Ident {
+        return (None, i);
+    }
+    let name = name_tok.text.clone();
+    let line = name_tok.line;
+    i = skip_generics(tokens, i + 1);
+    // Skip a `where` clause, stopping at `{` or `;`.
+    while i < tokens.len() && !tokens[i].is_punct('{') && !tokens[i].is_punct(';') {
+        if tokens[i].is_punct('(') {
+            // Tuple struct: no named fields to record.
+            i = skip_group(tokens, i, '(', ')');
+            continue;
+        }
+        i += 1;
+    }
+    let mut own_cfgs: Vec<String> = scope_cfgs.to_vec();
+    own_cfgs.extend(attrs.iter().filter_map(|a| cfg_of(a)));
+    let in_test = scope_test || own_cfgs.iter().any(|c| c == "test");
+    let mut def = StructDef {
+        name,
+        fields: Vec::new(),
+        cfgs: own_cfgs.clone(),
+        in_test,
+        line,
+    };
+    if i >= tokens.len() || tokens[i].is_punct(';') {
+        return (Some(def), i + 1);
+    }
+    // Named fields between the braces.
+    let end = skip_group(tokens, i, '{', '}');
+    let mut j = i + 1;
+    let mut field_attrs: Vec<String> = Vec::new();
+    while j < end - 1 {
+        let t = &tokens[j];
+        if t.is_punct('#') && j + 1 < end && tokens[j + 1].is_punct('[') {
+            let a_end = skip_group(tokens, j + 1, '[', ']');
+            field_attrs.push(canonical(&tokens[j + 2..a_end - 1]));
+            j = a_end;
+            continue;
+        }
+        if t.is_ident("pub") {
+            j += 1;
+            if j < end && tokens[j].is_punct('(') {
+                j = skip_group(tokens, j, '(', ')');
+            }
+            continue;
+        }
+        if t.kind == TokenKind::Ident
+            && j + 1 < end
+            && tokens[j + 1].is_punct(':')
+            && !(j + 2 < end && tokens[j + 2].is_punct(':'))
+        {
+            let fname = t.text.clone();
+            let fline = t.line;
+            let mut k = j + 2;
+            let mut ty = Vec::new();
+            let mut nest = 0isize;
+            while k < end - 1 {
+                let tt = &tokens[k];
+                if tt.is_punct('<') || tt.is_punct('(') || tt.is_punct('[') {
+                    nest += 1;
+                } else if tt.is_punct('>') || tt.is_punct(')') || tt.is_punct(']') {
+                    nest -= 1;
+                } else if tt.is_punct(',') && nest == 0 {
+                    break;
+                }
+                ty.push(tt.text.clone());
+                k += 1;
+            }
+            let mut cfgs = own_cfgs.clone();
+            cfgs.extend(field_attrs.iter().filter_map(|a| cfg_of(a)));
+            def.fields.push(FieldDef {
+                name: fname,
+                ty,
+                cfgs,
+                line: fline,
+            });
+            field_attrs.clear();
+            j = k + 1;
+            continue;
+        }
+        j += 1;
+    }
+    (Some(def), end)
+}
+
+fn parse_fn(
+    tokens: &[Token],
+    kw: usize,
+    attrs: &[String],
+    owner: Option<String>,
+    scope_cfgs: &[String],
+    scope_test: bool,
+) -> (Option<FnDef>, usize) {
+    let mut i = kw + 1;
+    let Some(name_tok) = tokens.get(i) else {
+        return (None, i);
+    };
+    if name_tok.kind != TokenKind::Ident {
+        return (None, i);
+    }
+    let name = name_tok.text.clone();
+    let line = name_tok.line;
+    i = skip_generics(tokens, i + 1);
+    if i < tokens.len() && tokens[i].is_punct('(') {
+        i = skip_group(tokens, i, '(', ')');
+    }
+    // Return type / where clause: find `{` or `;` outside nesting.
+    let mut nest = 0isize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        // `->` and `=>` lex as two puncts; their `>` is not a closer.
+        if t.is_punct('-') || t.is_punct('=') {
+            if i + 1 < tokens.len() && tokens[i + 1].is_punct('>') {
+                i += 2;
+                continue;
+            }
+        } else if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+            nest += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+            nest -= 1;
+        } else if nest == 0 && (t.is_punct('{') || t.is_punct(';')) {
+            break;
+        }
+        i += 1;
+    }
+    let mut cfgs: Vec<String> = scope_cfgs.to_vec();
+    cfgs.extend(attrs.iter().filter_map(|a| cfg_of(a)));
+    let in_test =
+        scope_test || cfgs.iter().any(|c| c == "test") || attrs.iter().any(|a| a == "test");
+    let body = if i < tokens.len() && tokens[i].is_punct('{') {
+        let end = skip_group(tokens, i, '{', '}');
+        (i + 1)..(end - 1)
+    } else {
+        i..i
+    };
+    let def = FnDef {
+        name,
+        owner,
+        attrs: attrs.to_vec(),
+        cfgs,
+        in_test,
+        line,
+        body,
+    };
+    // Return the index of the body `{` (or past the `;`) so the main
+    // loop's depth/scope bookkeeping sees the brace itself and walks
+    // *into* the body (nested `use` decls etc. still get extracted).
+    let next = if def.body.is_empty() { i + 1 } else { i };
+    (Some(def), next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn extracts_struct_fields_with_types() {
+        let toks = lex("pub struct Slot { pub start: AtomicU64, cpus: AtomicCpuMask, n: usize }");
+        let p = parse_items(&toks);
+        assert_eq!(p.structs.len(), 1);
+        let s = &p.structs[0];
+        assert_eq!(s.name, "Slot");
+        assert_eq!(s.fields.len(), 3);
+        assert!(s.fields[0].is_atomic());
+        assert!(s.fields[1].is_atomic());
+        assert!(!s.fields[2].is_atomic());
+    }
+
+    #[test]
+    fn attributes_and_impl_owner() {
+        let src = r#"
+            impl RtRegistry {
+                #[latr::hot_path]
+                pub fn sweep_into(&self, core: usize) { self.x(); }
+                fn other(&self) {}
+            }
+            impl Drop for SweepGuard<'_> {
+                fn drop(&mut self) {}
+            }
+        "#;
+        let p = parse_items(&lex(src));
+        assert_eq!(p.fns.len(), 3);
+        assert!(p.fns[0].has_attr("latr::hot_path"));
+        assert_eq!(p.fns[0].qualified(), "RtRegistry::sweep_into");
+        assert_eq!(p.fns[1].qualified(), "RtRegistry::other");
+        assert_eq!(p.fns[2].qualified(), "SweepGuard::drop");
+    }
+
+    #[test]
+    fn test_mods_and_nested_uses() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() {
+                    use std::sync::atomic::{AtomicBool, Ordering};
+                    let _ = AtomicBool::new(false);
+                }
+            }
+        "#;
+        let p = parse_items(&lex(src));
+        assert!(p.fns.iter().all(|f| f.in_test));
+        assert_eq!(p.uses.len(), 1);
+        assert!(p.uses[0].text.starts_with("std::sync::atomic"));
+    }
+
+    #[test]
+    fn cfg_accumulates_from_scopes() {
+        let src = r#"
+            #[cfg(loom)]
+            impl FrontierWatchdog {
+                pub fn now_ns(&self) -> u64 { self.clock_ns.load(Ordering::Acquire) }
+            }
+        "#;
+        let p = parse_items(&lex(src));
+        assert_eq!(p.fns[0].cfgs, vec!["loom".to_string()]);
+    }
+
+    #[test]
+    fn type_position_impl_is_not_a_scope() {
+        let src = "fn f() -> impl Iterator<Item = u64> { std::iter::empty() } fn g() {}";
+        let p = parse_items(&lex(src));
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[1].owner, None);
+    }
+}

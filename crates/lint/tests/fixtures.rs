@@ -1,0 +1,88 @@
+//! Fixture-based negative tests: each directory under `tests/fixtures/`
+//! holds a tiny rt-shaped source tree (`src.rs`), a spec
+//! (`PROTOCOL.toml`), and the blessed diagnostics (`expected.txt`).
+//! Diagnostics are snapshot-compared; re-bless with
+//! `LATR_BLESS=1 cargo test -p latr-lint --test fixtures`.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use latr_lint::{analyze_dir, CfgEnv, ProtocolSpec};
+
+fn fixture_dir(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run_fixture(name: &str) {
+    let dir = fixture_dir(name);
+    let spec_text = std::fs::read_to_string(dir.join("PROTOCOL.toml"))
+        .unwrap_or_else(|e| panic!("{name}: missing PROTOCOL.toml: {e}"));
+    let spec = ProtocolSpec::parse(&spec_text).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let report =
+        analyze_dir(&spec, &dir, "", &CfgEnv::default()).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let mut got = String::new();
+    for d in &report.diagnostics {
+        let _ = writeln!(got, "{d}");
+    }
+    let expected_path = dir.join("expected.txt");
+    if std::env::var("LATR_BLESS").is_ok() {
+        std::fs::write(&expected_path, &got).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&expected_path)
+        .unwrap_or_else(|e| panic!("{name}: missing expected.txt (run with LATR_BLESS=1): {e}"));
+    assert_eq!(
+        got, expected,
+        "fixture `{name}` diagnostics drifted; re-bless with LATR_BLESS=1 if intentional"
+    );
+}
+
+#[test]
+fn wrong_ordering() {
+    run_fixture("wrong_ordering");
+}
+
+#[test]
+fn alloc_in_hot_path() {
+    run_fixture("alloc_in_hot_path");
+}
+
+#[test]
+fn blocking_lock() {
+    run_fixture("blocking_lock");
+}
+
+#[test]
+fn raw_std_atomic() {
+    run_fixture("raw_std_atomic");
+}
+
+#[test]
+fn undeclared_atomic() {
+    run_fixture("undeclared_atomic");
+}
+
+#[test]
+fn fixtures_expect_nonempty_diagnostics() {
+    // Guard against a silently pacified analyzer: every negative fixture
+    // must keep producing at least one diagnostic.
+    if std::env::var("LATR_BLESS").is_ok() {
+        return; // snapshots are being rewritten concurrently
+    }
+    for name in [
+        "wrong_ordering",
+        "alloc_in_hot_path",
+        "blocking_lock",
+        "raw_std_atomic",
+        "undeclared_atomic",
+    ] {
+        let expected =
+            std::fs::read_to_string(fixture_dir(name).join("expected.txt")).unwrap_or_default();
+        assert!(
+            !expected.trim().is_empty(),
+            "fixture `{name}` has an empty expected.txt — it no longer tests anything"
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Fixture: heap allocation reachable from a `#[latr::hot_path]` root,
+//! one hop down the call graph. `out` is a sanctioned amortized
+//! receiver; `scratch` is not; `#[latr::alloc_ok]` bounds the walk.
+
+pub struct Sweeper {
+    n: usize,
+}
+
+impl Sweeper {
+    #[latr::hot_path]
+    pub fn sweep_into(&self, out: &mut Vec<u64>) {
+        out.push(1); // ok: `out` is in amortized_receivers
+        self.helper(out);
+    }
+
+    fn helper(&self, out: &mut Vec<u64>) {
+        let mut scratch = Vec::with_capacity(self.n); // BAD: hard allocation
+        scratch.push(7); // BAD: growth of a non-sanctioned receiver
+        out.extend(scratch.iter().copied()); // ok: amortized into `out`
+    }
+
+    #[latr::alloc_ok]
+    fn degraded(&self) -> Vec<u64> {
+        vec![0; self.n] // sanctioned: behind the alloc_ok boundary
+    }
+}

@@ -1,0 +1,30 @@
+//! Fixture: lock discipline — a blocking `lock()` on a sweep-reachable
+//! path (must be `try_lock`), and a per-function class-order violation.
+//! `exclude` blocks legally via `blocking_allowed`.
+
+use crate::sync::Mutex;
+
+pub struct Registry {
+    transition: Mutex<()>,
+    wheel: Mutex<u32>,
+}
+
+impl Registry {
+    #[latr::hot_path]
+    pub fn sweep(&self) {
+        self.advance();
+    }
+
+    fn advance(&self) {
+        let _g = self.transition.lock(); // BAD: sweep-reachable, must try_lock
+    }
+
+    pub fn exclude(&self) {
+        let _g = self.transition.lock(); // ok: listed in blocking_allowed
+    }
+
+    pub fn resize(&self) {
+        let _w = self.wheel.lock();
+        let _t = self.transition.lock(); // BAD: `transition` orders before `wheel`
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: shim hygiene — direct `std::sync` atomics/locks instead of
+//! the `rt/sync.rs` loom shim, in both path and grouped-import form.
+
+use std::sync::atomic::{AtomicUsize, Ordering}; // BAD: must go through the shim
+use std::sync::Mutex; // BAD
+use std::sync::{Condvar, RwLock}; // BAD twice
+
+pub struct T {
+    n: usize,
+}
+
+impl T {
+    #[latr::hot_path]
+    pub fn root(&self) -> usize {
+        self.n
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: spec/code drift in both directions — an atomic field the
+//! spec does not know, and a stale spec entry with no matching field.
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Gauge {
+    value: AtomicU64, // BAD: not declared in PROTOCOL.toml
+}
+
+impl Gauge {
+    #[latr::hot_path]
+    pub fn read(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,23 @@
+//! Fixture: ordering violations on a declared field — a Relaxed load
+//! where Acquire is required, and SeqCst creep on the store side.
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Counter {
+    seq: AtomicU64,
+}
+
+impl Counter {
+    #[latr::hot_path]
+    pub fn read(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed) // BAD: spec says Acquire
+    }
+
+    pub fn publish(&self, v: u64) {
+        self.seq.store(v, Ordering::SeqCst); // BAD: SeqCst creep, spec says Release
+    }
+
+    pub fn ok_path(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+}

@@ -1,0 +1,224 @@
+//! Property tests for the protocol wire format, same posture as the
+//! `ThreadFaultPlan` round-trip suite: any spec the types can express
+//! must survive `to_config_string` → `parse` exactly, arbitrary junk
+//! must never panic the parser, and malformed specs must be rejected
+//! with the offending line.
+
+use latr_lint::protocol::{FieldSpec, HotPathSpec, LockSpec, OrderingName, ProtocolSpec};
+use proptest::prelude::*;
+
+const OWNERS: [&str; 4] = ["Slot", "RtQueue", "RtRegistry", "Mask"];
+const CLASSES: [&str; 3] = ["transition", "shard", "window"];
+const PHRASES: [&str; 3] = [
+    "Release publication pairs with Acquire readers.",
+    "Statistics counter, read fuzzily.",
+    "Held briefly; contention bounded.",
+];
+
+fn orderings_from_mask(mask: u8) -> Vec<OrderingName> {
+    OrderingName::ALL
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, o)| *o)
+        .collect()
+}
+
+// The vendored proptest supports tuples up to arity 4; nest pairs to
+// stay under it.
+type FieldTuple = ((usize, u32, usize), (u8, u8), (u8, u8), (bool, usize));
+type LockTuple = ((usize, u32), (usize, bool), (u32, usize));
+
+fn arb_field() -> impl Strategy<Value = FieldTuple> {
+    (
+        (0..OWNERS.len(), 0u32..1000, 0..OWNERS.len()),
+        (1u8..32, 0u8..32),
+        (0u8..32, 0u8..32),
+        (any::<bool>(), 0..PHRASES.len()),
+    )
+}
+
+fn arb_lock() -> impl Strategy<Value = LockTuple> {
+    (
+        (0..OWNERS.len(), 0u32..1000),
+        (0..CLASSES.len(), any::<bool>()),
+        (0u32..1000, 0..PHRASES.len()),
+    )
+}
+
+proptest! {
+    #[test]
+    fn spec_round_trips_through_config_string(
+        fields in prop::collection::vec(arb_field(), 0..8),
+        locks in prop::collection::vec(arb_lock(), 0..4),
+        misc in (0u8..32, prop::collection::vec(0u32..1000, 0..3)),
+        root_ids in prop::collection::vec((0..OWNERS.len(), 0u32..1000), 1..4),
+    ) {
+        let (fence_mask, receivers) = misc;
+        let mut spec = ProtocolSpec {
+            version: 1,
+            fences_allowed: orderings_from_mask(fence_mask),
+            lock_order: CLASSES.iter().map(|c| c.to_string()).collect(),
+            hot_path: HotPathSpec {
+                roots: vec!["Root::sweep".to_string()],
+                amortized_receivers: receivers
+                    .iter()
+                    .map(|r| format!("buf{r}"))
+                    .collect(),
+            },
+            fields: Vec::new(),
+            locks: Vec::new(),
+        };
+        for (oid, root) in root_ids {
+            let r = format!("{}::root{root}", OWNERS[oid]);
+            if !spec.hot_path.roots.contains(&r) {
+                spec.hot_path.roots.push(r);
+            }
+        }
+        for ((oid, nid, tid), (load_m, store_m), (rmw_m, fail_m), (parametric, pid)) in fields {
+            let owner = OWNERS[oid].to_string();
+            let name = format!("f{nid}");
+            if spec.field(&owner, &name).is_some() {
+                continue; // keys must be unique; skip duplicates
+            }
+            let rmw = orderings_from_mask(rmw_m);
+            let rmw_failure = if rmw.is_empty() {
+                Vec::new() // rmw_failure requires rmw
+            } else {
+                orderings_from_mask(fail_m)
+            };
+            spec.fields.push(FieldSpec {
+                owner,
+                name,
+                atomic_type: format!("Atomic{}", OWNERS[tid]),
+                parametric,
+                load: orderings_from_mask(load_m),
+                store: orderings_from_mask(store_m),
+                rmw,
+                rmw_failure,
+                rationale: PHRASES[pid].to_string(),
+            });
+        }
+        for ((oid, nid), (cid, try_only), (blocked, pid)) in locks {
+            let owner = OWNERS[oid].to_string();
+            let name = format!("l{nid}");
+            if spec.lock(&owner, &name).is_some() {
+                continue;
+            }
+            spec.locks.push(LockSpec {
+                owner,
+                name,
+                class: CLASSES[cid].to_string(),
+                sweep_try_only: try_only,
+                blocking_allowed: vec![format!("Owner::blocked{blocked}")],
+                rationale: PHRASES[pid].to_string(),
+            });
+        }
+        // The generators construct only valid specs; a validation failure
+        // here means the builders and validate() have drifted apart.
+        prop_assert!(spec.validate().is_ok(), "generated spec invalid: {:?}", spec.validate());
+        let text = spec.to_config_string();
+        prop_assert_eq!(ProtocolSpec::parse(&text), Ok(spec));
+    }
+
+    #[test]
+    fn parse_never_panics_on_arbitrary_input(
+        bytes in prop::collection::vec(0u8..128, 0..300),
+    ) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = ProtocolSpec::parse(&text);
+    }
+}
+
+const MINIMAL: &str = "[protocol]\nversion = 1\n\n[hot_path]\nroots = [\"Owner::root\"]\n";
+
+fn with_field(extra: &str) -> String {
+    format!(
+        "{MINIMAL}\n[[field]]\nowner = \"S\"\nname = \"f\"\ntype = \"AtomicU64\"\nload = [\"Acquire\"]\nrationale = \"ok\"\n{extra}"
+    )
+}
+
+#[test]
+fn minimal_spec_parses() {
+    ProtocolSpec::parse(MINIMAL).unwrap();
+    ProtocolSpec::parse(&with_field("")).unwrap();
+}
+
+#[test]
+fn rejects_unknown_keys_with_line() {
+    let bad = with_field("wibble = 3\n");
+    let e = ProtocolSpec::parse(&bad).unwrap_err();
+    assert!(e.message.contains("unknown key `wibble`"), "{e}");
+    assert_eq!(e.line, bad.lines().count());
+}
+
+#[test]
+fn rejects_unknown_ordering_names() {
+    let bad = with_field("store = [\"Sequential\"]\n");
+    let e = ProtocolSpec::parse(&bad).unwrap_err();
+    assert!(e.message.contains("Sequential"), "{e}");
+}
+
+#[test]
+fn rejects_duplicate_field_entries() {
+    let bad = format!(
+        "{}\n[[field]]\nowner = \"S\"\nname = \"f\"\ntype = \"AtomicU64\"\nload = [\"Acquire\"]\nrationale = \"dup\"\n",
+        with_field("")
+    );
+    let e = ProtocolSpec::parse(&bad).unwrap_err();
+    assert_eq!(e.line, 0, "duplicate keys are a whole-spec validation: {e}");
+    assert!(e.message.contains("duplicate field entry"), "{e}");
+}
+
+#[test]
+fn rejects_duplicate_keys_within_a_table() {
+    let bad = with_field("load = [\"Relaxed\"]\n");
+    let e = ProtocolSpec::parse(&bad).unwrap_err();
+    assert!(e.message.contains("duplicate key `load`"), "{e}");
+}
+
+#[test]
+fn rejects_unknown_tables() {
+    let bad = format!("{MINIMAL}\n[wibble]\nx = 1\n");
+    let e = ProtocolSpec::parse(&bad).unwrap_err();
+    assert!(e.message.contains("unknown"), "{e}");
+}
+
+#[test]
+fn rejects_wrong_version() {
+    let bad = MINIMAL.replace("version = 1", "version = 2");
+    let e = ProtocolSpec::parse(&bad).unwrap_err();
+    assert!(e.message.contains("version"), "{e}");
+}
+
+#[test]
+fn rejects_rmw_failure_without_rmw() {
+    let bad = with_field("rmw_failure = [\"Acquire\"]\n");
+    let e = ProtocolSpec::parse(&bad).unwrap_err();
+    assert!(e.message.contains("rmw_failure"), "{e}");
+}
+
+#[test]
+fn rejects_missing_rationale() {
+    let bad = format!(
+        "{MINIMAL}\n[[field]]\nowner = \"S\"\nname = \"f\"\ntype = \"AtomicU64\"\nload = [\"Acquire\"]\n"
+    );
+    let e = ProtocolSpec::parse(&bad).unwrap_err();
+    assert!(e.message.contains("rationale"), "{e}");
+}
+
+#[test]
+fn rejects_lock_class_not_in_order() {
+    let bad = format!(
+        "{MINIMAL}\n[[lock]]\nowner = \"S\"\nname = \"m\"\nclass = \"ghost\"\nrationale = \"x\"\n"
+    );
+    let e = ProtocolSpec::parse(&bad).unwrap_err();
+    assert!(e.message.contains("ghost"), "{e}");
+}
+
+#[test]
+fn rejects_empty_roots() {
+    let bad = "[protocol]\nversion = 1\n\n[hot_path]\nroots = []\n";
+    let e = ProtocolSpec::parse(bad).unwrap_err();
+    assert!(e.message.contains("roots"), "{e}");
+}
