@@ -22,11 +22,13 @@
 //! | `hotpath`            | fast vs `reference` engine throughput → `BENCH_hotpath.json` |
 //! | `rt_scale`           | real-thread rt scaling, lazy vs sync-IPI → `BENCH_rt_scale.json` |
 //! | `soak`               | real-thread robustness soak under injected faults → `BENCH_soak.json` |
+//! | `pressure`           | allocation storms vs watermark escalation → `BENCH_pressure.json` |
 //!
 //! Run with `cargo run --release -p latr-bench --bin <name>`; pass
 //! `--quick` for a shorter, less smooth sweep.
 
 pub mod hotpath;
+pub mod pressure;
 pub mod rt_scale;
 pub mod soak;
 

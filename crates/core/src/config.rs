@@ -48,10 +48,32 @@ pub struct LatrConfig {
     /// `reference` cargo feature.
     #[serde(default = "default_reference_sweep")]
     pub reference_sweep: bool,
+    /// Memory-pressure escalation (DESIGN.md §14): how many of the oldest
+    /// gated reclamation packages are expedited — owner-local sweep plus
+    /// targeted IPIs, the watchdog's mechanism fired early — per pressure
+    /// event or allocation stall. `0` disables expedition entirely (the
+    /// pressure bench's "bare lazy" arm).
+    #[serde(default = "default_expedite_batch")]
+    pub expedite_batch: usize,
+    /// Below the min watermark, force the adaptive fallback into
+    /// synchronous mode so no *new* frees are parked while the reserve is
+    /// breached; exit waits for every node to recover to Normal pressure
+    /// in addition to the usual queue-drain hysteresis. Requires
+    /// `adaptive_fallback`.
+    #[serde(default = "default_pressure_sync")]
+    pub pressure_sync: bool,
 }
 
 fn default_reference_sweep() -> bool {
     cfg!(feature = "reference")
+}
+
+fn default_expedite_batch() -> usize {
+    8
+}
+
+fn default_pressure_sync() -> bool {
+    true
 }
 
 impl Default for LatrConfig {
@@ -67,6 +89,8 @@ impl Default for LatrConfig {
             fallback_exit_pct: 25,
             gate_reclaim: true,
             reference_sweep: default_reference_sweep(),
+            expedite_batch: default_expedite_batch(),
+            pressure_sync: default_pressure_sync(),
         }
     }
 }
@@ -87,6 +111,17 @@ impl LatrConfig {
         self.watchdog_ticks = 0;
         self.adaptive_fallback = false;
         self.gate_reclaim = false;
+        self
+    }
+
+    /// Lazy mechanism without the memory-pressure escalation: expedition
+    /// and the min-watermark sync fallback disabled, everything else
+    /// default. The pressure bench's "bare lazy" arm — an allocation
+    /// storm drives this configuration through its min watermark while
+    /// the default configuration rides it out.
+    pub fn without_escalation(mut self) -> Self {
+        self.expedite_batch = 0;
+        self.pressure_sync = false;
         self
     }
 }
@@ -118,5 +153,18 @@ mod tests {
         assert_eq!(bare.watchdog_ticks, 0);
         assert!(!bare.adaptive_fallback);
         assert!(!bare.gate_reclaim);
+    }
+
+    #[test]
+    fn escalation_defaults_and_bare_lazy() {
+        let c = LatrConfig::default();
+        assert_eq!(c.expedite_batch, 8);
+        assert!(c.pressure_sync);
+        let bare = c.without_escalation();
+        assert_eq!(bare.expedite_batch, 0);
+        assert!(!bare.pressure_sync);
+        // Everything outside the escalation knobs is untouched.
+        assert!(bare.gate_reclaim);
+        assert_eq!(bare.watchdog_ticks, c.watchdog_ticks);
     }
 }

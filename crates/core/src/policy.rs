@@ -32,8 +32,8 @@ use crate::sweep_index::PendingSweepMap;
 use latr_arch::{CpuId, CpuMask};
 use latr_kernel::TaskId;
 use latr_kernel::{metrics, FlushKind, FlushOutcome, Machine, ShootdownTxn, TlbPolicy};
-use latr_mem::{MmId, Pfn, VaRange, Vpn};
-use latr_sim::Nanos;
+use latr_mem::{MmId, Pfn, Pressure, VaRange, Vpn};
+use latr_sim::{Nanos, Time};
 use std::collections::{HashMap, HashSet};
 
 /// The Latr policy. Plug into [`Machine::run`] in place of
@@ -52,9 +52,31 @@ pub struct LatrPolicy {
     watchdog_rounds: HashMap<u64, u64>,
     /// Fast-sweep index: which queues each CPU's next sweep must visit.
     pending: PendingSweepMap,
+    /// Sync mode was forced by min-watermark pressure: the exit
+    /// hysteresis additionally requires every node back at Normal.
+    pressure_sync_active: bool,
+    /// Pressure-expedited states: id → when pressure first expedited it
+    /// (feeds the `latr_expedite_latency_ns` tick-bound histogram when
+    /// the gated package finally releases).
+    expedited_at: HashMap<u64, Time>,
     /// Reusable arenas for the sweep hot path (no per-sweep allocation).
     scratch_relevant: Vec<(MmId, VaRange, StateKind, bool)>,
     scratch_pages: Vec<Vpn>,
+}
+
+/// A live gated state picked up by `expedite_gated`: its publish time
+/// (the sort key) plus everything `escalate_state` needs — queue index,
+/// id, mm, range, kind, whether the PTE work is done, and the bitmask.
+type GatedState = (Time, usize, u64, MmId, VaRange, StateKind, bool, CpuMask);
+
+/// Why a gated state is being finished by force: the two callers share
+/// one mechanism (owner-local sweep + targeted IPIs) but separate books.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Escalation {
+    /// The sweep watchdog: the state's bitmask outlived `watchdog_ticks`.
+    Watchdog,
+    /// Memory pressure wants the gated package's frames back now.
+    Pressure,
 }
 
 impl LatrPolicy {
@@ -70,6 +92,8 @@ impl LatrPolicy {
             escalated: HashSet::new(),
             watchdog_rounds: HashMap::new(),
             pending: PendingSweepMap::new(),
+            pressure_sync_active: false,
+            expedited_at: HashMap::new(),
             scratch_relevant: Vec::new(),
             scratch_pages: Vec::new(),
         }
@@ -160,51 +184,196 @@ impl LatrPolicy {
             }
         }
         for (qi, id, mm, range, kind, pte_done, cpus) in overdue {
-            machine.stats.inc(metrics::LATR_WATCHDOG_ESCALATIONS);
-            let owner = CpuId(qi as u16);
-            let pages: Vec<Vpn> = range.iter().collect();
-            if kind == StateKind::Migration && !pte_done {
-                // Assume the first-sweeper duty nobody performed.
-                machine.apply_numa_hint(owner, mm, range.start);
+            self.escalate_state(
+                machine,
+                qi,
+                id,
+                mm,
+                range,
+                kind,
+                pte_done,
+                cpus,
+                Escalation::Watchdog,
+            );
+        }
+    }
+
+    /// Finishes one gated state by force: the owning core sweeps its own
+    /// bit locally (no self-IPI), targeted IPIs go to exactly the laggard
+    /// cores, and the in-flight round is tracked so [`on_sync_complete`]
+    /// can retire the state. Shared by the sweep watchdog and memory-
+    /// pressure expedition — one mechanism, two sets of books.
+    #[allow(clippy::too_many_arguments)]
+    fn escalate_state(
+        &mut self,
+        machine: &mut Machine,
+        qi: usize,
+        id: u64,
+        mm: MmId,
+        range: VaRange,
+        kind: StateKind,
+        pte_done: bool,
+        cpus: CpuMask,
+        why: Escalation,
+    ) {
+        let now = machine.now();
+        match why {
+            Escalation::Watchdog => machine.stats.inc(metrics::LATR_WATCHDOG_ESCALATIONS),
+            Escalation::Pressure => machine.stats.inc(metrics::LATR_EXPEDITED_SWEEPS),
+        }
+        let owner = CpuId(qi as u16);
+        let pages: Vec<Vpn> = range.iter().collect();
+        if kind == StateKind::Migration && !pte_done {
+            // Assume the first-sweeper duty nobody performed.
+            machine.apply_numa_hint(owner, mm, range.start);
+        }
+        let mut laggards = cpus;
+        if laggards.test(owner) {
+            // The owner sweeps its own bit locally — no self-IPI.
+            machine.invalidate_tlb_pages(owner, mm, &pages);
+            machine.oracle_note_sweep(owner, mm, range);
+            machine.charge_debt(
+                owner,
+                machine.costs().local_invalidation(pages.len() as u32),
+            );
+            laggards.clear(owner);
+        }
+        for s in self.queues[qi].iter_active_mut() {
+            if s.id == id {
+                s.pte_done = true;
+                s.cpus.clear(owner);
             }
-            let mut laggards = cpus;
-            if laggards.test(owner) {
-                // The owner sweeps its own bit locally — no self-IPI.
-                machine.invalidate_tlb_pages(owner, mm, &pages);
-                machine.oracle_note_sweep(owner, mm, range);
-                machine.charge_debt(
-                    owner,
-                    machine.costs().local_invalidation(pages.len() as u32),
-                );
-                laggards.clear(owner);
-            }
-            for s in self.queues[qi].iter_active_mut() {
-                if s.id == id {
-                    s.pte_done = true;
-                    s.cpus.clear(owner);
-                }
-            }
-            if laggards.is_empty() {
-                self.queues[qi].retire_completed();
+        }
+        if laggards.is_empty() {
+            self.queues[qi].retire_completed();
+            return;
+        }
+        let (ipi_metric, verb) = match why {
+            Escalation::Watchdog => (metrics::LATR_WATCHDOG_IPIS, "watchdog escalates"),
+            Escalation::Pressure => (metrics::LATR_EXPEDITED_IPIS, "memory pressure expedites"),
+        };
+        machine.stats.add(ipi_metric, laggards.count() as u64);
+        if machine.trace.is_enabled() {
+            machine.trace.push(
+                now,
+                "latr",
+                format!(
+                    "{verb} state {id} {range:?}: {} laggard cores get IPIs",
+                    laggards.count()
+                ),
+            );
+        }
+        let txn = machine.begin_sync_shootdown(owner, mm, pages, laggards, 0);
+        self.watchdog_rounds.insert(txn.0, id);
+        self.escalated.insert(id);
+    }
+
+    /// Memory pressure wants parked frames back: finish the oldest states
+    /// that actually gate a parked package — the watchdog's mechanism,
+    /// fired early — so the packages release at the next reclamation tick
+    /// or allocation stall instead of waiting out the sweep schedule.
+    /// Bounded work: at most `batch` states per call, states already
+    /// being escalated are skipped, and states gating nothing are never
+    /// touched (sweeping them frees no memory).
+    fn expedite_gated(&mut self, machine: &mut Machine, batch: usize) {
+        if batch == 0 {
+            return;
+        }
+        self.ensure_queues(machine.topology().num_cpus());
+        let gates: HashSet<u64> = self.reclaim.gate_ids().collect();
+        if gates.is_empty() {
+            return;
+        }
+        let now = machine.now();
+        let mut oldest: Vec<GatedState> = Vec::new();
+        for (qi, q) in self.queues.iter().enumerate() {
+            if q.active_count() == 0 {
                 continue;
             }
-            machine
-                .stats
-                .add(metrics::LATR_WATCHDOG_IPIS, laggards.count() as u64);
+            for s in q.iter_active() {
+                if !s.cpus.is_empty() && gates.contains(&s.id) && !self.escalated.contains(&s.id) {
+                    oldest.push((
+                        s.published,
+                        qi,
+                        s.id,
+                        s.mm,
+                        s.range,
+                        s.kind,
+                        s.pte_done,
+                        s.cpus,
+                    ));
+                }
+            }
+        }
+        // Oldest first; state id breaks publish-time ties deterministically.
+        oldest.sort_by_key(|e| (e.0, e.2));
+        oldest.truncate(batch);
+        for (_, qi, id, mm, range, kind, pte_done, cpus) in oldest {
+            self.expedited_at.entry(id).or_insert(now);
+            self.escalate_state(
+                machine,
+                qi,
+                id,
+                mm,
+                range,
+                kind,
+                pte_done,
+                cpus,
+                Escalation::Pressure,
+            );
+        }
+    }
+
+    /// Ids of states whose CPU bitmask has not cleared — exactly the
+    /// gates that must hold their packages.
+    fn blocked_ids(&self) -> HashSet<u64> {
+        self.queues
+            .iter()
+            .filter(|q| q.active_count() > 0)
+            .flat_map(StateQueue::iter_active)
+            .filter(|s| !s.cpus.is_empty())
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// Releases every parked package past its deadline whose gate (if
+    /// any) has cleared. Shared by the background reclamation tick and
+    /// the direct-reclaim stall path (`who` labels the trace). Returns
+    /// the number of frames released.
+    fn release_due(&mut self, machine: &mut Machine, blocked: &HashSet<u64>, who: &str) -> u64 {
+        let now = machine.now();
+        let mut released = 0u64;
+        for entry in self.reclaim.due(now, |id| blocked.contains(&id)) {
+            machine.stats.record(
+                metrics::LATR_RECLAIM_LATENCY_NS,
+                now.saturating_since(entry.published),
+            );
+            machine.stats.add(
+                metrics::LATR_RECLAIM_RELEASED_FRAMES,
+                entry.pkg.frames.len() as u64,
+            );
+            // The escalation tick bound: pressure → release, per package.
+            if let Some(t) = entry.gate.and_then(|g| self.expedited_at.remove(&g)) {
+                machine
+                    .stats
+                    .record(metrics::LATR_EXPEDITE_LATENCY_NS, now.saturating_since(t));
+            }
+            released += entry.pkg.frames.len() as u64;
+            let pkg = entry.pkg;
             if machine.trace.is_enabled() {
                 machine.trace.push(
                     now,
                     "latr",
                     format!(
-                        "watchdog escalates state {id} {range:?}: {} laggard cores get IPIs",
-                        laggards.count()
+                        "{who} frees {} frames{}",
+                        pkg.frames.len(),
+                        pkg.va.map(|r| format!(" + VA {r:?}")).unwrap_or_default()
                     ),
                 );
             }
-            let txn = machine.begin_sync_shootdown(owner, mm, pages, laggards, 0);
-            self.watchdog_rounds.insert(txn.0, id);
-            self.escalated.insert(id);
+            machine.release_reclaim_deferred(pkg);
         }
+        released
     }
 
     /// Visits one state queue during a sweep by `cpu`: invalidate and
@@ -420,6 +589,10 @@ impl TlbPolicy for LatrPolicy {
                     let deadline =
                         now + self.config.reclaim_ticks as u64 * machine.tick_period() + 1;
                     let gate = self.config.gate_reclaim.then_some(state_id);
+                    // Parked frames are reclamation debt: the allocator's
+                    // per-node ledger must know memory exists that a sweep
+                    // (not an OOM kill) will recover.
+                    machine.note_reclaim_debt(&pkg);
                     self.reclaim.defer_gated(deadline, now, gate, pkg);
                 }
                 self.check_enter_pressure(machine, initiator.index());
@@ -455,6 +628,12 @@ impl TlbPolicy for LatrPolicy {
 
     fn on_reclaim_tick(&mut self, machine: &mut Machine) {
         self.ensure_queues(machine.topology().num_cpus());
+        // An injected reclaim stall pins the kthread: simulated time
+        // passes but nothing is escalated or released this tick (the
+        // machine counts the suppressed tick in `faults_reclaim_stalls`).
+        if machine.fault_reclaim_stalled() {
+            return;
+        }
         // Bounded-latency degradation first: escalate overdue states, then
         // re-evaluate the adaptive fallback's low-water mark.
         self.run_watchdog(machine);
@@ -464,8 +643,14 @@ impl TlbPolicy for LatrPolicy {
                 .queues
                 .iter()
                 .all(|q| q.active_count() * 100 <= exit * q.capacity());
-            if drained {
+            // A pressure-forced sync entry waits for every node to recover
+            // to Normal on top of the queue-drain hysteresis: drained
+            // queues alone are no proof the allocation storm has passed.
+            let recovered =
+                !self.pressure_sync_active || machine.worst_pressure() == Pressure::Normal;
+            if drained && recovered {
                 self.sync_mode = false;
+                self.pressure_sync_active = false;
                 machine.stats.inc(metrics::LATR_ADAPTIVE_EXITS);
                 if machine.trace.is_enabled() {
                     let now = machine.now();
@@ -484,38 +669,71 @@ impl TlbPolicy for LatrPolicy {
             .record("latr_parked_bytes", self.reclaim.parked_bytes());
         // Release everything past its deadline whose covering state has
         // retired (empty mask). Blocked ids are the still-live states.
-        let blocked: HashSet<u64> = self
-            .queues
-            .iter()
-            .filter(|q| q.active_count() > 0)
-            .flat_map(StateQueue::iter_active)
-            .filter(|s| !s.cpus.is_empty())
-            .map(|s| s.id)
-            .collect();
-        let now = machine.now();
-        for entry in self.reclaim.due(now, |id| blocked.contains(&id)) {
-            machine.stats.record(
-                metrics::LATR_RECLAIM_LATENCY_NS,
-                now.saturating_since(entry.published),
-            );
-            machine.stats.add(
-                metrics::LATR_RECLAIM_RELEASED_FRAMES,
-                entry.pkg.frames.len() as u64,
-            );
-            let pkg = entry.pkg;
-            if machine.trace.is_enabled() {
-                machine.trace.push(
-                    now,
-                    "latr",
-                    format!(
-                        "background reclaim frees {} frames{}",
-                        pkg.frames.len(),
-                        pkg.va.map(|r| format!(" + VA {r:?}")).unwrap_or_default()
-                    ),
-                );
-            }
-            machine.release_reclaim(pkg);
+        let blocked = self.blocked_ids();
+        // Honest gate accounting (whether or not a watchdog runs): count
+        // packages overdue but still held by an uncleared bitmask.
+        let held = self
+            .reclaim
+            .overdue_gated(machine.now(), |id| blocked.contains(&id));
+        if held > 0 {
+            machine.stats.add(metrics::LATR_GATE_HELD, held as u64);
         }
+        self.release_due(machine, &blocked, "background reclaim");
+        // Sustained pressure keeps expediting: `on_memory_pressure` only
+        // fires on watermark *edges*, so a node camped below its low
+        // watermark would otherwise get exactly one batch. Each tick under
+        // pressure expedites up to `expedite_batch` more of the oldest
+        // gated packages — still bounded, still a no-op on healthy runs
+        // (unconfigured watermarks report `Pressure::Normal`).
+        if machine.worst_pressure() >= Pressure::Low {
+            self.expedite_gated(machine, self.config.expedite_batch);
+        }
+    }
+
+    fn on_memory_pressure(
+        &mut self,
+        machine: &mut Machine,
+        node: latr_arch::NodeId,
+        level: Pressure,
+    ) {
+        match level {
+            // Recovery is handled by the sync-exit hysteresis in
+            // `on_reclaim_tick`; nothing to do on the falling edge.
+            Pressure::Normal => {}
+            // Low watermark: expedite the oldest gated packages so their
+            // frames come back within a bounded number of ticks.
+            Pressure::Low => {
+                self.expedite_gated(machine, self.config.expedite_batch);
+            }
+            // Min watermark: the reserve is breached — expedite harder
+            // *and* stop parking new frees until the node recovers.
+            Pressure::Min => {
+                self.expedite_gated(machine, self.config.expedite_batch);
+                if self.config.pressure_sync && self.config.adaptive_fallback && !self.sync_mode {
+                    self.enter_sync_mode(machine, "free frames below the min watermark");
+                    machine.stats.inc(metrics::LATR_PRESSURE_SYNC_ENTERS);
+                    self.pressure_sync_active = true;
+                }
+            }
+        }
+        let _ = node;
+    }
+
+    fn on_alloc_stall(
+        &mut self,
+        machine: &mut Machine,
+        _cpu: CpuId,
+        _node: latr_arch::NodeId,
+    ) -> u64 {
+        self.ensure_queues(machine.topology().num_cpus());
+        // Direct reclaim: release everything already past its deadline
+        // whose gate has cleared — frames a background tick would have
+        // freed moments later anyway — then expedite the oldest gated
+        // states so the *next* stall (or tick) can make progress.
+        let blocked = self.blocked_ids();
+        let released = self.release_due(machine, &blocked, "direct reclaim");
+        self.expedite_gated(machine, self.config.expedite_batch);
+        released
     }
 
     fn on_sync_complete(&mut self, machine: &mut Machine, txn: &ShootdownTxn) {
@@ -640,7 +858,7 @@ impl TlbPolicy for LatrPolicy {
         // over; the *invariant* (frames still allocated while cached) held
         // throughout because draining happens after the final event.
         for pkg in self.reclaim.drain_all() {
-            machine.release_reclaim(pkg);
+            machine.release_reclaim_deferred(pkg);
         }
         for q in &mut self.queues {
             q.clear();
@@ -648,6 +866,8 @@ impl TlbPolicy for LatrPolicy {
         self.pending.clear();
         self.escalated.clear();
         self.watchdog_rounds.clear();
+        self.expedited_at.clear();
+        self.pressure_sync_active = false;
     }
 }
 

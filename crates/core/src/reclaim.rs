@@ -105,6 +105,25 @@ impl LazyReclaimQueue {
         out
     }
 
+    /// Packages past their deadline but still held by a blocked gate —
+    /// the honest measure of gate-induced reclaim delay. Read-only: the
+    /// policy counts this every reclamation tick (into `latr_gate_held`)
+    /// whether or not a watchdog is configured, so the degradation
+    /// counters stay truthful when `watchdog_ticks = 0`.
+    pub fn overdue_gated(&self, now: Time, is_blocked: impl Fn(u64) -> bool) -> usize {
+        self.entries
+            .iter()
+            .filter(|d| d.deadline <= now && d.gate.is_some_and(&is_blocked))
+            .count()
+    }
+
+    /// State ids currently gating at least one parked package (pressure
+    /// expedition targets exactly these — sweeping a state that gates
+    /// nothing frees no memory).
+    pub fn gate_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.entries.iter().filter_map(|d| d.gate)
+    }
+
     /// Drains everything regardless of deadline or gate (end of run — the
     /// machine is quiescing, so no TLB can touch the parked frames again).
     pub fn drain_all(&mut self) -> Vec<ReclaimPackage> {
@@ -224,6 +243,23 @@ mod tests {
         assert_eq!(q.parked_bytes(), 2 * 4096);
         // Total is cumulative, not current.
         assert_eq!(q.total_deferred_frames(), 6);
+    }
+
+    #[test]
+    fn overdue_gated_counts_only_blocked_past_deadline() {
+        let mut q = LazyReclaimQueue::new();
+        q.defer_gated(Time::from_ns(10), Time::from_ns(0), Some(1), pkg(1));
+        q.defer_gated(Time::from_ns(20), Time::from_ns(0), Some(2), pkg(1));
+        q.defer(Time::from_ns(30), pkg(1));
+        q.defer_gated(Time::from_ns(900), Time::from_ns(0), Some(3), pkg(1));
+        // At t=50 the two gated entries are overdue; the ungated one and
+        // the not-yet-due one never count, whatever the gates say.
+        assert_eq!(q.overdue_gated(Time::from_ns(50), |_| true), 2);
+        assert_eq!(q.overdue_gated(Time::from_ns(50), |id| id == 2), 1);
+        assert_eq!(q.overdue_gated(Time::from_ns(50), |_| false), 0);
+        assert_eq!(q.overdue_gated(Time::from_ns(5), |_| true), 0);
+        let gates: Vec<u64> = q.gate_ids().collect();
+        assert_eq!(gates, vec![1, 2, 3]);
     }
 
     #[test]

@@ -329,6 +329,22 @@ pub struct RtStats {
     pub reaped_states: u64,
     /// Exclusion epoch (see [`RtRegistry::exclusion_events`]).
     pub exclusion_events: u64,
+    /// Items parked awaiting their grace period — the real-thread
+    /// analogue of the simulator's reclamation-debt ledger. The registry
+    /// has no reclaimer handle, so [`RtRegistry::stats`] reports 0 here;
+    /// harnesses fill it in with
+    /// [`with_reclaim_debt`](RtStats::with_reclaim_debt) from
+    /// [`Reclaimer::debt`](crate::rt::Reclaimer::debt).
+    pub reclaim_debt: u64,
+}
+
+impl RtStats {
+    /// Returns the snapshot with the reclamation debt filled in (see the
+    /// [`reclaim_debt`](RtStats::reclaim_debt) field).
+    pub fn with_reclaim_debt(mut self, debt: u64) -> Self {
+        self.reclaim_debt = debt;
+        self
+    }
 }
 
 /// RAII panic fence around a sweep/reclaim critical section: if the
@@ -1098,6 +1114,7 @@ impl RtRegistry {
             rejoins: self.robust.rejoins.load(Ordering::Relaxed),
             reaped_states: self.robust.reaped_states.load(Ordering::Relaxed),
             exclusion_events: self.robust.exclusion_events.load(Ordering::Acquire),
+            reclaim_debt: 0,
         }
     }
 }

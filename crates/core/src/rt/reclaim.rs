@@ -493,6 +493,24 @@ impl<T> Reclaimer<T> {
         }
     }
 
+    /// Reclamation debt: items parked awaiting their grace period — the
+    /// real-thread analogue of the simulator's per-node debt ledger.
+    /// Harnesses splice it into a registry snapshot with
+    /// [`RtStats::with_reclaim_debt`](crate::rt::RtStats::with_reclaim_debt).
+    pub fn debt(&self) -> u64 {
+        self.pending_count() as u64
+    }
+
+    /// Memory-pressure expedition: force-refreshes the cached reclamation
+    /// frontier so items parked behind a *stale* cache become collectable
+    /// now instead of at the next laggard announce or periodic refresh.
+    /// Safety is unchanged — the frontier never passes the slowest live
+    /// core's tick, so only debt that was already safe is released early.
+    /// Returns the frontier after the push.
+    pub fn expedite(&self, registry: &RtRegistry) -> u64 {
+        registry.advance_frontier()
+    }
+
     /// Drains everything unconditionally (shutdown).
     pub fn drain_all(&self) -> Vec<T> {
         match &self.engine {
@@ -919,5 +937,62 @@ mod tests {
         got.extend(rec.collect(&registry));
         assert_eq!(got.len() as u64 + rec.pending_count() as u64, total);
         assert_eq!(rec.pending_count(), 0, "all items should be due by now");
+    }
+
+    #[test]
+    fn debt_tracks_parked_items_on_both_engines() {
+        for backend in [ReclaimBackend::Reference, ReclaimBackend::Sharded] {
+            let registry = RtRegistry::new(2, 8);
+            let rec: Reclaimer<u32> = Reclaimer::new(backend, 2, 2);
+            assert_eq!(rec.debt(), 0);
+            rec.defer(&registry, 0, 1);
+            rec.defer(&registry, 1, 2);
+            assert_eq!(rec.debt(), 2, "{backend:?}: parked items are debt");
+            for _ in 0..3 {
+                registry.sweep(0);
+                registry.sweep(1);
+            }
+            let mut got = rec.collect(&registry, 0);
+            got.extend(rec.collect(&registry, 1));
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2]);
+            assert_eq!(rec.debt(), 0, "{backend:?}: collected debt is settled");
+        }
+    }
+
+    #[test]
+    fn expedite_releases_debt_parked_behind_a_stale_frontier() {
+        let registry = RtRegistry::new(2, 8);
+        let rec: Reclaimer<u32> = Reclaimer::with_default_backend(2, 2);
+        rec.defer(&registry, 0, 9);
+        // Both cores sweep past the grace period, but without announcing:
+        // the cached frontier stays at 0, so the item stays parked even
+        // though every core's tick says it is safe.
+        let mut sink = Vec::new();
+        for _ in 0..4 {
+            registry.sweep_into_unannounced(0, &mut sink);
+            registry.sweep_into_unannounced(1, &mut sink);
+        }
+        assert!(
+            rec.collect(&registry, 0).is_empty(),
+            "stale cached frontier holds safe debt"
+        );
+        assert_eq!(rec.debt(), 1);
+        // Memory pressure force-refreshes the cache; the debt flows out
+        // with no further sweeps.
+        assert!(rec.expedite(&registry) >= 3);
+        assert_eq!(rec.collect(&registry, 0), vec![9]);
+        assert_eq!(rec.debt(), 0);
+    }
+
+    #[test]
+    fn stats_snapshot_carries_spliced_reclaim_debt() {
+        let registry = RtRegistry::new(1, 8);
+        let rec: Reclaimer<u32> = Reclaimer::with_default_backend(4, 1);
+        rec.defer(&registry, 0, 1);
+        rec.defer(&registry, 0, 2);
+        assert_eq!(registry.stats().reclaim_debt, 0, "registry alone: unfilled");
+        let st = registry.stats().with_reclaim_debt(rec.debt());
+        assert_eq!(st.reclaim_debt, 2);
     }
 }

@@ -109,6 +109,28 @@ impl FaultInjector {
             .iter()
             .any(|s| s.at <= ns && ns < s.at + s.duration)
     }
+
+    /// Whether a scheduled reclaim stall covers `now` — the background
+    /// reclamation kthread must skip its tick. A pure function of time,
+    /// consuming no randomness.
+    pub fn reclaim_stalled(&self, now: Time) -> bool {
+        let ns = now.as_ns();
+        self.plan.reclaim_stalls.iter().any(|s| s.active_at(ns))
+    }
+
+    /// The watermark boost in effect at `now`: the largest boost among
+    /// active flap windows (overlapping flaps do not stack — the worst
+    /// one wins). Pure function of time.
+    pub fn flap_boost(&self, now: Time) -> u64 {
+        let ns = now.as_ns();
+        self.plan
+            .flaps
+            .iter()
+            .filter(|f| f.active_at(ns))
+            .map(|f| f.boost)
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +211,48 @@ mod tests {
         assert!(inj.storm_active(Time::from_ns(2_000)));
         assert!(inj.storm_active(Time::from_ns(2_999)));
         assert!(!inj.storm_active(Time::from_ns(3_000)));
+    }
+
+    #[test]
+    fn reclaim_stall_windows_cover_their_interval() {
+        let inj = injector(FaultPlan::default().with_reclaim_stall(5_000, 2_000));
+        assert!(!inj.reclaim_stalled(Time::from_ns(4_999)));
+        assert!(inj.reclaim_stalled(Time::from_ns(5_000)));
+        assert!(inj.reclaim_stalled(Time::from_ns(6_999)));
+        assert!(!inj.reclaim_stalled(Time::from_ns(7_000)));
+    }
+
+    #[test]
+    fn overlapping_flaps_take_the_worst_boost() {
+        let inj = injector(
+            FaultPlan::default()
+                .with_flap(1_000, 2_000, 16)
+                .with_flap(2_000, 2_000, 64),
+        );
+        assert_eq!(inj.flap_boost(Time::from_ns(0)), 0);
+        assert_eq!(inj.flap_boost(Time::from_ns(1_500)), 16);
+        assert_eq!(inj.flap_boost(Time::from_ns(2_500)), 64); // overlap: max, not sum
+        assert_eq!(inj.flap_boost(Time::from_ns(3_500)), 64);
+        assert_eq!(inj.flap_boost(Time::from_ns(4_000)), 0);
+    }
+
+    #[test]
+    fn pressure_sites_consume_no_randomness() {
+        let plan = FaultPlan::default()
+            .with_tick_miss(0.5)
+            .with_burst(0, 0, 1_000_000, 64)
+            .with_reclaim_stall(0, 1_000_000)
+            .with_flap(0, 1_000_000, 8);
+        let mut a = injector(plan.clone());
+        let mut b = injector(FaultPlan::default().with_tick_miss(0.5));
+        // a consults the pure time-window helpers; the RNG streams must
+        // stay aligned with a plan that has no pressure sites at all.
+        for i in 0..64 {
+            let t = Time::from_ns(i * 1_000);
+            let _ = a.reclaim_stalled(t);
+            let _ = a.flap_boost(t);
+            assert_eq!(a.tick_fault(0, t), b.tick_fault(0, t));
+        }
     }
 
     #[test]

@@ -10,8 +10,11 @@
 //!
 //! * [`FaultPlan`] — a declarative description of what goes wrong and
 //!   when: IPI drop/delay probabilities, tick miss/jitter probabilities,
-//!   per-core sweep stalls ([`StalledCore`]) and queue-overflow storms
-//!   ([`OverflowStorm`]). Plans round-trip through a stable text format
+//!   per-core sweep stalls ([`StalledCore`]), queue-overflow storms
+//!   ([`OverflowStorm`]), and the memory-pressure sites — allocation
+//!   bursts ([`AllocBurst`]), reclamation-kthread stalls
+//!   ([`ReclaimStall`]) and watermark flaps ([`WatermarkFlap`]). Plans
+//!   round-trip through a stable text format
 //!   ([`FaultPlan::to_config_string`] / [`FaultPlan::parse`]) so chaos
 //!   runs can be named, diffed and replayed.
 //! * [`FaultInjector`] — the runtime half: a plan plus a forked
@@ -32,7 +35,10 @@ mod plan;
 pub mod rt;
 
 pub use inject::{FaultInjector, IpiFault, TickFault};
-pub use plan::{FaultPlan, IpiFaults, OverflowStorm, PlanParseError, StalledCore, TickFaults};
+pub use plan::{
+    AllocBurst, FaultPlan, IpiFaults, OverflowStorm, PlanParseError, ReclaimStall, StalledCore,
+    TickFaults, WatermarkFlap,
+};
 pub use rt::{ThreadDeath, ThreadFault, ThreadFaultInjector, ThreadFaultPlan, ThreadFaultStream};
 
 /// Stream tag used to fork the injector's RNG off the machine seed; any

@@ -71,6 +71,74 @@ pub struct OverflowStorm {
     pub duration: Nanos,
 }
 
+/// A scheduled allocation burst: at `at` a kernel-thread consumer grabs up
+/// to `frames` frames on `node` and holds them until `at + duration`,
+/// draining the node's free pool exactly the way another subsystem's
+/// allocation storm would. The pressure paths (watermarks, expedited
+/// sweeps, min-watermark sync fallback) are what it exists to exercise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct AllocBurst {
+    /// NUMA node whose pool the burst drains.
+    pub node: u8,
+    /// Simulated time (ns) at which the burst begins.
+    pub at: Nanos,
+    /// How long the burst holds its frames, in nanoseconds.
+    pub duration: Nanos,
+    /// How many frames the burst tries to grab.
+    pub frames: u64,
+}
+
+impl AllocBurst {
+    /// Whether the burst's hold window covers instant `ns` (half-open).
+    pub fn active_at(&self, ns: Nanos) -> bool {
+        self.at <= ns && ns < self.at + self.duration
+    }
+}
+
+/// A scheduled reclaim stall: between `at` and `at + duration` the
+/// background reclamation kthread skips its ticks entirely, so deferred
+/// packages pile up while allocations keep draining the pool — the storm
+/// that separates "expedite on pressure" from "hope the kthread catches
+/// up".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ReclaimStall {
+    /// Simulated time (ns) at which the stall begins.
+    pub at: Nanos,
+    /// Length of the stall in nanoseconds.
+    pub duration: Nanos,
+}
+
+impl ReclaimStall {
+    /// Whether the stall window covers instant `ns` (half-open).
+    pub fn active_at(&self, ns: Nanos) -> bool {
+        self.at <= ns && ns < self.at + self.duration
+    }
+}
+
+/// A scheduled watermark flap: between `at` and `at + duration` the
+/// effective watermarks are raised by `boost` frames, making nodes near
+/// the line oscillate between pressure levels without any real
+/// allocation — hysteresis paths must not thrash on it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct WatermarkFlap {
+    /// Simulated time (ns) at which the flap begins.
+    pub at: Nanos,
+    /// Length of the flap in nanoseconds.
+    pub duration: Nanos,
+    /// How many frames the watermarks are raised by.
+    pub boost: u64,
+}
+
+impl WatermarkFlap {
+    /// Whether the flap window covers instant `ns` (half-open).
+    pub fn active_at(&self, ns: Nanos) -> bool {
+        self.at <= ns && ns < self.at + self.duration
+    }
+}
+
 /// A complete, deterministic description of the faults to inject into one
 /// simulation run. Construct with [`FaultPlan::default`] (no faults) and
 /// the chainable `with_*` builders.
@@ -85,6 +153,12 @@ pub struct FaultPlan {
     pub stalls: Vec<StalledCore>,
     /// Scheduled queue-overflow storms.
     pub storms: Vec<OverflowStorm>,
+    /// Scheduled allocation bursts (memory-pressure sites).
+    pub bursts: Vec<AllocBurst>,
+    /// Scheduled reclamation-kthread stalls (memory-pressure sites).
+    pub reclaim_stalls: Vec<ReclaimStall>,
+    /// Scheduled watermark flaps (memory-pressure sites).
+    pub flaps: Vec<WatermarkFlap>,
 }
 
 impl FaultPlan {
@@ -135,6 +209,39 @@ impl FaultPlan {
         self
     }
 
+    /// Grab up to `frames` frames on `node` at `at` ns and hold them for
+    /// `duration` ns (an external consumer's allocation storm).
+    #[must_use]
+    pub fn with_burst(mut self, node: u8, at: Nanos, duration: Nanos, frames: u64) -> Self {
+        self.bursts.push(AllocBurst {
+            node,
+            at,
+            duration,
+            frames,
+        });
+        self
+    }
+
+    /// Stall the background reclamation kthread for `duration` ns
+    /// starting at `at` ns.
+    #[must_use]
+    pub fn with_reclaim_stall(mut self, at: Nanos, duration: Nanos) -> Self {
+        self.reclaim_stalls.push(ReclaimStall { at, duration });
+        self
+    }
+
+    /// Raise the effective watermarks by `boost` frames for `duration` ns
+    /// starting at `at` ns.
+    #[must_use]
+    pub fn with_flap(mut self, at: Nanos, duration: Nanos, boost: u64) -> Self {
+        self.flaps.push(WatermarkFlap {
+            at,
+            duration,
+            boost,
+        });
+        self
+    }
+
     /// Whether this plan injects anything at all. The machine only pays
     /// for fault bookkeeping (and only schedules IPI retransmit timers)
     /// when a plan is active.
@@ -179,6 +286,33 @@ impl FaultPlan {
                 return Err(format!("storm at {} has zero duration", s.at));
             }
         }
+        for b in &self.bursts {
+            if b.duration == 0 {
+                return Err(format!(
+                    "burst on node{} at {} has zero duration",
+                    b.node, b.at
+                ));
+            }
+            if b.frames == 0 {
+                return Err(format!(
+                    "burst on node{} at {} grabs zero frames",
+                    b.node, b.at
+                ));
+            }
+        }
+        for s in &self.reclaim_stalls {
+            if s.duration == 0 {
+                return Err(format!("reclaim stall at {} has zero duration", s.at));
+            }
+        }
+        for f in &self.flaps {
+            if f.duration == 0 {
+                return Err(format!("watermark flap at {} has zero duration", f.at));
+            }
+            if f.boost == 0 {
+                return Err(format!("watermark flap at {} has zero boost", f.at));
+            }
+        }
         Ok(())
     }
 
@@ -200,6 +334,19 @@ impl FaultPlan {
         }
         for s in &self.storms {
             let _ = writeln!(out, "storm={}+{}", s.at, s.duration);
+        }
+        for b in &self.bursts {
+            let _ = writeln!(
+                out,
+                "burst=node{}@{}+{}*{}",
+                b.node, b.at, b.duration, b.frames
+            );
+        }
+        for s in &self.reclaim_stalls {
+            let _ = writeln!(out, "reclaim_stall={}+{}", s.at, s.duration);
+        }
+        for f in &self.flaps {
+            let _ = writeln!(out, "flap={}+{}*{}", f.at, f.duration, f.boost);
         }
         out
     }
@@ -247,6 +394,43 @@ impl FaultPlan {
                     plan.storms.push(OverflowStorm {
                         at: parse_u64(at, lineno)?,
                         duration: parse_u64(dur, lineno)?,
+                    });
+                }
+                "burst" => {
+                    // node<N>@<at>+<duration>*<frames>
+                    let v = value.trim();
+                    let v = v
+                        .strip_prefix("node")
+                        .ok_or_else(|| err("burst needs node<N>@at+dur*frames"))?;
+                    let (node, rest) = v.split_once('@').ok_or_else(|| err("burst needs '@'"))?;
+                    let (at, rest) = rest.split_once('+').ok_or_else(|| err("burst needs '+'"))?;
+                    let (dur, frames) =
+                        rest.split_once('*').ok_or_else(|| err("burst needs '*'"))?;
+                    plan.bursts.push(AllocBurst {
+                        node: node.parse().map_err(|_| err("bad burst node"))?,
+                        at: parse_u64(at, lineno)?,
+                        duration: parse_u64(dur, lineno)?,
+                        frames: parse_u64(frames, lineno)?,
+                    });
+                }
+                "reclaim_stall" => {
+                    // <at>+<duration>
+                    let (at, dur) = value
+                        .split_once('+')
+                        .ok_or_else(|| err("reclaim_stall needs '+'"))?;
+                    plan.reclaim_stalls.push(ReclaimStall {
+                        at: parse_u64(at, lineno)?,
+                        duration: parse_u64(dur, lineno)?,
+                    });
+                }
+                "flap" => {
+                    // <at>+<duration>*<boost>
+                    let (at, rest) = value.split_once('+').ok_or_else(|| err("flap needs '+'"))?;
+                    let (dur, boost) = rest.split_once('*').ok_or_else(|| err("flap needs '*'"))?;
+                    plan.flaps.push(WatermarkFlap {
+                        at: parse_u64(at, lineno)?,
+                        duration: parse_u64(dur, lineno)?,
+                        boost: parse_u64(boost, lineno)?,
                     });
                 }
                 other => {
@@ -380,6 +564,76 @@ mod tests {
         assert!(FaultPlan::parse("ipi.delay_prob=0.5\nipi.delay_max=100\n").is_ok());
         assert!(FaultPlan::parse("tick.jitter_prob=0.5\n").is_err());
         assert!(FaultPlan::parse("tick.jitter_prob=0.5\ntick.jitter_max=100\n").is_ok());
+    }
+
+    #[test]
+    fn pressure_sites_round_trip() {
+        let plan = FaultPlan::default()
+            .with_burst(1, 2_000_000, 5_000_000, 4096)
+            .with_burst(0, 9_000_000, 1_000_000, 128)
+            .with_reclaim_stall(3_000_000, 2_000_000)
+            .with_flap(4_000_000, 500_000, 64);
+        assert!(plan.is_active());
+        let text = plan.to_config_string();
+        assert_eq!(FaultPlan::parse(&text), Ok(plan));
+    }
+
+    #[test]
+    fn pressure_windows_are_half_open() {
+        let b = AllocBurst {
+            node: 0,
+            at: 1_000,
+            duration: 500,
+            frames: 8,
+        };
+        assert!(!b.active_at(999));
+        assert!(b.active_at(1_000));
+        assert!(b.active_at(1_499));
+        assert!(!b.active_at(1_500));
+        let f = WatermarkFlap {
+            at: 10,
+            duration: 5,
+            boost: 3,
+        };
+        assert!(f.active_at(10) && f.active_at(14) && !f.active_at(15));
+        let s = ReclaimStall { at: 0, duration: 1 };
+        assert!(s.active_at(0) && !s.active_at(1));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_pressure_sites() {
+        // Missing pieces of the burst grammar, one at a time.
+        assert!(FaultPlan::parse("burst=1@2+3*4").is_err()); // missing node prefix
+        assert!(FaultPlan::parse("burst=node1@2+3").is_err()); // missing '*frames'
+        assert!(FaultPlan::parse("burst=node1@2*3").is_err()); // missing '+'
+        assert!(FaultPlan::parse("burst=node1+2*3").is_err()); // missing '@'
+        assert!(FaultPlan::parse("reclaim_stall=5").is_err()); // missing '+'
+        assert!(FaultPlan::parse("flap=5+6").is_err()); // missing '*boost'
+        assert!(FaultPlan::parse("flap=5*6").is_err()); // missing '+'
+                                                        // Unknown keys near the new grammar stay errors with line numbers.
+        let err = FaultPlan::parse("burst=node0@1+2*3\nbursts=node0@1+2*3\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bursts"));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_pressure_windows() {
+        let err = FaultPlan::parse("burst=node0@5+0*16\n").unwrap_err();
+        assert!(err.message.contains("zero duration"), "{}", err.message);
+        let err = FaultPlan::parse("burst=node0@5+100*0\n").unwrap_err();
+        assert!(err.message.contains("zero frames"), "{}", err.message);
+        let err = FaultPlan::parse("reclaim_stall=5+0\n").unwrap_err();
+        assert!(err.message.contains("zero duration"), "{}", err.message);
+        let err = FaultPlan::parse("flap=5+0*4\n").unwrap_err();
+        assert!(err.message.contains("zero duration"), "{}", err.message);
+        let err = FaultPlan::parse("flap=5+100*0\n").unwrap_err();
+        assert!(err.message.contains("zero boost"), "{}", err.message);
+        // The builders stay unchecked, but validate() catches them too.
+        assert!(FaultPlan::default()
+            .with_burst(0, 5, 100, 0)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::default().with_flap(5, 0, 4).validate().is_err());
     }
 
     #[test]

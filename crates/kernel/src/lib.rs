@@ -111,4 +111,40 @@ pub mod metrics {
     pub const LATR_RECLAIM_LATENCY_NS: &str = "latr_reclaim_latency_ns";
     /// Frames actually released by Latr's deferred reclamation.
     pub const LATR_RECLAIM_RELEASED_FRAMES: &str = "latr_reclaim_released_frames";
+    /// Allocations that found every free list empty and took the stall
+    /// path (the direct-reclaim analogue).
+    pub const ALLOC_STALLS: &str = "alloc_stalls";
+    /// Time spent stalled in allocation (ns histogram; p50/p99/p999 are
+    /// the storm-resilience headline numbers).
+    pub const ALLOC_STALL_NS: &str = "alloc_stall_ns";
+    /// Allocations that failed even after the stall-and-retry path.
+    pub const OOM_EVENTS: &str = "oom_events";
+    /// Nodes crossing their low watermark (Normal → Low transitions).
+    pub const MEM_PRESSURE_LOW_EVENTS: &str = "mem_pressure_low_events";
+    /// Nodes crossing their min watermark (reserve floor breached).
+    pub const MEM_PRESSURE_MIN_EVENTS: &str = "mem_pressure_min_events";
+    /// Nodes recovering back above the low watermark.
+    pub const MEM_PRESSURE_RECOVERIES: &str = "mem_pressure_recoveries";
+    /// Injected allocation-burst windows applied.
+    pub const FAULTS_ALLOC_BURSTS: &str = "faults_alloc_bursts";
+    /// Reclamation-kthread ticks suppressed by an injected reclaim stall.
+    pub const FAULTS_RECLAIM_STALLS: &str = "faults_reclaim_stalls";
+    /// Injected watermark-flap windows applied.
+    pub const FAULTS_WATERMARK_FLAPS: &str = "faults_watermark_flaps";
+    /// Gated reclamation packages expedited by memory pressure (their
+    /// owner swept out of turn).
+    pub const LATR_EXPEDITED_SWEEPS: &str = "latr_expedited_sweeps";
+    /// Targeted IPIs sent by pressure expedition (subset of `ipis_sent`).
+    pub const LATR_EXPEDITED_IPIS: &str = "latr_expedited_ipis";
+    /// Pressure→release latency of expedited packages (ns histogram; the
+    /// escalation tick bound is asserted over its max).
+    pub const LATR_EXPEDITE_LATENCY_NS: &str = "latr_expedite_latency_ns";
+    /// Sync-mode entries forced by min-watermark pressure (subset of
+    /// `latr_adaptive_enters`).
+    pub const LATR_PRESSURE_SYNC_ENTERS: &str = "latr_pressure_sync_enters";
+    /// Gated packages already past their reclaim deadline but still held
+    /// because the gating state's CPU bitmask has not cleared — counted
+    /// every reclamation tick, watchdog or no watchdog, so the
+    /// degradation counters stay honest when `watchdog_ticks = 0`.
+    pub const LATR_GATE_HELD: &str = "latr_gate_held";
 }

@@ -17,7 +17,8 @@ use crate::task::{Task, TaskId, TaskState};
 use latr_arch::{CostModel, CpuId, CpuMask, IpiFabric, LlcModel, Tlb, TlbEntry, Topology};
 use latr_faults::{FaultInjector, FaultPlan, IpiFault, TickFault};
 use latr_mem::{
-    FileId, FrameAllocator, MapKind, MmId, MmStruct, PageCache, Pfn, Prot, PteFlags, VaRange, Vpn,
+    AllocError, FileId, FrameAllocator, MapKind, MmId, MmStruct, PageCache, Pfn, Pressure, Prot,
+    PteFlags, VaRange, Vpn,
 };
 use latr_sim::{EventQueue, Nanos, QueueBackend, SimRng, StatsRegistry, Time, TraceRing};
 use std::collections::HashMap;
@@ -61,6 +62,17 @@ pub struct MachineConfig {
     /// kept as the executable spec for the differential suite. The default
     /// follows the `reference` cargo feature.
     pub event_queue: QueueBackend,
+    /// Per-node low (early-warning) free-frame watermark. Crossing it
+    /// fires the policy's [`TlbPolicy::on_memory_pressure`] hook so lazy
+    /// reclamation can be expedited before the pool drains. `0` together
+    /// with `min_watermark_frames = 0` disables pressure signalling — the
+    /// default, which keeps healthy runs event-identical to builds
+    /// without the pressure layer.
+    pub low_watermark_frames: u64,
+    /// Per-node min (reserve floor) watermark; must be ≤ the low one.
+    /// Below it forward progress must not depend on lazy timing any more
+    /// (Latr falls back to synchronous shootdown per mm).
+    pub min_watermark_frames: u64,
 }
 
 impl MachineConfig {
@@ -80,7 +92,17 @@ impl MachineConfig {
             oracle: cfg!(feature = "oracle"),
             faults: None,
             event_queue: QueueBackend::default(),
+            low_watermark_frames: 0,
+            min_watermark_frames: 0,
         }
+    }
+
+    /// Enables memory-pressure signalling with the given per-node
+    /// watermarks (in frames).
+    pub fn with_watermarks(mut self, low: u64, min: u64) -> Self {
+        self.low_watermark_frames = low;
+        self.min_watermark_frames = min;
+        self
     }
 }
 
@@ -163,6 +185,17 @@ pub struct Machine {
     parked: HashMap<u32, Op>,
     // The fault injector executing the configured plan, when one is active.
     injector: Option<FaultInjector>,
+    // Last-signalled pressure per node (edge detection for watermark events).
+    pressure_level: Vec<latr_mem::Pressure>,
+    // Frames whose final reference is parked in a lazy-reclamation queue
+    // (the reclamation-debt ledger; see `note_reclaim_debt`).
+    debt_parked: std::collections::HashSet<Pfn>,
+    // Frames grabbed by injected allocation bursts, one slot per plan site.
+    burst_held: Vec<Vec<Pfn>>,
+    // Whether each burst window has been applied (edge detection).
+    burst_applied: Vec<bool>,
+    // Whether each watermark-flap window has been counted.
+    flap_counted: Vec<bool>,
     // The coherence oracle shadowing this run, when enabled.
     #[cfg(feature = "oracle")]
     oracle: Option<latr_verify::CoherenceOracle>,
@@ -188,7 +221,13 @@ impl Machine {
                 op_started: Time::ZERO,
             })
             .collect();
-        let frames = FrameAllocator::new(config.topology.num_nodes(), config.frames_per_node);
+        let mut frames = FrameAllocator::new(config.topology.num_nodes(), config.frames_per_node);
+        frames.set_watermarks(config.low_watermark_frames, config.min_watermark_frames);
+        let (num_bursts, num_flaps) = config
+            .faults
+            .as_ref()
+            .map_or((0, 0), |p| (p.bursts.len(), p.flaps.len()));
+        let num_nodes = config.topology.num_nodes();
         #[allow(unused_mut)]
         let mut machine = Machine {
             fabric: IpiFabric::new(config.topology.clone(), config.costs.clone()),
@@ -228,6 +267,11 @@ impl Machine {
                 let mut root = SimRng::new(config.seed);
                 FaultInjector::new(plan, root.fork(latr_faults::FAULT_STREAM))
             }),
+            pressure_level: vec![latr_mem::Pressure::Normal; num_nodes],
+            debt_parked: std::collections::HashSet::new(),
+            burst_held: vec![Vec::new(); num_bursts],
+            burst_applied: vec![false; num_bursts],
+            flap_counted: vec![false; num_flaps],
             #[cfg(feature = "oracle")]
             oracle: oracle_on.then(|| latr_verify::CoherenceOracle::new(ncpus)),
         };
@@ -338,6 +382,24 @@ impl Machine {
         self.injector
             .as_ref()
             .is_some_and(|inj| inj.stalled(cpu.index(), now))
+    }
+
+    /// Whether an injected reclaim-stall window covers this instant — the
+    /// reclamation kthread must skip its tick (the storm that lets debt
+    /// pile up while allocations keep draining the pool).
+    pub fn fault_reclaim_stalled(&self) -> bool {
+        let now = self.now();
+        self.injector
+            .as_ref()
+            .is_some_and(|inj| inj.reclaim_stalled(now))
+    }
+
+    /// The injected watermark boost right now (watermark-flap fault
+    /// sites raise the effective watermarks for their window, making the
+    /// pressure classification flap without any real allocation).
+    pub fn watermark_boost(&self) -> u64 {
+        let now = self.now();
+        self.injector.as_ref().map_or(0, |inj| inj.flap_boost(now))
     }
 
     // ---- coherence oracle --------------------------------------------------
@@ -467,10 +529,10 @@ impl Machine {
 
     /// Allocates a frame near `node` on behalf of `cpu`, checking reuse
     /// against the oracle's shadow TLBs.
-    fn frame_alloc(&mut self, cpu: CpuId, node: latr_arch::NodeId) -> Option<Pfn> {
+    fn frame_alloc(&mut self, cpu: CpuId, node: latr_arch::NodeId) -> Result<Pfn, AllocError> {
         let pfn = self.frames.alloc(node);
         #[cfg(feature = "oracle")]
-        if let Some(p) = pfn {
+        if let Ok(p) = pfn {
             let now = self.now();
             if let Some(o) = self.oracle.as_mut() {
                 o.note_alloc(latr_verify::Ctx::Cpu(cpu), p, now);
@@ -482,10 +544,14 @@ impl Machine {
     }
 
     /// Like [`frame_alloc`](Self::frame_alloc) but with no fallback node.
-    fn frame_alloc_exact(&mut self, cpu: CpuId, node: latr_arch::NodeId) -> Option<Pfn> {
+    fn frame_alloc_exact(
+        &mut self,
+        cpu: CpuId,
+        node: latr_arch::NodeId,
+    ) -> Result<Pfn, AllocError> {
         let pfn = self.frames.alloc_exact(node);
         #[cfg(feature = "oracle")]
-        if let Some(p) = pfn {
+        if let Ok(p) = pfn {
             let now = self.now();
             if let Some(o) = self.oracle.as_mut() {
                 o.note_alloc(latr_verify::Ctx::Cpu(cpu), p, now);
@@ -496,12 +562,35 @@ impl Machine {
         pfn
     }
 
+    /// [`frame_alloc_exact`](Self::frame_alloc_exact) attributed to a
+    /// kernel thread — the injected allocation-burst sites, which model an
+    /// external consumer draining the node (another subsystem's storm).
+    fn frame_alloc_exact_kthread(&mut self, node: latr_arch::NodeId) -> Result<Pfn, AllocError> {
+        let pfn = self.frames.alloc_exact(node);
+        #[cfg(feature = "oracle")]
+        if let Ok(p) = pfn {
+            let now = self.now();
+            if let Some(o) = self.oracle.as_mut() {
+                o.note_alloc(latr_verify::Ctx::Kthread, p, now);
+            }
+        }
+        pfn
+    }
+
     /// Drops one reference to `pfn`, attributed to `cpu` (or to the
     /// reclamation kthread when `None`). A drop to refcount zero makes the
     /// frame reusable — the moment the oracle checks nothing still caches
     /// a translation to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a typed [`latr_mem::FreeError`]: the kernel's own frame
+    /// bookkeeping dropping a reference it does not hold is unrecoverable.
     fn frame_dec_ref(&mut self, cpu: Option<CpuId>, pfn: Pfn) -> u32 {
-        let rc = self.frames.dec_ref(pfn);
+        let rc = self
+            .frames
+            .dec_ref(pfn)
+            .unwrap_or_else(|e| panic!("kernel frame bookkeeping broken: {e}"));
         #[cfg(feature = "oracle")]
         if rc == 0 {
             let now = self.now();
@@ -524,14 +613,14 @@ impl Machine {
         file: FileId,
         page: u64,
         node: latr_arch::NodeId,
-    ) -> Option<Pfn> {
+    ) -> Result<Pfn, AllocError> {
         #[cfg(feature = "oracle")]
         let before = self.frames.total_allocations();
         let pfn = self
             .page_cache
             .frame_for(file, page, node, &mut self.frames);
         #[cfg(feature = "oracle")]
-        if let Some(p) = pfn {
+        if let Ok(p) = pfn {
             if self.frames.total_allocations() > before {
                 let now = self.now();
                 if let Some(o) = self.oracle.as_mut() {
@@ -542,6 +631,244 @@ impl Machine {
         #[cfg(not(feature = "oracle"))]
         let _ = cpu;
         pfn
+    }
+
+    // ---- memory pressure ---------------------------------------------------
+    //
+    // Per-node low/min watermarks (Linux zone-watermark analogue) guard
+    // against LATR's worst case: the free pool draining while perfectly
+    // freed frames sit gated in lazy reclamation. Crossings are edge
+    // detected and fed to the policy; allocation failures take a stall
+    // path that lets the policy expedite reclamation before the machine
+    // declares OOM.
+
+    /// Whether watermark pressure signalling is configured on this run.
+    pub fn pressure_enabled(&self) -> bool {
+        self.frames.low_watermark() > 0 || self.frames.min_watermark() > 0
+    }
+
+    /// Current pressure of `node`, including any injected watermark flap.
+    pub fn pressure_of(&self, node: latr_arch::NodeId) -> Pressure {
+        self.frames.pressure_boosted(node, self.watermark_boost())
+    }
+
+    /// The worst pressure across all nodes.
+    pub fn worst_pressure(&self) -> Pressure {
+        let boost = self.watermark_boost();
+        (0..self.frames.nodes())
+            .map(|n| {
+                self.frames
+                    .pressure_boosted(latr_arch::NodeId(n as u8), boost)
+            })
+            .max()
+            .unwrap_or(Pressure::Normal)
+    }
+
+    /// Frames on `node` parked in lazy reclamation (freed by the VM, final
+    /// reference held by a deferred queue).
+    pub fn reclaim_debt(&self, node: latr_arch::NodeId) -> u64 {
+        self.frames.reclaim_debt(node)
+    }
+
+    /// Machine-wide reclamation debt.
+    pub fn reclaim_debt_total(&self) -> u64 {
+        self.frames.reclaim_debt_total()
+    }
+
+    /// Re-evaluates every node against its watermarks, counting
+    /// transitions and firing [`TlbPolicy::on_memory_pressure`] on each
+    /// edge. A no-op when watermarks are unconfigured, so healthy runs
+    /// stay event-identical. Safe to call while the policy is detached
+    /// (the hook is simply skipped; the policy re-reads pressure on its
+    /// next tick).
+    pub fn poll_pressure(&mut self) {
+        if !self.pressure_enabled() {
+            return;
+        }
+        let boost = self.watermark_boost();
+        for n in 0..self.frames.nodes() {
+            let node = latr_arch::NodeId(n as u8);
+            let level = self.frames.pressure_boosted(node, boost);
+            let prev = self.pressure_level[n];
+            if level == prev {
+                continue;
+            }
+            self.pressure_level[n] = level;
+            match level {
+                Pressure::Min => self.stats.inc(crate::metrics::MEM_PRESSURE_MIN_EVENTS),
+                Pressure::Low if prev == Pressure::Normal => {
+                    self.stats.inc(crate::metrics::MEM_PRESSURE_LOW_EVENTS);
+                }
+                Pressure::Low => {} // easing back from Min; recovery counts at Normal
+                Pressure::Normal => self.stats.inc(crate::metrics::MEM_PRESSURE_RECOVERIES),
+            }
+            if self.trace.is_enabled() {
+                let now = self.now();
+                let free = self.frames.free_on_node(node);
+                self.trace.push(
+                    now,
+                    "pressure",
+                    format!("node{n} {prev:?} -> {level:?} ({free} frames free)"),
+                );
+            }
+            if self.policy.is_some() {
+                self.with_policy(|p, m| p.on_memory_pressure(m, node, level));
+            }
+        }
+    }
+
+    /// The allocation-stall slow path: every free list is empty, so the
+    /// faulting CPU stalls while the policy expedites reclamation (the
+    /// direct-reclaim analogue). Returns the stall time to charge to the
+    /// faulting op; the caller retries the allocation once afterwards.
+    fn alloc_stall(&mut self, cpu: CpuId, node: latr_arch::NodeId) -> Nanos {
+        self.stats.inc(crate::metrics::ALLOC_STALLS);
+        let released = if self.policy.is_some() {
+            self.with_policy(|p, m| p.on_alloc_stall(m, cpu, node))
+        } else {
+            0
+        };
+        let stall = if released > 0 {
+            // The policy freed `released` frames synchronously; the staller
+            // pays their release plus one PTE-ish bookkeeping op.
+            self.costs.frame_op * released + self.costs.pte_op
+        } else {
+            // Nothing reclaimable right now: the task waits out a
+            // scheduler tick hoping background reclamation catches up.
+            self.costs.sched_tick_period
+        };
+        self.stats.record(crate::metrics::ALLOC_STALL_NS, stall);
+        if self.trace.is_enabled() {
+            let now = self.now();
+            self.trace.push(
+                now,
+                "pressure",
+                format!(
+                    "{cpu} alloc stall on node{} ({released} frames expedited)",
+                    node.0
+                ),
+            );
+        }
+        stall
+    }
+
+    /// [`frame_alloc`](Self::frame_alloc) through the stall path: on
+    /// exhaustion, stall, let the policy expedite, retry once. The second
+    /// failure is a real OOM event. Returns the outcome plus the stall
+    /// time the caller must charge to the faulting op.
+    fn frame_alloc_stalling(
+        &mut self,
+        cpu: CpuId,
+        node: latr_arch::NodeId,
+    ) -> (Result<Pfn, AllocError>, Nanos) {
+        match self.frame_alloc(cpu, node) {
+            Ok(p) => {
+                self.poll_pressure();
+                (Ok(p), 0)
+            }
+            Err(_) => {
+                let stall = self.alloc_stall(cpu, node);
+                let retry = self.frame_alloc(cpu, node);
+                if retry.is_err() {
+                    self.stats.inc(crate::metrics::OOM_EVENTS);
+                }
+                self.poll_pressure();
+                (retry, stall)
+            }
+        }
+    }
+
+    /// Notes reclamation debt for a package the policy is about to defer:
+    /// each frame whose parked reference is the final one is a
+    /// freed-but-parked frame on its home node until the package is
+    /// released through
+    /// [`release_reclaim_deferred`](Self::release_reclaim_deferred).
+    pub fn note_reclaim_debt(&mut self, pkg: &ReclaimPackage) {
+        for &pfn in &pkg.frames {
+            if self.frames.refcount(pfn) == 1 && self.debt_parked.insert(pfn) {
+                let node = self.frames.node_of(pfn);
+                self.frames.note_debt(node, 1);
+            }
+        }
+    }
+
+    /// [`release_reclaim`](Self::release_reclaim) for packages that went
+    /// through [`note_reclaim_debt`](Self::note_reclaim_debt): settles the
+    /// debt ledger, releases the frames, and re-polls the watermarks so a
+    /// recovery is signalled as soon as the pool refills.
+    pub fn release_reclaim_deferred(&mut self, pkg: ReclaimPackage) {
+        for &pfn in &pkg.frames {
+            if self.debt_parked.remove(&pfn) {
+                let node = self.frames.node_of(pfn);
+                self.frames.settle_debt(node, 1);
+            }
+        }
+        self.release_reclaim(pkg);
+        self.poll_pressure();
+    }
+
+    /// Applies the plan's pressure fault sites at the reclamation tick:
+    /// allocation bursts grab frames on their node for the window and
+    /// return them afterwards; watermark flaps are counted on their
+    /// rising edge; reclaim-stall windows count each tick they suppress.
+    fn pressure_faults_tick(&mut self) {
+        let now = self.now();
+        let (bursts, flaps, stalled) = match self.injector.as_ref() {
+            Some(inj) => (
+                inj.plan().bursts.clone(),
+                inj.plan().flaps.clone(),
+                inj.reclaim_stalled(now),
+            ),
+            None => return,
+        };
+        if stalled {
+            self.stats.inc(crate::metrics::FAULTS_RECLAIM_STALLS);
+        }
+        for (i, b) in bursts.iter().enumerate() {
+            let active = b.active_at(now.as_ns());
+            if active && !self.burst_applied[i] {
+                self.burst_applied[i] = true;
+                self.stats.inc(crate::metrics::FAULTS_ALLOC_BURSTS);
+                let node = latr_arch::NodeId(b.node);
+                for _ in 0..b.frames {
+                    match self.frame_alloc_exact_kthread(node) {
+                        Ok(p) => self.burst_held[i].push(p),
+                        // Node already dry: the burst has done its damage.
+                        Err(_) => break,
+                    }
+                }
+                if self.trace.is_enabled() {
+                    let grabbed = self.burst_held[i].len();
+                    self.trace.push(
+                        now,
+                        "fault",
+                        format!("allocation burst grabs {grabbed} frames on node{}", b.node),
+                    );
+                }
+            } else if !active && self.burst_applied[i] && !self.burst_held[i].is_empty() {
+                let held = std::mem::take(&mut self.burst_held[i]);
+                if self.trace.is_enabled() {
+                    self.trace.push(
+                        now,
+                        "fault",
+                        format!(
+                            "allocation burst returns {} frames to node{}",
+                            held.len(),
+                            b.node
+                        ),
+                    );
+                }
+                for p in held {
+                    self.frame_dec_ref(None, p);
+                }
+            }
+        }
+        for (i, f) in flaps.iter().enumerate() {
+            if f.active_at(now.as_ns()) && !self.flap_counted[i] {
+                self.flap_counted[i] = true;
+                self.stats.inc(crate::metrics::FAULTS_WATERMARK_FLAPS);
+            }
+        }
     }
 
     // ---- setup -------------------------------------------------------------
@@ -665,6 +992,11 @@ impl Machine {
             Event::AckArrive { txn, from } => self.ack_arrive(txn, from),
             Event::TxnRetry(txn) => self.txn_retry(txn),
             Event::ReclaimTick => {
+                // Pressure fault sites (allocation bursts, watermark
+                // flaps) apply before the policy's tick so the kthread
+                // observes the world it must react to.
+                self.pressure_faults_tick();
+                self.poll_pressure();
                 self.with_policy(|policy, machine| policy.on_reclaim_tick(machine));
                 let period = self.costs.sched_tick_period;
                 self.queue.schedule_after(period, Event::ReclaimTick);
@@ -1075,8 +1407,9 @@ impl Machine {
         self.stats.inc("cow_breaks");
         let old = pte.pfn;
         if self.frames.refcount(old) > 1 {
-            let Some(new) = self.frame_alloc(cpu, node) else {
-                self.stats.inc("oom_events");
+            let (alloc, stall) = self.frame_alloc_stalling(cpu, node);
+            cost += stall;
+            let Ok(new) = alloc else {
                 return cost;
             };
             cost += self.costs.page_copy + self.costs.frame_op;
@@ -1132,25 +1465,40 @@ impl Machine {
             self.stats.inc("swap_ins");
         }
         let pfn = match vma.kind {
-            MapKind::Anon => match self.frame_alloc(cpu, node) {
-                Some(p) => p,
-                None => {
-                    self.stats.inc("oom_events");
-                    return cost;
+            MapKind::Anon => {
+                let (alloc, stall) = self.frame_alloc_stalling(cpu, node);
+                cost += stall;
+                match alloc {
+                    Ok(p) => p,
+                    Err(_) => return cost,
                 }
-            },
+            }
             MapKind::File { .. } => {
                 let (file, page) = vma.file_page_of(vpn).expect("file vma");
-                match self.page_cache_frame_for(cpu, file, page, node) {
-                    Some(p) => {
+                let first = self.page_cache_frame_for(cpu, file, page, node);
+                let read_in = match first {
+                    Ok(p) => Ok(p),
+                    Err(_) => {
+                        // Same stall-then-retry dance as the anon path; a
+                        // page-cache read-in is an allocation like any other.
+                        cost += self.alloc_stall(cpu, node);
+                        let retry = self.page_cache_frame_for(cpu, file, page, node);
+                        if retry.is_err() {
+                            self.stats.inc(crate::metrics::OOM_EVENTS);
+                        }
+                        self.poll_pressure();
+                        retry
+                    }
+                };
+                match read_in {
+                    Ok(p) => {
                         // The mapping holds its own reference.
-                        self.frames.inc_ref(p);
+                        self.frames
+                            .inc_ref(p)
+                            .expect("page cache holds a live reference");
                         p
                     }
-                    None => {
-                        self.stats.inc("oom_events");
-                        return cost;
-                    }
+                    Err(_) => return cost,
                 }
             }
         };
@@ -1486,7 +1834,9 @@ impl Machine {
                 self.tlb_invalidate(cpu, pcid, vpn);
             }
             // Merge b onto a's frame; the duplicate frame frees lazily.
-            self.frames.inc_ref(pa.pfn);
+            self.frames
+                .inc_ref(pa.pfn)
+                .expect("dedup source frame is mapped, hence live");
             self.mms[mm_id.0 as usize]
                 .page_table
                 .update(b, |p| p.pfn = pa.pfn);
@@ -1585,7 +1935,9 @@ impl Machine {
                     continue;
                 }
                 // Share the frame read-only on both sides.
-                self.frames.inc_ref(pte.pfn);
+                self.frames
+                    .inc_ref(pte.pfn)
+                    .expect("forked frame is mapped, hence live");
                 let mut flags = pte.flags;
                 let was_writable = flags.writable;
                 flags.writable = false;
@@ -2150,7 +2502,7 @@ impl Machine {
         let target = if force_compact { home } else { node };
         let migrate = force_compact || self.numa.should_migrate(mm_id, vpn, node, home);
         if migrate {
-            if let Some(new_pfn) = self.frame_alloc_exact(cpu, target) {
+            if let Ok(new_pfn) = self.frame_alloc_exact(cpu, target) {
                 // Copy, remap, release the old frame. The migration itself
                 // performs a synchronous unmap+flush in both Linux and Latr
                 // (§4.3 leaves the migration path unmodified); charge its

@@ -134,6 +134,34 @@ pub trait TlbPolicy: std::any::Any {
         let _ = machine;
     }
 
+    /// A NUMA node crossed (or recovered across) a free-frame watermark;
+    /// `level` is the new pressure. Latr expedites its oldest gated
+    /// reclamation below the low watermark and falls back to synchronous
+    /// shootdown below the min watermark; synchronous policies have
+    /// nothing parked and ignore it.
+    fn on_memory_pressure(
+        &mut self,
+        machine: &mut Machine,
+        node: latr_arch::NodeId,
+        level: latr_mem::Pressure,
+    ) {
+        let _ = (machine, node, level);
+    }
+
+    /// An allocation on `cpu` found every free list empty (the
+    /// direct-reclaim stall). Returns how many frames the policy released
+    /// synchronously; the machine charges the stall to the faulting op
+    /// and retries the allocation once.
+    fn on_alloc_stall(
+        &mut self,
+        machine: &mut Machine,
+        cpu: CpuId,
+        node: latr_arch::NodeId,
+    ) -> u64 {
+        let _ = (machine, cpu, node);
+        0
+    }
+
     /// The AutoNUMA scanner wants to hint-unmap `vpn` of `mm` from `cpu`.
     /// Returns `true` if the policy handled it lazily; `false` means the
     /// machine should perform the synchronous hint-unmap itself.

@@ -9,10 +9,107 @@
 //! Frames are numbered node-major: node `n` owns
 //! `[n * frames_per_node, (n+1) * frames_per_node)`, so a frame's home node
 //! is recoverable from its number — which the AutoNUMA model relies on.
+//!
+//! # Memory pressure
+//!
+//! Lazy reclamation parks freed frames for up to an epoch before they
+//! return to the free lists, so under allocation storms the pool can drain
+//! while perfectly-freed memory sits gated in reclamation queues. The
+//! allocator therefore tracks, per node:
+//!
+//! - **watermarks** (`low` / `min`, à la Linux's zone watermarks): free-count
+//!   thresholds the kernel polices to trigger expedited reclamation and, at
+//!   the floor, synchronous fallback;
+//! - **reclamation debt**: frames that have been fully freed by the VM but
+//!   are still parked in a lazy-reclamation queue (refcount still held), so
+//!   `free + allocated == total` and `debt <= allocated` hold at all times.
+//!
+//! Misuse is a typed, recoverable error — [`AllocError`] for exhaustion and
+//! [`FreeError`] for refcount underflow / references on free frames —
+//! rather than a silent `None` or a panic deep in a sim run.
 
 use crate::addr::Pfn;
 use latr_arch::NodeId;
 use std::collections::HashMap;
+use std::fmt;
+
+/// Why a frame allocation failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AllocError {
+    /// Every node's free list is empty (the `alloc` fallback path ran the
+    /// whole machine dry). `node` is the node originally requested.
+    OutOfMemory {
+        /// The node the caller asked for.
+        node: NodeId,
+    },
+    /// The requested node is exhausted and the caller demanded exactness
+    /// (`alloc_exact`, the migration path).
+    NodeExhausted {
+        /// The exhausted node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::OutOfMemory { node } => {
+                write!(
+                    f,
+                    "out of memory: no free frames on any node (requested {node:?})"
+                )
+            }
+            AllocError::NodeExhausted { node } => {
+                write!(f, "node {node:?} exhausted (exact allocation, no fallback)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// A refcount operation on a frame that is not allocated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FreeError {
+    /// `dec_ref` on a frame whose refcount is already zero — a double free.
+    DoubleFree {
+        /// The frame freed twice.
+        pfn: Pfn,
+    },
+    /// `inc_ref` on a free frame — taking a reference on memory nobody
+    /// owns is always a bug.
+    RefOnFree {
+        /// The free frame.
+        pfn: Pfn,
+    },
+}
+
+impl fmt::Display for FreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FreeError::DoubleFree { pfn } => write!(f, "double free of frame {pfn:?}"),
+            FreeError::RefOnFree { pfn } => write!(f, "inc_ref on free frame {pfn:?}"),
+        }
+    }
+}
+
+impl std::error::Error for FreeError {}
+
+/// How far below its watermarks a node's free pool has sunk.
+///
+/// Ordered: `Normal < Low < Min`, so `max()` across nodes gives the
+/// machine's worst pressure.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Pressure {
+    /// Free frames above the low watermark; no action needed.
+    Normal,
+    /// Below the low watermark: expedite reclamation before the pool
+    /// drains.
+    Low,
+    /// Below the min watermark: the reserve is being eaten; forward
+    /// progress must not depend on lazy timing any more.
+    Min,
+}
 
 /// The per-node, refcounting physical frame allocator.
 ///
@@ -23,9 +120,9 @@ use std::collections::HashMap;
 /// let f = fa.alloc(NodeId(1)).unwrap();
 /// assert_eq!(fa.node_of(f), NodeId(1));
 /// assert_eq!(fa.refcount(f), 1);
-/// fa.inc_ref(f);
-/// assert_eq!(fa.dec_ref(f), 1); // still referenced
-/// assert_eq!(fa.dec_ref(f), 0); // now free again
+/// fa.inc_ref(f).unwrap();
+/// assert_eq!(fa.dec_ref(f).unwrap(), 1); // still referenced
+/// assert_eq!(fa.dec_ref(f).unwrap(), 0); // now free again
 /// assert!(!fa.is_allocated(f));
 /// ```
 #[derive(Debug, Clone)]
@@ -33,13 +130,23 @@ pub struct FrameAllocator {
     frames_per_node: u64,
     free: Vec<Vec<Pfn>>,
     refcounts: HashMap<Pfn, u32>,
+    /// Frames currently allocated on each node (`free + allocated == total`).
+    allocated: Vec<u64>,
+    /// Freed-but-parked frames per node: the VM dropped its last mapping but
+    /// a lazy-reclamation queue still holds the final reference.
+    debt: Vec<u64>,
+    /// Low-water mark of each node's free list over the allocator's life.
+    min_free: Vec<u64>,
+    low_watermark: u64,
+    min_watermark: u64,
     allocations: u64,
     frees: u64,
 }
 
 impl FrameAllocator {
     /// Creates an allocator with `nodes` NUMA nodes of `frames_per_node`
-    /// frames each.
+    /// frames each. Watermarks default to zero (pressure never reported);
+    /// see [`FrameAllocator::set_watermarks`].
     ///
     /// # Panics
     ///
@@ -49,7 +156,7 @@ impl FrameAllocator {
             nodes > 0 && frames_per_node > 0,
             "allocator must own memory"
         );
-        let free = (0..nodes)
+        let free: Vec<Vec<Pfn>> = (0..nodes)
             .map(|n| {
                 // Stack ordered so low frame numbers pop first; purely
                 // cosmetic but keeps runs deterministic and debuggable.
@@ -61,6 +168,11 @@ impl FrameAllocator {
             frames_per_node,
             free,
             refcounts: HashMap::new(),
+            allocated: vec![0; nodes],
+            debt: vec![0; nodes],
+            min_free: vec![frames_per_node; nodes],
+            low_watermark: 0,
+            min_watermark: 0,
             allocations: 0,
             frees: 0,
         }
@@ -69,6 +181,51 @@ impl FrameAllocator {
     /// Number of NUMA nodes.
     pub fn nodes(&self) -> usize {
         self.free.len()
+    }
+
+    /// Frames each node owns.
+    pub fn frames_per_node(&self) -> u64 {
+        self.frames_per_node
+    }
+
+    /// Sets the per-node low/min free-frame watermarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low < min` — the low watermark is the early-warning line
+    /// and must sit at or above the floor.
+    pub fn set_watermarks(&mut self, low: u64, min: u64) {
+        assert!(low >= min, "low watermark {low} below min watermark {min}");
+        self.low_watermark = low;
+        self.min_watermark = min;
+    }
+
+    /// The low (early-warning) watermark.
+    pub fn low_watermark(&self) -> u64 {
+        self.low_watermark
+    }
+
+    /// The min (reserve floor) watermark.
+    pub fn min_watermark(&self) -> u64 {
+        self.min_watermark
+    }
+
+    /// Pressure on `node` with the watermarks raised by `boost` frames
+    /// (fault injection flaps watermarks this way; pass 0 normally).
+    pub fn pressure_boosted(&self, node: NodeId, boost: u64) -> Pressure {
+        let free = self.free_on_node(node) as u64;
+        if free < self.min_watermark.saturating_add(boost) {
+            Pressure::Min
+        } else if free < self.low_watermark.saturating_add(boost) {
+            Pressure::Low
+        } else {
+            Pressure::Normal
+        }
+    }
+
+    /// Pressure on `node` against the configured watermarks.
+    pub fn pressure(&self, node: NodeId) -> Pressure {
+        self.pressure_boosted(node, 0)
     }
 
     /// The home node of a frame.
@@ -86,32 +243,44 @@ impl FrameAllocator {
     }
 
     /// Allocates a frame on `node` with reference count 1, falling back to
-    /// the other nodes in order if it is exhausted. Returns `None` when the
-    /// whole machine is out of memory.
-    pub fn alloc(&mut self, node: NodeId) -> Option<Pfn> {
+    /// the other nodes in order if it is exhausted. Fails with
+    /// [`AllocError::OutOfMemory`] when the whole machine is out of frames.
+    pub fn alloc(&mut self, node: NodeId) -> Result<Pfn, AllocError> {
         let n = node.0 as usize;
         assert!(n < self.free.len(), "no such node {node:?}");
         let order = std::iter::once(n).chain((0..self.free.len()).filter(|&i| i != n));
         for candidate in order {
             if let Some(pfn) = self.free[candidate].pop() {
-                self.refcounts.insert(pfn, 1);
-                self.allocations += 1;
-                return Some(pfn);
+                self.note_alloc(candidate, pfn);
+                return Ok(pfn);
             }
         }
-        None
+        Err(AllocError::OutOfMemory { node })
     }
 
-    /// Allocates a frame strictly on `node`; `None` if that node is
-    /// exhausted (used by the migration path, which aborts rather than
-    /// migrating to a different node).
-    pub fn alloc_exact(&mut self, node: NodeId) -> Option<Pfn> {
+    /// Allocates a frame strictly on `node`; [`AllocError::NodeExhausted`]
+    /// if that node is out (used by the migration path, which aborts rather
+    /// than migrating to a different node).
+    pub fn alloc_exact(&mut self, node: NodeId) -> Result<Pfn, AllocError> {
         let n = node.0 as usize;
         assert!(n < self.free.len(), "no such node {node:?}");
-        let pfn = self.free[n].pop()?;
+        match self.free[n].pop() {
+            Some(pfn) => {
+                self.note_alloc(n, pfn);
+                Ok(pfn)
+            }
+            None => Err(AllocError::NodeExhausted { node }),
+        }
+    }
+
+    fn note_alloc(&mut self, node: usize, pfn: Pfn) {
         self.refcounts.insert(pfn, 1);
+        self.allocated[node] += 1;
         self.allocations += 1;
-        Some(pfn)
+        let free = self.free[node].len() as u64;
+        if free < self.min_free[node] {
+            self.min_free[node] = free;
+        }
     }
 
     /// Current reference count of a frame (0 when free).
@@ -124,46 +293,110 @@ impl FrameAllocator {
         self.refcount(pfn) > 0
     }
 
-    /// Adds a reference (page shared by another mapping).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the frame is free — taking a reference on a free frame is
-    /// always a bug.
-    pub fn inc_ref(&mut self, pfn: Pfn) {
-        let rc = self
-            .refcounts
-            .get_mut(&pfn)
-            .unwrap_or_else(|| panic!("inc_ref on free frame {pfn:?}"));
-        *rc += 1;
+    /// Adds a reference (page shared by another mapping). Referencing a
+    /// free frame is a hard [`FreeError::RefOnFree`]. Returns the new count.
+    pub fn inc_ref(&mut self, pfn: Pfn) -> Result<u32, FreeError> {
+        match self.refcounts.get_mut(&pfn) {
+            Some(rc) => {
+                *rc += 1;
+                Ok(*rc)
+            }
+            None => Err(FreeError::RefOnFree { pfn }),
+        }
     }
 
     /// Drops a reference; when the count reaches zero the frame returns to
-    /// its home node's free list. Returns the new count.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the frame is already free (double free).
-    pub fn dec_ref(&mut self, pfn: Pfn) -> u32 {
+    /// its home node's free list. Returns the new count. Dropping a
+    /// reference on a free frame is a hard [`FreeError::DoubleFree`].
+    pub fn dec_ref(&mut self, pfn: Pfn) -> Result<u32, FreeError> {
         let rc = self
             .refcounts
             .get_mut(&pfn)
-            .unwrap_or_else(|| panic!("dec_ref on free frame {pfn:?} (double free?)"));
+            .ok_or(FreeError::DoubleFree { pfn })?;
         *rc -= 1;
         if *rc == 0 {
             self.refcounts.remove(&pfn);
             let node = self.node_of(pfn);
             self.free[node.0 as usize].push(pfn);
+            self.allocated[node.0 as usize] -= 1;
             self.frees += 1;
-            0
+            Ok(0)
         } else {
-            *rc
+            Ok(*rc)
         }
+    }
+
+    /// Records `frames` frames on `node` entering lazy reclamation: freed
+    /// by the VM, final reference parked in a deferred queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if debt would exceed the node's allocated frames — debt is a
+    /// subset of allocations by construction.
+    pub fn note_debt(&mut self, node: NodeId, frames: u64) {
+        let n = node.0 as usize;
+        self.debt[n] += frames;
+        assert!(
+            self.debt[n] <= self.allocated[n],
+            "reclamation debt {} exceeds allocated {} on {node:?}",
+            self.debt[n],
+            self.allocated[n],
+        );
+    }
+
+    /// Records `frames` frames on `node` leaving lazy reclamation (the
+    /// parked reference was dropped or re-owned).
+    ///
+    /// # Panics
+    ///
+    /// Panics on underflow — settling debt that was never noted.
+    pub fn settle_debt(&mut self, node: NodeId, frames: u64) {
+        let n = node.0 as usize;
+        assert!(
+            self.debt[n] >= frames,
+            "settling {frames} frames of debt on {node:?} but only {} noted",
+            self.debt[n],
+        );
+        self.debt[n] -= frames;
+    }
+
+    /// Frames on `node` currently parked in lazy reclamation.
+    pub fn reclaim_debt(&self, node: NodeId) -> u64 {
+        self.debt[node.0 as usize]
+    }
+
+    /// Machine-wide reclamation debt.
+    pub fn reclaim_debt_total(&self) -> u64 {
+        self.debt.iter().sum()
     }
 
     /// Frames currently free on `node`.
     pub fn free_on_node(&self, node: NodeId) -> usize {
         self.free[node.0 as usize].len()
+    }
+
+    /// Frames currently allocated on `node` (including reclamation debt).
+    pub fn allocated_on_node(&self, node: NodeId) -> u64 {
+        self.allocated[node.0 as usize]
+    }
+
+    /// The fewest free frames `node` has ever had.
+    pub fn min_free_on_node(&self, node: NodeId) -> u64 {
+        self.min_free[node.0 as usize]
+    }
+
+    /// The fewest free frames any node has ever had.
+    pub fn min_free(&self) -> u64 {
+        self.min_free.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Checks per-node conservation: `free + allocated == total` and
+    /// `debt <= allocated` on every node. The proptest suite leans on this.
+    pub fn conservation_holds(&self) -> bool {
+        (0..self.free.len()).all(|n| {
+            self.free[n].len() as u64 + self.allocated[n] == self.frames_per_node
+                && self.debt[n] <= self.allocated[n]
+        })
     }
 
     /// Total allocations performed.
@@ -208,16 +441,22 @@ mod tests {
     fn alloc_exact_refuses_fallback() {
         let mut fa = FrameAllocator::new(2, 1);
         let _a = fa.alloc_exact(NodeId(0)).unwrap();
-        assert!(fa.alloc_exact(NodeId(0)).is_none());
-        assert!(fa.alloc_exact(NodeId(1)).is_some());
+        assert_eq!(
+            fa.alloc_exact(NodeId(0)),
+            Err(AllocError::NodeExhausted { node: NodeId(0) })
+        );
+        assert!(fa.alloc_exact(NodeId(1)).is_ok());
     }
 
     #[test]
-    fn machine_exhaustion_returns_none() {
+    fn machine_exhaustion_is_typed() {
         let mut fa = FrameAllocator::new(2, 1);
-        assert!(fa.alloc(NodeId(0)).is_some());
-        assert!(fa.alloc(NodeId(0)).is_some());
-        assert!(fa.alloc(NodeId(0)).is_none());
+        assert!(fa.alloc(NodeId(0)).is_ok());
+        assert!(fa.alloc(NodeId(0)).is_ok());
+        assert_eq!(
+            fa.alloc(NodeId(0)),
+            Err(AllocError::OutOfMemory { node: NodeId(0) })
+        );
     }
 
     #[test]
@@ -225,13 +464,13 @@ mod tests {
         let mut fa = FrameAllocator::new(1, 4);
         let f = fa.alloc(NodeId(0)).unwrap();
         assert_eq!(fa.refcount(f), 1);
-        fa.inc_ref(f);
-        fa.inc_ref(f);
+        assert_eq!(fa.inc_ref(f).unwrap(), 2);
+        assert_eq!(fa.inc_ref(f).unwrap(), 3);
         assert_eq!(fa.refcount(f), 3);
-        assert_eq!(fa.dec_ref(f), 2);
-        assert_eq!(fa.dec_ref(f), 1);
+        assert_eq!(fa.dec_ref(f).unwrap(), 2);
+        assert_eq!(fa.dec_ref(f).unwrap(), 1);
         assert!(fa.is_allocated(f));
-        assert_eq!(fa.dec_ref(f), 0);
+        assert_eq!(fa.dec_ref(f).unwrap(), 0);
         assert!(!fa.is_allocated(f));
         assert_eq!(fa.free_on_node(NodeId(0)), 4);
     }
@@ -240,7 +479,7 @@ mod tests {
     fn freed_frame_is_reusable() {
         let mut fa = FrameAllocator::new(1, 1);
         let f = fa.alloc(NodeId(0)).unwrap();
-        fa.dec_ref(f);
+        fa.dec_ref(f).unwrap();
         let g = fa.alloc(NodeId(0)).unwrap();
         assert_eq!(f, g);
         assert_eq!(fa.total_allocations(), 2);
@@ -248,19 +487,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "double free")]
-    fn double_free_panics() {
+    fn double_free_is_a_typed_error() {
         let mut fa = FrameAllocator::new(1, 1);
         let f = fa.alloc(NodeId(0)).unwrap();
-        fa.dec_ref(f);
-        fa.dec_ref(f);
+        fa.dec_ref(f).unwrap();
+        assert_eq!(fa.dec_ref(f), Err(FreeError::DoubleFree { pfn: f }));
+        // The failed free must not have corrupted the free list.
+        assert_eq!(fa.free_on_node(NodeId(0)), 1);
+        assert!(fa.conservation_holds());
     }
 
     #[test]
-    #[should_panic(expected = "inc_ref on free frame")]
-    fn inc_ref_on_free_panics() {
+    fn inc_ref_on_free_is_a_typed_error() {
         let mut fa = FrameAllocator::new(1, 1);
-        fa.inc_ref(Pfn(0));
+        assert_eq!(
+            fa.inc_ref(Pfn(0)),
+            Err(FreeError::RefOnFree { pfn: Pfn(0) })
+        );
     }
 
     #[test]
@@ -278,7 +521,86 @@ mod tests {
         let a = fa.alloc(NodeId(0)).unwrap();
         let _b = fa.alloc(NodeId(0)).unwrap();
         assert_eq!(fa.allocated_count(), 2);
-        fa.dec_ref(a);
+        fa.dec_ref(a).unwrap();
         assert_eq!(fa.allocated_count(), 1);
+    }
+
+    #[test]
+    fn watermarks_classify_pressure() {
+        let mut fa = FrameAllocator::new(1, 10);
+        fa.set_watermarks(4, 2);
+        assert_eq!(fa.pressure(NodeId(0)), Pressure::Normal);
+        for _ in 0..6 {
+            fa.alloc(NodeId(0)).unwrap();
+        }
+        // 4 free == low watermark: not yet below it.
+        assert_eq!(fa.pressure(NodeId(0)), Pressure::Normal);
+        fa.alloc(NodeId(0)).unwrap();
+        assert_eq!(fa.pressure(NodeId(0)), Pressure::Low);
+        fa.alloc(NodeId(0)).unwrap();
+        fa.alloc(NodeId(0)).unwrap();
+        assert_eq!(fa.pressure(NodeId(0)), Pressure::Min);
+        // A boost (watermark flap) raises the bar.
+        assert_eq!(fa.pressure_boosted(NodeId(0), 0), Pressure::Min);
+        fa.set_watermarks(0, 0);
+        assert_eq!(fa.pressure(NodeId(0)), Pressure::Normal);
+        assert_eq!(fa.pressure_boosted(NodeId(0), 5), Pressure::Min);
+    }
+
+    #[test]
+    #[should_panic(expected = "low watermark")]
+    fn inverted_watermarks_rejected() {
+        let mut fa = FrameAllocator::new(1, 10);
+        fa.set_watermarks(1, 2);
+    }
+
+    #[test]
+    fn debt_and_conservation() {
+        let mut fa = FrameAllocator::new(2, 4);
+        let a = fa.alloc(NodeId(0)).unwrap();
+        let b = fa.alloc(NodeId(0)).unwrap();
+        assert!(fa.conservation_holds());
+        // Both frames freed by the VM but parked in lazy reclamation: the
+        // queue holds the final reference, the allocator holds the debt.
+        fa.note_debt(NodeId(0), 2);
+        assert_eq!(fa.reclaim_debt(NodeId(0)), 2);
+        assert_eq!(fa.reclaim_debt(NodeId(1)), 0);
+        assert_eq!(fa.reclaim_debt_total(), 2);
+        assert!(fa.conservation_holds());
+        // Reclamation releases them: debt settles, refs drop, frames free.
+        fa.settle_debt(NodeId(0), 2);
+        fa.dec_ref(a).unwrap();
+        fa.dec_ref(b).unwrap();
+        assert_eq!(fa.reclaim_debt_total(), 0);
+        assert_eq!(fa.free_on_node(NodeId(0)), 4);
+        assert!(fa.conservation_holds());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds allocated")]
+    fn debt_cannot_exceed_allocations() {
+        let mut fa = FrameAllocator::new(1, 4);
+        let _a = fa.alloc(NodeId(0)).unwrap();
+        fa.note_debt(NodeId(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "settling")]
+    fn settling_unnoted_debt_panics() {
+        let mut fa = FrameAllocator::new(1, 4);
+        fa.settle_debt(NodeId(0), 1);
+    }
+
+    #[test]
+    fn min_free_tracks_low_water() {
+        let mut fa = FrameAllocator::new(1, 4);
+        assert_eq!(fa.min_free(), 4);
+        let a = fa.alloc(NodeId(0)).unwrap();
+        let b = fa.alloc(NodeId(0)).unwrap();
+        assert_eq!(fa.min_free_on_node(NodeId(0)), 2);
+        fa.dec_ref(a).unwrap();
+        fa.dec_ref(b).unwrap();
+        // Frees do not erase the low-water mark.
+        assert_eq!(fa.min_free(), 2);
     }
 }

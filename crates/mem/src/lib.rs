@@ -27,7 +27,7 @@ pub mod page_table;
 pub mod vma;
 
 pub use addr::{Pfn, PhysAddr, VaRange, VirtAddr, Vpn, PAGE_SHIFT, PAGE_SIZE};
-pub use frame::FrameAllocator;
+pub use frame::{AllocError, FrameAllocator, FreeError, Pressure};
 pub use mm::{MmId, MmStruct};
 pub use page_cache::{FileId, PageCache};
 pub use page_table::{PageTable, Pte, PteFlags};

@@ -7,7 +7,7 @@
 //! freed by munmap; what must still be shot down are the TLB entries.
 
 use crate::addr::Pfn;
-use crate::frame::FrameAllocator;
+use crate::frame::{AllocError, FrameAllocator};
 use latr_arch::NodeId;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -63,7 +63,7 @@ impl PageCache {
 
     /// Returns the resident frame for `(file, page)`, reading it in (one
     /// frame allocation on `node`, refcount owned by the cache) on first
-    /// touch. `None` when the machine is out of memory.
+    /// touch. [`AllocError`] when the machine is out of memory.
     ///
     /// # Panics
     ///
@@ -74,17 +74,17 @@ impl PageCache {
         page: u64,
         node: NodeId,
         frames: &mut FrameAllocator,
-    ) -> Option<Pfn> {
+    ) -> Result<Pfn, AllocError> {
         assert!(
             page < self.file_pages(file),
             "page {page} beyond end of {file:?}"
         );
         if let Some(&pfn) = self.frames.get(&(file, page)) {
-            return Some(pfn);
+            return Ok(pfn);
         }
         let pfn = frames.alloc(node)?;
         self.frames.insert((file, page), pfn);
-        Some(pfn)
+        Ok(pfn)
     }
 
     /// Whether `(file, page)` is resident.
@@ -96,7 +96,9 @@ impl PageCache {
     /// the frame that backed it, if it was resident.
     pub fn evict(&mut self, file: FileId, page: u64, frames: &mut FrameAllocator) -> Option<Pfn> {
         let pfn = self.frames.remove(&(file, page))?;
-        frames.dec_ref(pfn);
+        frames
+            .dec_ref(pfn)
+            .expect("page cache held a reference on its resident frame");
         Some(pfn)
     }
 
@@ -165,11 +167,14 @@ mod tests {
     }
 
     #[test]
-    fn exhaustion_surfaces_as_none() {
+    fn exhaustion_surfaces_as_typed_error() {
         let mut fa = FrameAllocator::new(1, 1);
         let mut pc = PageCache::new();
         let f = pc.register_file(2);
-        assert!(pc.frame_for(f, 0, NodeId(0), &mut fa).is_some());
-        assert!(pc.frame_for(f, 1, NodeId(0), &mut fa).is_none());
+        assert!(pc.frame_for(f, 0, NodeId(0), &mut fa).is_ok());
+        assert_eq!(
+            pc.frame_for(f, 1, NodeId(0), &mut fa),
+            Err(AllocError::OutOfMemory { node: NodeId(0) })
+        );
     }
 }

@@ -15,6 +15,8 @@
 //!   and the fast-vs-reference differential suite run on;
 //! * [`ChaosShare`] — the cross-core sharing workload the chaos and
 //!   differential suites drive under injected fault plans;
+//! * [`AllocStorm`] — the allocation-storm workload the memory-pressure
+//!   suite and the `pressure` bench drive through the watermarks;
 //! * [`harness`] — one-call experiment runner shared by the bench
 //!   binaries, the examples and the integration tests.
 
@@ -24,6 +26,7 @@ pub mod harness;
 pub mod microbench;
 pub mod migration;
 pub mod parsec;
+pub mod storm;
 pub mod sweep_storm;
 
 pub use apache::ApacheWorkload;
@@ -32,4 +35,5 @@ pub use harness::{run_experiment, ExperimentResult, PolicyKind};
 pub use microbench::MunmapMicrobench;
 pub use migration::{MigrationProfile, MigrationWorkload};
 pub use parsec::{ParsecProfile, ParsecWorkload};
+pub use storm::AllocStorm;
 pub use sweep_storm::SweepStorm;

@@ -1,0 +1,209 @@
+//! The allocation-storm workload behind the memory-pressure suite
+//! (DESIGN.md §14, EXPERIMENTS.md "Allocation storms").
+//!
+//! Every task runs map → touch-every-page → neighbour-read → unmap
+//! cycles while *holding* a window of its most recent mappings, so live
+//! memory ramps to `cores × hold × pages` pages and every unmap's frames
+//! sit parked on the lazy-reclaim list for two more ticks. Against a
+//! machine sized with a small `frames_per_node`, that combination drives
+//! nodes through their low (and, for the bare-lazy policy, min)
+//! watermarks: the storm the expedited-sweep escalation exists to ride
+//! out. The neighbour read keeps a remote core in every mapping's
+//! cpumask, so frees publish real Latr states and reclamation is gated —
+//! parked frames are only recoverable by sweeps, exactly what pressure
+//! expedition accelerates.
+//!
+//! Deterministic by construction: no randomness, all phase state is a
+//! pure function of completed ops, so fingerprints are replayable under
+//! any `latr_faults::FaultPlan`.
+
+use latr_arch::CpuId;
+use latr_kernel::{Machine, Op, OpResult, TaskId, Workload};
+use latr_mem::VaRange;
+use latr_sim::MILLISECOND;
+use std::collections::VecDeque;
+
+/// Allocation-heavy churn with a held working-set window.
+#[derive(Debug)]
+pub struct AllocStorm {
+    cores: usize,
+    rounds: u32,
+    /// Pages per burst mapping.
+    pages: u64,
+    /// Mappings each task holds live before unmapping the oldest.
+    hold: usize,
+    step: Vec<u8>,
+    touch_idx: Vec<u64>,
+    done_rounds: Vec<u32>,
+    linger: Vec<u8>,
+    held: Vec<VecDeque<VaRange>>,
+}
+
+impl AllocStorm {
+    /// A storm of `cores` tasks, each running `rounds` map/touch/unmap
+    /// cycles of `pages`-page mappings while holding `hold` mappings
+    /// live. Peak demand is roughly `cores × (hold + 1) × pages` frames
+    /// plus whatever reclamation has parked.
+    pub fn new(cores: usize, rounds: u32, pages: u64, hold: usize) -> Self {
+        AllocStorm {
+            cores,
+            rounds,
+            pages: pages.max(1),
+            hold: hold.max(1),
+            step: vec![0; cores],
+            touch_idx: vec![0; cores],
+            done_rounds: vec![0; cores],
+            linger: vec![0; cores],
+            held: vec![VecDeque::new(); cores],
+        }
+    }
+}
+
+impl Workload for AllocStorm {
+    fn name(&self) -> &str {
+        "alloc-storm"
+    }
+
+    fn setup(&mut self, machine: &mut Machine) {
+        let mm = machine.create_process();
+        for c in 0..self.cores {
+            machine.spawn_task(mm, CpuId(c as u16));
+        }
+    }
+
+    fn next_op(&mut self, machine: &mut Machine, task: TaskId) -> Op {
+        let _ = machine;
+        let i = task.index();
+        if self.done_rounds[i] >= self.rounds {
+            // Wind-down: release the held window one mapping per op, then
+            // linger so the parked frames' two-tick reclamation (and any
+            // pressure escalation still in flight) completes on a live
+            // machine.
+            if let Some(r) = self.held[i].pop_front() {
+                return Op::Munmap { range: r };
+            }
+            if self.linger[i] >= 14 {
+                return Op::Exit;
+            }
+            self.linger[i] += 1;
+            return Op::Sleep(MILLISECOND);
+        }
+        let step = self.step[i];
+        match step {
+            // Burst allocation: one multi-page mapping.
+            0 => {
+                self.step[i] = 1;
+                self.touch_idx[i] = 0;
+                Op::MmapAnon { pages: self.pages }
+            }
+            // Touch every page — each touch is a demand fault, i.e. a
+            // frame allocation under whatever pressure the storm built.
+            1 => match self.held[i].back().copied() {
+                Some(r) => {
+                    let idx = self.touch_idx[i];
+                    self.touch_idx[i] += 1;
+                    if self.touch_idx[i] >= r.pages {
+                        self.step[i] = 2;
+                    }
+                    Op::Access {
+                        vpn: latr_mem::Vpn(r.start.0 + idx),
+                        write: true,
+                    }
+                }
+                None => {
+                    self.step[i] = 0;
+                    Op::Sleep(5_000)
+                }
+            },
+            // Plant a remote TLB entry so the coming free really defers.
+            2 => {
+                self.step[i] = 3;
+                let n = (i + 1) % self.cores;
+                match self.held[n].back().copied() {
+                    Some(r) => Op::Access {
+                        vpn: r.start,
+                        write: false,
+                    },
+                    None => Op::Sleep(5_000),
+                }
+            }
+            // Slide the window: unmap the oldest held mapping once the
+            // window is full (a steady stream of parked frames).
+            3 => {
+                self.step[i] = 4;
+                if self.held[i].len() > self.hold {
+                    match self.held[i].pop_front() {
+                        Some(r) => Op::Munmap { range: r },
+                        None => Op::Sleep(5_000),
+                    }
+                } else {
+                    Op::Compute(10_000)
+                }
+            }
+            // Short think time, next round. Kept well under a tick so
+            // allocation outpaces background reclamation — that imbalance
+            // *is* the storm.
+            _ => {
+                self.step[i] = 0;
+                self.done_rounds[i] += 1;
+                Op::Compute(50_000)
+            }
+        }
+    }
+
+    fn on_op_complete(&mut self, machine: &mut Machine, task: TaskId, result: OpResult) {
+        if let Op::MmapAnon { .. } = result.op {
+            if let Some(r) = machine.task(task).last_mmap {
+                self.held[task.index()].push_back(r);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PolicyKind;
+    use latr_arch::{MachinePreset, Topology};
+    use latr_kernel::{metrics, MachineConfig};
+    use latr_sim::SECOND;
+
+    #[test]
+    fn completes_and_stays_coherent() {
+        let mut config = MachineConfig::new(Topology::preset(MachinePreset::Commodity2S16C));
+        config.seed = 7;
+        let mut machine = Machine::new(config);
+        machine.run(
+            Box::new(AllocStorm::new(4, 6, 4, 2)),
+            PolicyKind::latr_default().build(),
+            SECOND,
+        );
+        assert_eq!(machine.check_reclamation_invariant(), None);
+        assert_eq!(machine.check_mapping_coherence(), None);
+        assert_eq!(machine.frames.allocated_count(), 0);
+        assert!(machine.stats.counter(metrics::LATR_DEFERRED_FRAMES) > 0);
+    }
+
+    #[test]
+    fn storm_drives_watermark_pressure() {
+        // 8 tasks × (3+1 held) × 8 pages ≈ 256 page frames of demand
+        // against 160 frames/node: the low watermark must trip.
+        let topo = Topology::preset(MachinePreset::Commodity2S16C);
+        let mut config = MachineConfig::new(topo).with_watermarks(96, 16);
+        config.frames_per_node = 160;
+        config.seed = 7;
+        let mut machine = Machine::new(config);
+        machine.run(
+            Box::new(AllocStorm::new(8, 10, 8, 3)),
+            PolicyKind::latr_default().build(),
+            SECOND,
+        );
+        assert!(
+            machine.stats.counter(metrics::MEM_PRESSURE_LOW_EVENTS) > 0,
+            "storm must cross the low watermark"
+        );
+        assert_eq!(machine.check_reclamation_invariant(), None);
+        assert_eq!(machine.check_mapping_coherence(), None);
+        assert_eq!(machine.frames.allocated_count(), 0);
+    }
+}

@@ -28,7 +28,7 @@ use latr_core::LatrConfig;
 use latr_faults::FaultPlan;
 use latr_kernel::{metrics, Machine, MachineConfig};
 use latr_sim::{MILLISECOND, SECOND};
-use latr_workloads::{ChaosShare, PolicyKind};
+use latr_workloads::{AllocStorm, ChaosShare, PolicyKind};
 use proptest::prelude::*;
 
 /// Runs the chaos workload for one simulated second (it finishes in
@@ -291,4 +291,85 @@ proptest! {
         let b = run_chaos(seed, parsed, LatrConfig::default());
         prop_assert_eq!(a.fingerprint(), b.fingerprint());
     }
+}
+
+// ---------------------------------------------------------------------------
+// Memory-pressure fault sites (DESIGN.md §14): allocation bursts,
+// reclamation-kthread stalls and watermark flaps, injected into a storm
+// workload squeezed by real watermarks. Reclaim stalls suppress the
+// background ticks the escalation bound is stated in, so these scenarios
+// assert the safety half and replayability only — the tick bound is
+// asserted by `tests/pressure.rs` under plans without reclaim stalls.
+
+/// Runs the allocation-storm workload on a watermarked machine under
+/// `plan`.
+fn run_pressure_chaos(seed: u64, plan: FaultPlan, latr: LatrConfig) -> Machine {
+    let topo = Topology::preset(MachinePreset::Commodity2S16C);
+    let mut config = MachineConfig::new(topo).with_watermarks(96, 16);
+    config.frames_per_node = 160;
+    config.seed = seed;
+    config.trace_capacity = 8192;
+    config.faults = Some(plan);
+    let mut machine = Machine::new(config);
+    machine.run(
+        Box::new(AllocStorm::new(8, 10, 8, 3)),
+        PolicyKind::Latr(latr).build(),
+        SECOND,
+    );
+    machine
+}
+
+/// Every pressure fault site at once, on top of flaky IPIs and a stalled
+/// sweeper.
+fn pressure_soup_plan() -> FaultPlan {
+    FaultPlan::default()
+        .with_ipi_drop(0.05)
+        .with_ipi_delay(0.20, 200_000)
+        .with_stall(3, 2 * MILLISECOND, 3 * MILLISECOND)
+        .with_burst(0, 2 * MILLISECOND, 3 * MILLISECOND, 32)
+        .with_burst(1, 2_500_000, 3 * MILLISECOND, 32)
+        .with_reclaim_stall(3 * MILLISECOND, 2 * MILLISECOND)
+        .with_flap(4 * MILLISECOND, 2 * MILLISECOND, 12)
+}
+
+#[test]
+fn pressure_soup_is_safe() {
+    let m = run_pressure_chaos(11, pressure_soup_plan(), LatrConfig::default());
+    assert_safe(&m);
+    assert_eq!(m.frames.reclaim_debt_total(), 0, "debt left unsettled");
+    // Every pressure site must actually have fired...
+    assert!(m.stats.counter(metrics::FAULTS_ALLOC_BURSTS) > 0);
+    assert!(m.stats.counter(metrics::FAULTS_RECLAIM_STALLS) > 0);
+    assert!(m.stats.counter(metrics::FAULTS_WATERMARK_FLAPS) > 0);
+    // ...and the storm must have been a storm.
+    assert!(
+        m.stats.counter(metrics::MEM_PRESSURE_LOW_EVENTS) > 0,
+        "the soup must drive the machine through its low watermark"
+    );
+}
+
+#[test]
+fn pressure_soup_without_escalation_is_still_safe() {
+    // The negative arm: pressure reactions off, the same soup. Safety
+    // must come from the gate and the grace window alone — escalation is
+    // a liveness feature, never a safety dependency.
+    let m = run_pressure_chaos(
+        11,
+        pressure_soup_plan(),
+        LatrConfig::default().without_escalation(),
+    );
+    assert_safe(&m);
+    assert_eq!(m.stats.counter(metrics::LATR_EXPEDITED_SWEEPS), 0);
+    assert_eq!(m.stats.counter(metrics::LATR_PRESSURE_SYNC_ENTERS), 0);
+}
+
+#[test]
+fn pressure_soup_replays_identically() {
+    let a = run_pressure_chaos(23, pressure_soup_plan(), LatrConfig::default());
+    let b = run_pressure_chaos(23, pressure_soup_plan(), LatrConfig::default());
+    assert_eq!(
+        a.fingerprint(),
+        b.fingerprint(),
+        "identical (plan, seed) must replay the pressure soup exactly"
+    );
 }

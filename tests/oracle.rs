@@ -163,3 +163,40 @@ fn default_grace_period_is_oracle_clean_on_the_same_workload() {
         "the oracle must actually have been shadowing the run"
     );
 }
+
+#[test]
+fn gate_alone_keeps_the_zero_grace_window_safe_and_is_counted() {
+    // The same zero-grace configuration as the negative control above,
+    // but with the sweep gate left on and the watchdog disabled: the
+    // *only* thing standing between the free and the stale TLB entry is
+    // the covering state's cpu bitmask. That must be (a) safe and
+    // (b) visible — a package overdue at a reclaim tick but still held
+    // by its gate counts toward LATR_GATE_HELD even when no watchdog
+    // will ever escalate it. Before the accounting fix, `watchdog_ticks:
+    // 0` silently zeroed this counter and the degradation telemetry
+    // claimed the gate never did any work.
+    let machine = run(LatrConfig {
+        reclaim_ticks: 0,
+        watchdog_ticks: 0,
+        ..LatrConfig::default()
+    });
+    if let Some(v) = machine.oracle_violation() {
+        panic!("the gate alone must close the staleness window, got:\n{v}");
+    }
+    assert!(
+        machine.oracle_events_observed() > 0,
+        "the oracle must actually have been shadowing the run"
+    );
+    assert!(
+        machine.stats.counter(latr_kernel::metrics::LATR_GATE_HELD) > 0,
+        "the gate held an overdue package across a tick; the degradation \
+         counters must say so even with the watchdog off"
+    );
+    assert_eq!(
+        machine
+            .stats
+            .counter(latr_kernel::metrics::LATR_WATCHDOG_ESCALATIONS),
+        0,
+        "no watchdog may have helped: this run proves the gate alone"
+    );
+}

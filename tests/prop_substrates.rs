@@ -201,19 +201,19 @@ proptest! {
         for op in ops {
             match op {
                 0 | 1 => {
-                    if let Some(p) = fa.alloc(latr_arch::NodeId(op % 2)) {
+                    if let Ok(p) = fa.alloc(latr_arch::NodeId(op % 2)) {
                         live.push(p);
                     }
                 }
                 2 => {
                     if let Some(&p) = live.first() {
-                        fa.inc_ref(p);
+                        fa.inc_ref(p).expect("live frame takes a reference");
                         live.push(p);
                     }
                 }
                 _ => {
                     if let Some(p) = live.pop() {
-                        fa.dec_ref(p);
+                        fa.dec_ref(p).expect("dropping a tracked reference");
                     }
                 }
             }
