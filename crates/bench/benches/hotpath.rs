@@ -9,6 +9,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use latr_arch::{CpuMask, MachinePreset, Topology};
 use latr_core::rt::{RtInvalidation, RtRegistry};
 use latr_core::{LatrConfig, LatrState, StateKind, StateQueue};
+use latr_kernel::EngineBackend;
 use latr_kernel::MachineConfig;
 use latr_mem::{MmId, VaRange, Vpn};
 use latr_sim::{EventQueue, QueueBackend, Time, SECOND};
@@ -138,12 +139,19 @@ fn bench_event_queue_backends(c: &mut Criterion) {
     }
 }
 
-/// End-to-end sweep-heavy machine runs, fast vs reference engine stacks:
+/// End-to-end sweep-heavy machine runs across all three engine stacks:
 /// the number the `hotpath` binary reports, in regression-gate form.
 fn bench_machine_sweep_storm(c: &mut Criterion) {
-    for (name, fast) in [
-        ("machine_sweep_storm_16c_fast", true),
-        ("machine_sweep_storm_16c_reference", false),
+    for (name, backend) in [
+        ("machine_sweep_storm_16c_fast", EngineBackend::Fast),
+        (
+            "machine_sweep_storm_16c_reference",
+            EngineBackend::Reference,
+        ),
+        (
+            "machine_sweep_storm_16c_parallel4",
+            EngineBackend::Parallel(4),
+        ),
     ] {
         c.bench_function(name, |b| {
             b.iter(|| {
@@ -151,13 +159,9 @@ fn bench_machine_sweep_storm(c: &mut Criterion) {
                     MachineConfig::new(Topology::preset(MachinePreset::Commodity2S16C));
                 config.seed = 7;
                 config.trace_capacity = 0;
-                config.event_queue = if fast {
-                    QueueBackend::Fast
-                } else {
-                    QueueBackend::Reference
-                };
+                config.engine = backend;
                 let latr = LatrConfig {
-                    reference_sweep: !fast,
+                    reference_sweep: backend == EngineBackend::Reference,
                     ..LatrConfig::default()
                 };
                 let mut machine = latr_kernel::Machine::new(config);

@@ -20,10 +20,29 @@ use latr_bench::hotpath::{
     fingerprints_match, hotpath_json, hotpath_rounds, hotpath_shapes, run_hotpath_point, speedups,
 };
 use latr_bench::print_title;
+use latr_kernel::EngineBackend;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    print_title("Hot-path throughput — fast vs reference engines (sweep storm)");
+    // `--engines fast,reference,parallel:4` narrows the sweep; default
+    // measures all three stacks so the parallel engine's fingerprint is
+    // cross-checked here too, not just in the differential suite.
+    let engines: Vec<EngineBackend> = std::env::args()
+        .skip_while(|a| a != "--engines")
+        .nth(1)
+        .map(|list| {
+            list.split(',')
+                .map(|s| EngineBackend::parse(s).unwrap_or_else(|| panic!("bad engine: {s}")))
+                .collect()
+        })
+        .unwrap_or_else(|| {
+            vec![
+                EngineBackend::Fast,
+                EngineBackend::Reference,
+                EngineBackend::Parallel(4),
+            ]
+        });
+    print_title("Hot-path throughput — fast vs reference vs parallel engines (sweep storm)");
     println!(
         "{:<11} {:>6} {:>12} {:>14} {:>14} {:>12}",
         "engine", "cores", "wall (ms)", "ticks/sec", "ops/sec", "events"
@@ -32,8 +51,14 @@ fn main() {
     let mut points = Vec::new();
     for (topology, cores) in hotpath_shapes() {
         let rounds = hotpath_rounds(cores, quick);
-        for fast in [true, false] {
-            let p = run_hotpath_point(fast, topology.clone(), cores, rounds, 0xB3 ^ cores as u64);
+        for &backend in &engines {
+            let p = run_hotpath_point(
+                backend,
+                topology.clone(),
+                cores,
+                rounds,
+                0xB3 ^ cores as u64,
+            );
             println!(
                 "{:<11} {:>6} {:>12.2} {:>14.0} {:>14.0} {:>12}",
                 p.engine,
@@ -55,7 +80,7 @@ fn main() {
     println!(
         "fingerprints: {}",
         if identical {
-            "identical on both engines at every size"
+            "identical on every engine at every size"
         } else {
             "DIVERGED — see the differential suite"
         }

@@ -1,0 +1,63 @@
+//! Parallel-simulator benchmark: the lane-sharded engine at worker
+//! counts {1, 2, 4, 8} against the sequential fast engine, at 16, 64 and
+//! 120 simulated cores, emitted as `BENCH_par_sim.json`.
+//!
+//! Every point is fingerprint-gated: the parallel engine must produce
+//! the exact fingerprint of the fast engine at the same core count or
+//! the run exits non-zero — a throughput number from a diverging
+//! simulation is meaningless. See EXPERIMENTS.md ("Parallel simulator")
+//! for how to read the file, including the `host_cpus` caveat.
+//!
+//! ```sh
+//! cargo run --release -p latr-bench --bin par_sim          # full run
+//! cargo run --release -p latr-bench --bin par_sim -- --quick
+//! ```
+
+use latr_bench::par_sim::{par_fingerprints_match, par_sim_json, par_speedups, run_par_sim_matrix};
+use latr_bench::print_title;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print_title("Parallel simulator — lane-sharded engine vs sequential fast (sweep storm)");
+    println!(
+        "{:<11} {:>7} {:>6} {:>12} {:>14} {:>12}  fingerprint",
+        "engine", "workers", "cores", "wall (ms)", "ticks/sec", "events"
+    );
+
+    let points = run_par_sim_matrix(quick, |p| {
+        println!(
+            "{:<11} {:>7} {:>6} {:>12.2} {:>14.0} {:>12}  {:016x}",
+            p.point.engine,
+            p.workers,
+            p.point.cores,
+            p.point.wall_ns as f64 / 1e6,
+            p.point.ticks_per_sec,
+            p.point.events,
+            p.point.fingerprint,
+        );
+    });
+
+    println!();
+    for (cores, speedup) in par_speedups(&points) {
+        println!("speedup at {cores:>3} cores: {speedup:.2}x (best parallel ÷ fast, ticks/sec)");
+    }
+    let host_cpus = std::thread::available_parallelism().map_or(0, usize::from);
+    println!("host cpus: {host_cpus}");
+    let identical = par_fingerprints_match(&points);
+    println!(
+        "fingerprints: {}",
+        if identical {
+            "identical at every worker count and machine size"
+        } else {
+            "DIVERGED — see tests/par_determinism.rs"
+        }
+    );
+
+    let json = par_sim_json(&points, quick);
+    std::fs::write("BENCH_par_sim.json", &json).expect("write BENCH_par_sim.json");
+    println!("wrote BENCH_par_sim.json");
+
+    if !identical {
+        std::process::exit(1);
+    }
+}

@@ -20,15 +20,15 @@ use std::time::Instant;
 
 use latr_arch::{MachinePreset, Topology};
 use latr_core::LatrConfig;
-use latr_kernel::{metrics, Machine, MachineConfig};
-use latr_sim::{QueueBackend, SECOND};
+use latr_kernel::{metrics, EngineBackend, Machine, MachineConfig};
+use latr_sim::SECOND;
 use latr_workloads::{PolicyKind, SweepStorm};
 
 /// One engine × machine-size measurement.
 #[derive(Clone, Debug)]
 pub struct HotpathPoint {
-    /// `"fast"` or `"reference"`.
-    pub engine: &'static str,
+    /// Engine label: `"fast"`, `"reference"`, or `"parallel:<n>"`.
+    pub engine: String,
     /// Simulated cores.
     pub cores: usize,
     /// Wall-clock nanoseconds for the whole run.
@@ -80,9 +80,12 @@ pub fn hotpath_rounds(cores: usize, quick: bool) -> u32 {
     }
 }
 
-/// Runs the sweep storm once on the chosen engine and measures it.
+/// Runs the sweep storm once on the chosen engine and measures it. The
+/// `Reference` engine also runs the reference (scan-every-queue) Latr
+/// sweep, so it measures the full PR-4 baseline stack; `Fast` and
+/// `Parallel(n)` both use the pending-bitmap sweep.
 pub fn run_hotpath_point(
-    fast: bool,
+    backend: EngineBackend,
     topology: Topology,
     cores: usize,
     rounds: u32,
@@ -95,13 +98,9 @@ pub fn run_hotpath_point(
     // measured (the differential suite runs them instead).
     config.trace_capacity = 0;
     config.oracle = false;
-    config.event_queue = if fast {
-        QueueBackend::Fast
-    } else {
-        QueueBackend::Reference
-    };
+    config.engine = backend;
     let latr = LatrConfig {
-        reference_sweep: !fast,
+        reference_sweep: backend == EngineBackend::Reference,
         ..LatrConfig::default()
     };
     let mut machine = Machine::new(config);
@@ -116,7 +115,7 @@ pub fn run_hotpath_point(
     let ops = machine.stats.counter(metrics::WORK_UNITS);
     let per_sec = |n: u64| n as f64 * 1e9 / wall as f64;
     HotpathPoint {
-        engine: if fast { "fast" } else { "reference" },
+        engine: backend.label(),
         cores,
         wall_ns: wall,
         sim_ticks,
@@ -215,9 +214,9 @@ pub fn speedups(points: &[HotpathPoint]) -> Vec<(usize, f64)> {
 mod tests {
     use super::*;
 
-    fn point(engine: &'static str, cores: usize, tps: f64, fp: u64) -> HotpathPoint {
+    fn point(engine: &str, cores: usize, tps: f64, fp: u64) -> HotpathPoint {
         HotpathPoint {
-            engine,
+            engine: engine.to_string(),
             cores,
             wall_ns: 1,
             sim_ticks: 1,
@@ -261,9 +260,11 @@ mod tests {
     #[test]
     fn engines_agree_on_a_small_point() {
         let (topology, cores) = (Topology::new(2, 2), 4);
-        let fast = run_hotpath_point(true, topology.clone(), cores, 3, 42);
-        let reference = run_hotpath_point(false, topology, cores, 3, 42);
+        let fast = run_hotpath_point(EngineBackend::Fast, topology.clone(), cores, 3, 42);
+        let reference = run_hotpath_point(EngineBackend::Reference, topology.clone(), cores, 3, 42);
+        let parallel = run_hotpath_point(EngineBackend::Parallel(2), topology, cores, 3, 42);
         assert_eq!(fast.fingerprint, reference.fingerprint);
+        assert_eq!(fast.fingerprint, parallel.fingerprint);
         assert_eq!(fast.ops, (cores as u64) * 3);
         assert!(fast.sim_ticks > 0);
     }

@@ -1,0 +1,260 @@
+//! Engine selection: which simulation engine drives the machine.
+//!
+//! [`EngineBackend`] generalizes the old `event_queue: QueueBackend` config
+//! knob. `Fast` and `Reference` are the two sequential engines from PR 4
+//! (calendar queue vs. binary heap); `Parallel(n)` is the lane-sharded
+//! engine from `latr_sim::LaneSet`, which runs `n` real worker threads that
+//! maintain per-lane calendars under conservative-lookahead epoch barriers.
+//!
+//! All three deliver the **exact same event sequence** — `(time, id)` order
+//! with ids minted in schedule order — so `Machine::fingerprint()` is
+//! bit-identical across engines and across worker counts. The three-way
+//! differential matrix in `tests/differential.rs` enforces this.
+//!
+//! Lane homing: each event is assigned to a lane by the core (or task, for
+//! core-less events) it concerns, with cores partitioned into contiguous
+//! blocks. Homing is pure load balancing — delivery order comes from the
+//! engine's deterministic merge, so *any* deterministic homing function
+//! would produce the same simulation.
+
+use crate::event::Event;
+use latr_sim::{EventId, EventQueue, LaneSet, Nanos, QueueBackend, Time};
+
+/// Which simulation engine drives the run (see the module docs).
+///
+/// The default follows the `reference` cargo feature, exactly like
+/// `QueueBackend` / the reclaim backend: the feature only flips defaults,
+/// every variant is always compiled and runtime-selectable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineBackend {
+    /// Sequential engine over the calendar-queue backend (PR 4).
+    Fast,
+    /// Sequential engine over the binary-heap executable spec.
+    Reference,
+    /// Lane-sharded engine with this many worker threads. `Parallel(1)`
+    /// still exercises the full barrier protocol on one lane.
+    Parallel(usize),
+}
+
+impl Default for EngineBackend {
+    fn default() -> Self {
+        if cfg!(feature = "reference") {
+            EngineBackend::Reference
+        } else {
+            EngineBackend::Fast
+        }
+    }
+}
+
+impl EngineBackend {
+    /// Parses `"fast"`, `"reference"`, or `"parallel:<n>"` (as used by the
+    /// bench bins' CLI).
+    pub fn parse(s: &str) -> Option<EngineBackend> {
+        match s {
+            "fast" => Some(EngineBackend::Fast),
+            "reference" => Some(EngineBackend::Reference),
+            _ => s
+                .strip_prefix("parallel:")
+                .and_then(|n| n.parse().ok())
+                .filter(|&n: &usize| n > 0)
+                .map(EngineBackend::Parallel),
+        }
+    }
+
+    /// Short label for stats/bench output.
+    pub fn label(self) -> String {
+        match self {
+            EngineBackend::Fast => "fast".into(),
+            EngineBackend::Reference => "reference".into(),
+            EngineBackend::Parallel(n) => format!("parallel:{n}"),
+        }
+    }
+}
+
+/// Maps an event to the simulated core it concerns (best effort; `None`
+/// means machine-global).
+fn event_cpu(event: &Event, ncpus: usize) -> Option<usize> {
+    match *event {
+        Event::OpComplete { cpu, .. } => Some(cpu.0 as usize),
+        Event::SchedTick(cpu) => Some(cpu.0 as usize),
+        Event::IpiDeliver { target, .. } => Some(target.0 as usize),
+        // Task-homed events: tasks are pinned round-robin across cores, so
+        // the task id modulo the core count is a stable stand-in.
+        Event::TaskStep(task) | Event::NumaFaultRetry { task, .. } | Event::LockGranted(task) => {
+            Some(task.0 as usize % ncpus)
+        }
+        // Machine-global bookkeeping congregates on lane 0.
+        Event::AckArrive { .. }
+        | Event::TxnRetry(_)
+        | Event::ReclaimTick
+        | Event::NumaScan(_)
+        | Event::PolicyTimer(_) => None,
+    }
+}
+
+/// The simulation queue the machine loop runs on: one of the sequential
+/// [`EventQueue`]s or the lane-sharded [`LaneSet`]. Mirrors the exact API
+/// surface `Machine` uses.
+pub(crate) enum SimQueue {
+    Single(EventQueue<Event>),
+    Lanes(LaneSet<Event>),
+}
+
+impl SimQueue {
+    /// Builds the queue for the chosen backend. `ncpus` drives lane homing
+    /// and `tick_period` (the scheduler-tick quantum) sets the epoch
+    /// width: cross-lane causality (IPI latency, sweep completion, op
+    /// costs) is exchanged at tick-quantum-wide barrier epochs.
+    pub(crate) fn new(backend: EngineBackend, ncpus: usize, tick_period: Nanos) -> SimQueue {
+        match backend {
+            EngineBackend::Fast => SimQueue::Single(EventQueue::with_backend(QueueBackend::Fast)),
+            EngineBackend::Reference => {
+                SimQueue::Single(EventQueue::with_backend(QueueBackend::Reference))
+            }
+            EngineBackend::Parallel(workers) => {
+                let workers = workers.max(1);
+                let ncpus = ncpus.max(1);
+                // Core c lives in lane c·n/ncpus: contiguous blocks, so a
+                // mm's sweep activity clusters instead of striping.
+                let home = move |event: &Event| match event_cpu(event, ncpus) {
+                    Some(cpu) => (cpu.min(ncpus - 1)) * workers / ncpus,
+                    None => 0,
+                };
+                SimQueue::Lanes(LaneSet::new(workers, tick_period, Box::new(home)))
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn now(&self) -> Time {
+        match self {
+            SimQueue::Single(q) => q.now(),
+            SimQueue::Lanes(q) => q.now(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn delivered(&self) -> u64 {
+        match self {
+            SimQueue::Single(q) => q.delivered(),
+            SimQueue::Lanes(q) => q.delivered(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn schedule(&mut self, time: Time, event: Event) -> EventId {
+        match self {
+            SimQueue::Single(q) => q.schedule(time, event),
+            SimQueue::Lanes(q) => q.schedule(time, event),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn schedule_after(&mut self, delta: Nanos, event: Event) -> EventId {
+        match self {
+            SimQueue::Single(q) => q.schedule_after(delta, event),
+            SimQueue::Lanes(q) => q.schedule_after(delta, event),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn peek_time(&mut self) -> Option<Time> {
+        match self {
+            SimQueue::Single(q) => q.peek_time(),
+            SimQueue::Lanes(q) => q.peek_time(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn pop(&mut self) -> Option<(Time, Event)> {
+        match self {
+            SimQueue::Single(q) => q.pop(),
+            SimQueue::Lanes(q) => q.pop(),
+        }
+    }
+
+    /// Test-only: switches a parallel engine's cross-lane merge to the
+    /// unsound wall-clock-arrival order (the determinism suite's negative
+    /// control). No-op on the sequential engines.
+    pub(crate) fn set_unsound_merge(&mut self, unsound: bool) {
+        if let SimQueue::Lanes(q) = self {
+            q.set_unsound_merge(unsound);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latr_arch::CpuId;
+    use latr_sim::MILLISECOND;
+
+    #[test]
+    fn backend_parse_round_trips() {
+        for b in [
+            EngineBackend::Fast,
+            EngineBackend::Reference,
+            EngineBackend::Parallel(4),
+        ] {
+            assert_eq!(EngineBackend::parse(&b.label()), Some(b));
+        }
+        assert_eq!(EngineBackend::parse("parallel:0"), None);
+        assert_eq!(EngineBackend::parse("bogus"), None);
+    }
+
+    #[test]
+    fn default_follows_reference_feature() {
+        let expect = if cfg!(feature = "reference") {
+            EngineBackend::Reference
+        } else {
+            EngineBackend::Fast
+        };
+        assert_eq!(EngineBackend::default(), expect);
+    }
+
+    #[test]
+    fn homing_partitions_cores_into_contiguous_blocks() {
+        let ncpus = 120;
+        let workers = 4;
+        let lane_of = |cpu: u16| {
+            let e = Event::SchedTick(CpuId(cpu));
+            (event_cpu(&e, ncpus).unwrap().min(ncpus - 1)) * workers / ncpus
+        };
+        assert_eq!(lane_of(0), 0);
+        assert_eq!(lane_of(29), 0);
+        assert_eq!(lane_of(30), 1);
+        assert_eq!(lane_of(119), 3);
+        // Monotone: contiguous blocks, never striped.
+        let mut prev = 0;
+        for cpu in 0..120u16 {
+            let l = lane_of(cpu);
+            assert!(l >= prev && l < workers);
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn sim_queue_variants_deliver_identically() {
+        let mk = |b| SimQueue::new(b, 8, MILLISECOND);
+        let mut queues = [
+            mk(EngineBackend::Fast),
+            mk(EngineBackend::Reference),
+            mk(EngineBackend::Parallel(3)),
+        ];
+        for t in [0u64, 5, 5, 2_000_000, 1_500_000, 7_777_777] {
+            let ev = Event::SchedTick(CpuId((t % 8) as u16));
+            let ids: Vec<_> = queues
+                .iter_mut()
+                .map(|q| q.schedule(Time::from_ns(t.max(q.now().as_ns())), ev))
+                .collect();
+            assert!(ids.windows(2).all(|w| w[0] == w[1]));
+        }
+        loop {
+            let popped: Vec<_> = queues.iter_mut().map(SimQueue::pop).collect();
+            assert!(popped.windows(2).all(|w| w[0] == w[1]));
+            if popped[0].is_none() {
+                break;
+            }
+        }
+    }
+}

@@ -8,6 +8,7 @@
 //! "time debt" injected into whatever op a core is executing when an IPI
 //! lands.
 
+use crate::engine::{EngineBackend, SimQueue};
 use crate::event::Event;
 use crate::mmlock::{LockMode, MmLock};
 use crate::numa::{NumaConfig, NumaRuntime, NumaStats};
@@ -20,7 +21,7 @@ use latr_mem::{
     AllocError, FileId, FrameAllocator, MapKind, MmId, MmStruct, PageCache, Pfn, Pressure, Prot,
     PteFlags, VaRange, Vpn,
 };
-use latr_sim::{EventQueue, Nanos, QueueBackend, SimRng, StatsRegistry, Time, TraceRing};
+use latr_sim::{Nanos, SimRng, StatsRegistry, Time, TraceRing};
 use std::collections::HashMap;
 
 /// Configuration of one simulation run.
@@ -57,11 +58,13 @@ pub struct MachineConfig {
     /// the injector's RNG is forked off the seed, never the main stream,
     /// and the IPI retransmit timer is only armed while a plan is active.
     pub faults: Option<FaultPlan>,
-    /// Which event-queue implementation drives the run. Both deliver the
-    /// exact same event order; `Reference` is the straightforward heap
-    /// kept as the executable spec for the differential suite. The default
-    /// follows the `reference` cargo feature.
-    pub event_queue: QueueBackend,
+    /// Which simulation engine drives the run: the two sequential engines
+    /// (`Fast` calendar queue, `Reference` heap — the executable spec) or
+    /// the lane-sharded `Parallel(n)` engine with `n` worker threads. All
+    /// deliver the exact same event order, so fingerprints are
+    /// bit-identical across engines; the default follows the `reference`
+    /// cargo feature.
+    pub engine: EngineBackend,
     /// Per-node low (early-warning) free-frame watermark. Crossing it
     /// fires the policy's [`TlbPolicy::on_memory_pressure`] hook so lazy
     /// reclamation can be expedited before the pool drains. `0` together
@@ -91,7 +94,7 @@ impl MachineConfig {
             numa: NumaConfig::disabled(),
             oracle: cfg!(feature = "oracle"),
             faults: None,
-            event_queue: QueueBackend::default(),
+            engine: EngineBackend::default(),
             low_watermark_frames: 0,
             min_watermark_frames: 0,
         }
@@ -142,7 +145,7 @@ pub struct Machine {
     topology: Topology,
     costs: CostModel,
     fabric: IpiFabric,
-    queue: EventQueue<Event>,
+    queue: SimQueue,
     /// Per-core state, indexed by CPU id.
     pub cores: Vec<Core>,
     mms: Vec<MmStruct>,
@@ -231,7 +234,7 @@ impl Machine {
         #[allow(unused_mut)]
         let mut machine = Machine {
             fabric: IpiFabric::new(config.topology.clone(), config.costs.clone()),
-            queue: EventQueue::with_backend(config.event_queue),
+            queue: SimQueue::new(config.engine, ncpus, config.costs.sched_tick_period),
             cores,
             mms: Vec::new(),
             frames,
@@ -2610,6 +2613,15 @@ impl Machine {
     /// raw unit of work, reported by the hot-path benchmarks.
     pub fn events_delivered(&self) -> u64 {
         self.queue.delivered()
+    }
+
+    /// Test-only: switches a `Parallel` engine's cross-lane merge to the
+    /// unsound wall-clock-arrival order (the determinism suite's negative
+    /// control — see `tests/par_determinism.rs`). No-op on the sequential
+    /// engines. Call before [`Machine::run`].
+    #[doc(hidden)]
+    pub fn set_unsound_merge(&mut self, unsound: bool) {
+        self.queue.set_unsound_merge(unsound);
     }
 
     /// Fingerprints the run for determinism and differential comparisons:

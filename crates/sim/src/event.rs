@@ -30,6 +30,15 @@ use std::collections::{BinaryHeap, HashSet};
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct EventId(u64);
 
+impl EventId {
+    /// Builds an id from its raw counter value. Only the queue
+    /// implementations in this crate mint ids; the raw value is the
+    /// schedule-order sequence number that tie-breaks same-instant events.
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        EventId(raw)
+    }
+}
+
 /// An event plus its scheduling metadata, as stored inside the queue.
 #[derive(Debug)]
 pub struct ScheduledEvent<E> {
@@ -103,7 +112,7 @@ const OCC_WORDS: usize = NUM_BUCKETS / 64;
 ///   migrated into the ring (at most once — `cur` is monotone while events
 ///   are pending) as the cursor approaches it.
 #[derive(Debug)]
-struct Calendar<E> {
+pub(crate) struct Calendar<E> {
     /// Ring of buckets, each sorted *descending* by `(time, id)` so the
     /// minimum pops from the end in O(1).
     buckets: Vec<Vec<ScheduledEvent<E>>>,
@@ -119,7 +128,7 @@ struct Calendar<E> {
 }
 
 impl<E> Calendar<E> {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Calendar {
             buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
             occ: [0; OCC_WORDS],
@@ -129,7 +138,7 @@ impl<E> Calendar<E> {
         }
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.near + self.far.len()
     }
 
@@ -137,7 +146,7 @@ impl<E> Calendar<E> {
         time.as_ns() >> BUCKET_SHIFT
     }
 
-    fn insert(&mut self, ev: ScheduledEvent<E>, now: Time) {
+    pub(crate) fn insert(&mut self, ev: ScheduledEvent<E>, now: Time) {
         let b = Self::bucket_of(ev.time);
         if self.near == 0 {
             // Empty ring: re-anchor the cursor at the clock. Every future
@@ -199,7 +208,7 @@ impl<E> Calendar<E> {
     /// Removes and returns the minimum event. The cursor advances to its
     /// bucket; the caller re-anchors via `insert` if it discards events
     /// (lazy cancellation) without advancing the clock.
-    fn pop_min(&mut self) -> Option<ScheduledEvent<E>> {
+    pub(crate) fn pop_min(&mut self) -> Option<ScheduledEvent<E>> {
         if self.near == 0 {
             let f = self.far.peek()?;
             self.cur = Self::bucket_of(f.time);
@@ -215,6 +224,110 @@ impl<E> Calendar<E> {
         }
         self.near -= 1;
         Some(ev)
+    }
+
+    /// Drains every pending event with `time < horizon` into `out`,
+    /// ascending by `(time, id)`, and advances the cursor to the horizon's
+    /// bucket. The lane engine calls this once per epoch barrier; inserts
+    /// after the call are guaranteed by the lane engine to be at or beyond
+    /// the previous horizon, so they never land behind the cursor.
+    ///
+    /// `scratch` is caller-owned reusable storage for merging far-heap
+    /// events that fall below the horizon (rare: only schedules placed
+    /// beyond the ring span ever reach the far heap). Only sound on a
+    /// calendar with no lazily-cancelled events pending — the lane engine
+    /// does not support cancellation.
+    pub(crate) fn extract_until(
+        &mut self,
+        horizon: Time,
+        out: &mut Vec<ScheduledEvent<E>>,
+        scratch: &mut Vec<ScheduledEvent<E>>,
+    ) {
+        let start = out.len();
+        let hb = Self::bucket_of(horizon);
+        while self.near > 0 {
+            let nb = self.next_occupied(self.cur);
+            if nb > hb {
+                break;
+            }
+            self.cur = nb;
+            let slot = (nb & BUCKET_MASK) as usize;
+            if nb < hb {
+                // Whole bucket is below the horizon: buckets are sorted
+                // descending, so draining from the back yields ascending
+                // order.
+                while let Some(ev) = self.buckets[slot].pop() {
+                    debug_assert!(ev.time < horizon);
+                    self.near -= 1;
+                    out.push(ev);
+                }
+                self.occ[slot / 64] &= !(1 << (slot % 64));
+            } else {
+                // Boundary bucket: only the sub-horizon prefix comes out.
+                while self.buckets[slot]
+                    .last()
+                    .is_some_and(|ev| ev.time < horizon)
+                {
+                    let ev = self.buckets[slot].pop().expect("checked");
+                    self.near -= 1;
+                    out.push(ev);
+                }
+                if self.buckets[slot].is_empty() {
+                    self.occ[slot / 64] &= !(1 << (slot % 64));
+                }
+                break;
+            }
+        }
+        // All remaining ring events are at or beyond the horizon's bucket,
+        // so the cursor may jump there even across long empty stretches.
+        self.cur = self.cur.max(hb);
+        // Far-heap events below the horizon. They were filed when they lay
+        // beyond the ring span from the then-cursor, but the cursor has
+        // moved since, so they may interleave with the ring events already
+        // drained — merge the two ascending runs.
+        if self.far.peek().is_some_and(|f| f.time < horizon) {
+            scratch.clear();
+            scratch.extend(out.drain(start..));
+            let mut ring = scratch.drain(..).peekable();
+            let far_next = |far: &mut BinaryHeap<ScheduledEvent<E>>| {
+                far.peek().is_some_and(|f| f.time < horizon)
+            };
+            while ring.peek().is_some() || far_next(&mut self.far) {
+                let take_far = match (ring.peek(), self.far.peek()) {
+                    (Some(r), Some(f)) if f.time < horizon => (f.time, f.id) < (r.time, r.id),
+                    (None, Some(f)) => f.time < horizon,
+                    _ => false,
+                };
+                if take_far {
+                    out.push(self.far.pop().expect("peeked"));
+                } else {
+                    match ring.next() {
+                        Some(ev) => out.push(ev),
+                        None => break,
+                    }
+                }
+            }
+        }
+        debug_assert!(out[start..]
+            .windows(2)
+            .all(|w| (w[0].time, w[0].id) < (w[1].time, w[1].id)));
+    }
+
+    /// The minimum pending `(time, id)` without popping or advancing the
+    /// cursor. Assumes no lazily-cancelled events (lane-engine use).
+    pub(crate) fn peek_min_key(&self) -> Option<(Time, EventId)> {
+        let near = if self.near > 0 {
+            let nb = self.next_occupied(self.cur);
+            let slot = (nb & BUCKET_MASK) as usize;
+            self.buckets[slot].last().map(|ev| (ev.time, ev.id))
+        } else {
+            None
+        };
+        let far = self.far.peek().map(|ev| (ev.time, ev.id));
+        match (near, far) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// The minimum pending `(time, id)` after dropping cancelled events

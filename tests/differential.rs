@@ -1,36 +1,37 @@
 //! The differential suite: the hot-path engines against their executable
-//! specs (ISSUE 4).
+//! specs (ISSUE 4), extended to the three-way engine matrix (ISSUE 9).
 //!
 //! PR 4 replaced two straightforward implementations with optimised
 //! ones — the binary-heap event queue with a calendar queue
-//! ([`QueueBackend::Fast`]) and the scan-every-queue Latr sweep with a
+//! ([`EngineBackend::Fast`]) and the scan-every-queue Latr sweep with a
 //! pending-bitmap cursor sweep (`LatrConfig::reference_sweep = false`).
-//! Both originals are kept, runtime-selectable, as the reference
-//! engines. This suite runs fast and reference side by side on
-//! identical seeds, workloads and fault plans and asserts the runs are
-//! **bit-identical**: [`latr_kernel::Machine::fingerprint`] covers the
-//! end time, the delivered-event count, every counter, every histogram
-//! summary and the full rendered trace, so any divergence in event
-//! order, cost accounting or sweep behaviour fails loudly.
+//! PR 9 added a third engine: the lane-sharded parallel simulator
+//! ([`EngineBackend::Parallel`]), which runs real worker threads under
+//! conservative-lookahead epoch barriers. This suite runs all three side
+//! by side on identical seeds, workloads and fault plans and asserts the
+//! runs are **bit-identical**: [`latr_kernel::Machine::fingerprint`]
+//! covers the end time, the delivered-event count, every counter, every
+//! histogram summary and the full rendered trace, so any divergence in
+//! event order, cost accounting or sweep behaviour fails loudly.
 //!
 //! Coverage follows the ISSUE's acceptance list: the golden seeds, every
 //! fault-plan class from `tests/chaos.rs` (drop, delay, stall, jitter,
 //! miss, storm, and the mixed soup), and 100 proptest cases over random
-//! seeds, shapes and plans.
+//! seeds, shapes, plans — and, since PR 9, worker counts.
 
 use latr_arch::{MachinePreset, Topology};
 use latr_core::LatrConfig;
 use latr_faults::FaultPlan;
-use latr_kernel::{Machine, MachineConfig, Workload};
-use latr_sim::{QueueBackend, MILLISECOND, SECOND};
+use latr_kernel::{EngineBackend, Machine, MachineConfig, Workload};
+use latr_sim::{MILLISECOND, SECOND};
 use latr_workloads::{ChaosShare, PolicyKind, SweepStorm};
 use proptest::prelude::*;
 
-/// Runs one engine: `fast` selects both hot paths (calendar event queue
-/// and pending-bitmap sweep) or both references (binary heap and full
-/// scan).
+/// Runs one engine. `Reference` selects both reference paths (binary
+/// heap and full-scan sweep); `Fast` and `Parallel(n)` run the hot paths
+/// (calendar/lane queue and pending-bitmap sweep).
 fn run_engine(
-    fast: bool,
+    backend: EngineBackend,
     topology: Topology,
     seed: u64,
     plan: Option<FaultPlan>,
@@ -41,13 +42,9 @@ fn run_engine(
     config.seed = seed;
     config.trace_capacity = 8192;
     config.faults = plan;
-    config.event_queue = if fast {
-        QueueBackend::Fast
-    } else {
-        QueueBackend::Reference
-    };
+    config.engine = backend;
     let latr = LatrConfig {
-        reference_sweep: !fast,
+        reference_sweep: backend == EngineBackend::Reference,
         ..latr
     };
     let mut machine = Machine::new(config);
@@ -55,8 +52,84 @@ fn run_engine(
     machine
 }
 
-/// Runs both engines and asserts bit-identical fingerprints. Returns the
-/// fast machine for any extra scenario-specific assertions.
+/// Asserts two fingerprints are identical, pointing at the first
+/// diverging line rather than dumping both multi-thousand-line texts.
+fn assert_fingerprints_equal(label_a: &str, fa: &str, label_b: &str, fb: &str, context: &str) {
+    if fa != fb {
+        let line = fa
+            .lines()
+            .zip(fb.lines())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| fa.lines().count().min(fb.lines().count()));
+        let a = fa.lines().nth(line).unwrap_or("<eof>");
+        let b = fb.lines().nth(line).unwrap_or("<eof>");
+        panic!(
+            "{label_a} and {label_b} engines diverged ({context}) at fingerprint line {line}:\n\
+             {label_a}: {a}\n\
+             {label_b}: {b}"
+        );
+    }
+}
+
+/// Runs the full engine matrix — Fast, Reference, and Parallel at the
+/// given worker counts — and asserts every fingerprint is bit-identical.
+/// Returns the fast machine for any extra scenario-specific assertions.
+fn assert_engine_matrix_agrees(
+    workers: &[usize],
+    topology: Topology,
+    seed: u64,
+    plan: Option<FaultPlan>,
+    latr: LatrConfig,
+    mk: &dyn Fn() -> Box<dyn Workload>,
+) -> Machine {
+    let fast = run_engine(
+        EngineBackend::Fast,
+        topology.clone(),
+        seed,
+        plan.clone(),
+        latr,
+        mk(),
+    );
+    let fa = fast.fingerprint();
+    let reference = run_engine(
+        EngineBackend::Reference,
+        topology.clone(),
+        seed,
+        plan.clone(),
+        latr,
+        mk(),
+    );
+    assert_fingerprints_equal(
+        "fast",
+        &fa,
+        "reference",
+        &reference.fingerprint(),
+        "sequential",
+    );
+    for &w in workers {
+        let parallel = run_engine(
+            EngineBackend::Parallel(w),
+            topology.clone(),
+            seed,
+            plan.clone(),
+            latr,
+            mk(),
+        );
+        assert_fingerprints_equal(
+            "fast",
+            &fa,
+            &format!("parallel:{w}"),
+            &parallel.fingerprint(),
+            &format!("{w} workers"),
+        );
+    }
+    fast
+}
+
+/// The default matrix shape for the scenario tests: the three-way
+/// comparison with one multi-lane parallel point. The exhaustive worker
+/// sweep {1,2,4,8} lives in `tests/par_determinism.rs` and (per scenario
+/// class) in `chaos_plans_are_identical_across_the_engine_matrix`.
 fn assert_engines_agree(
     topology: Topology,
     seed: u64,
@@ -64,26 +137,7 @@ fn assert_engines_agree(
     latr: LatrConfig,
     mk: impl Fn() -> Box<dyn Workload>,
 ) -> Machine {
-    let fast = run_engine(true, topology.clone(), seed, plan.clone(), latr, mk());
-    let reference = run_engine(false, topology, seed, plan, latr, mk());
-    let (fa, re) = (fast.fingerprint(), reference.fingerprint());
-    if fa != re {
-        // Point at the first diverging line rather than dumping both
-        // multi-thousand-line fingerprints.
-        let line = fa
-            .lines()
-            .zip(re.lines())
-            .position(|(a, b)| a != b)
-            .unwrap_or_else(|| fa.lines().count().min(re.lines().count()));
-        let a = fa.lines().nth(line).unwrap_or("<eof>");
-        let b = re.lines().nth(line).unwrap_or("<eof>");
-        panic!(
-            "fast and reference engines diverged at fingerprint line {line}:\n\
-             fast:      {a}\n\
-             reference: {b}"
-        );
-    }
-    fast
+    assert_engine_matrix_agrees(&[4], topology, seed, plan, latr, &mk)
 }
 
 fn commodity16() -> Topology {
@@ -91,13 +145,14 @@ fn commodity16() -> Topology {
 }
 
 #[test]
-fn sweep_storm_is_identical_on_both_engines() {
-    let m = assert_engines_agree(
+fn sweep_storm_is_identical_across_the_engine_matrix() {
+    let m = assert_engine_matrix_agrees(
+        &[1, 2, 4, 8],
         commodity16(),
         0x5EED_0001,
         None,
         LatrConfig::default(),
-        || Box::new(SweepStorm::new(16, 8)),
+        &|| Box::new(SweepStorm::new(16, 8)),
     );
     assert!(
         m.stats.counter(latr_kernel::metrics::LATR_SWEEP_HITS) > 0,
@@ -118,30 +173,22 @@ fn sweep_storm_is_identical_at_120_cores() {
 
 #[test]
 fn sparse_publisher_storm_is_identical_in_bench_configuration() {
-    // Pins the exact shape `BENCH_hotpath.json` measures: 4 publishers
-    // among many sweepers, oracle and tracing off. The bench bin
-    // cross-checks fingerprints itself, but this keeps the configuration
-    // covered by `cargo test` even when the bench never runs.
+    // Pins the exact shape `BENCH_hotpath.json` and `BENCH_par_sim.json`
+    // measure: 4 publishers among many sweepers, oracle and tracing off.
+    // The bench bins cross-check fingerprints themselves, but this keeps
+    // the configuration covered by `cargo test` even when they never run.
     for (topology, cores) in [
         (Topology::preset(MachinePreset::Commodity2S16C), 16),
         (Topology::preset(MachinePreset::LargeNuma8S120C), 120),
     ] {
-        let mk = || {
+        let run = |backend: EngineBackend| {
             let mut config = MachineConfig::new(topology.clone());
             config.seed = 0x5EED_0004;
             config.trace_capacity = 0;
             config.oracle = false;
-            config
-        };
-        let run = |fast: bool| {
-            let mut config = mk();
-            config.event_queue = if fast {
-                QueueBackend::Fast
-            } else {
-                QueueBackend::Reference
-            };
+            config.engine = backend;
             let latr = LatrConfig {
-                reference_sweep: !fast,
+                reference_sweep: backend == EngineBackend::Reference,
                 ..LatrConfig::default()
             };
             let mut machine = Machine::new(config);
@@ -152,11 +199,18 @@ fn sparse_publisher_storm_is_identical_in_bench_configuration() {
             );
             machine
         };
-        let (fast, reference) = (run(true), run(false));
+        let fast = run(EngineBackend::Fast);
+        let reference = run(EngineBackend::Reference);
+        let parallel = run(EngineBackend::Parallel(4));
         assert_eq!(
             fast.fingerprint(),
             reference.fingerprint(),
-            "bench configuration diverged at {cores} cores"
+            "bench configuration diverged at {cores} cores (fast vs reference)"
+        );
+        assert_eq!(
+            fast.fingerprint(),
+            parallel.fingerprint(),
+            "bench configuration diverged at {cores} cores (fast vs parallel)"
         );
         assert_eq!(
             fast.stats.counter(latr_kernel::metrics::WORK_UNITS),
@@ -167,16 +221,23 @@ fn sparse_publisher_storm_is_identical_in_bench_configuration() {
 }
 
 #[test]
-fn overflow_pressure_is_identical_on_both_engines() {
+fn overflow_pressure_is_identical_across_the_engine_matrix() {
     // Zero inter-round sleep on a 4-slot queue drives the overflow→IPI
-    // fallback and the adaptive hysteresis on both engines.
+    // fallback and the adaptive hysteresis on every engine. Same-instant
+    // IPI broadcasts straddle lanes here, so this is also where the
+    // parallel engine's id tiebreak earns its keep.
     let cfg = LatrConfig {
         states_per_core: 4,
         ..LatrConfig::default()
     };
-    let m = assert_engines_agree(commodity16(), 0x5EED_0003, None, cfg, || {
-        Box::new(SweepStorm::new(8, 30).with_sleep(0))
-    });
+    let m = assert_engine_matrix_agrees(
+        &[1, 2, 4, 8],
+        commodity16(),
+        0x5EED_0003,
+        None,
+        cfg,
+        &|| Box::new(SweepStorm::new(8, 30).with_sleep(0)),
+    );
     assert!(
         m.stats.counter(latr_kernel::metrics::LATR_FALLBACK_IPIS) > 0,
         "the comparison must actually have exercised the fallback path"
@@ -184,17 +245,19 @@ fn overflow_pressure_is_identical_on_both_engines() {
 }
 
 #[test]
-fn chaos_share_is_identical_on_both_engines() {
+fn chaos_share_is_identical_across_the_engine_matrix() {
     let _ = assert_engines_agree(commodity16(), 0xCAFE, None, LatrConfig::default(), || {
         Box::new(ChaosShare::new(4, 24))
     });
 }
 
-/// Every fault-plan class exercised by `tests/chaos.rs`, replayed on both
-/// engines: fault injection perturbs event timing and sweep schedules, so
-/// it is exactly where a fast-path shortcut would fall out of step.
+/// Every fault-plan class exercised by `tests/chaos.rs`, replayed on the
+/// full engine matrix: fault injection perturbs event timing and sweep
+/// schedules, so it is exactly where a fast-path shortcut — or a lane
+/// merge — would fall out of step. Each plan class runs the parallel
+/// engine at a different worker count so the set covers {1,2,4,8}.
 #[test]
-fn chaos_plans_are_identical_on_both_engines() {
+fn chaos_plans_are_identical_across_the_engine_matrix() {
     let plans: [(&str, FaultPlan); 7] = [
         ("drop", FaultPlan::default().with_ipi_drop(0.30)),
         ("delay", FaultPlan::default().with_ipi_delay(0.50, 300_000)),
@@ -222,33 +285,99 @@ fn chaos_plans_are_identical_on_both_engines() {
                 .with_storm(8 * MILLISECOND, 2 * MILLISECOND),
         ),
     ];
-    for (name, plan) in plans {
-        let fast = run_engine(
-            true,
-            commodity16(),
-            0x5007,
-            Some(plan.clone()),
-            LatrConfig::default(),
-            Box::new(ChaosShare::new(4, 24)),
-        );
-        let reference = run_engine(
-            false,
-            commodity16(),
-            0x5007,
-            Some(plan),
-            LatrConfig::default(),
-            Box::new(ChaosShare::new(4, 24)),
-        );
+    let worker_cycle = [1usize, 2, 4, 8];
+    for (i, (name, plan)) in plans.into_iter().enumerate() {
+        let workers = worker_cycle[i % worker_cycle.len()];
+        let run = |backend| {
+            run_engine(
+                backend,
+                commodity16(),
+                0x5007,
+                Some(plan.clone()),
+                LatrConfig::default(),
+                Box::new(ChaosShare::new(4, 24)),
+            )
+        };
+        let fast = run(EngineBackend::Fast);
+        let reference = run(EngineBackend::Reference);
+        let parallel = run(EngineBackend::Parallel(workers));
         assert_eq!(
             fast.fingerprint(),
             reference.fingerprint(),
-            "plan `{name}` diverged between the engines"
+            "plan `{name}` diverged between the sequential engines"
+        );
+        assert_eq!(
+            fast.fingerprint(),
+            parallel.fingerprint(),
+            "plan `{name}` diverged on the parallel engine ({workers} workers)"
+        );
+    }
+}
+
+/// The PR-8 pressure-soup shape: the full mixed fault soup on top of
+/// tight per-node watermarks, so allocation-storm escalation, debt
+/// parking and expedited sweeps all fire while IPIs drop and ticks miss.
+#[test]
+fn pressure_soup_is_identical_across_the_engine_matrix() {
+    let plan = FaultPlan::default()
+        .with_ipi_drop(0.10)
+        .with_ipi_delay(0.30, 200_000)
+        .with_tick_miss(0.20)
+        .with_tick_jitter(0.30, 200_000)
+        .with_stall(2, 2 * MILLISECOND, 4 * MILLISECOND)
+        .with_storm(8 * MILLISECOND, 2 * MILLISECOND);
+    let latr = LatrConfig {
+        states_per_core: 4,
+        ..LatrConfig::default()
+    };
+    for workers in [1usize, 2, 4, 8] {
+        let run = |backend| {
+            let mut config = MachineConfig::new(commodity16());
+            config.seed = 0x50DA;
+            config.trace_capacity = 8192;
+            config.faults = Some(plan.clone());
+            config.engine = backend;
+            // Watermarks high enough to trip under the storm's held frames.
+            config.frames_per_node = 1 << 10;
+            config = MachineConfig {
+                low_watermark_frames: 256,
+                min_watermark_frames: 64,
+                ..config
+            };
+            let latr = LatrConfig {
+                reference_sweep: backend == EngineBackend::Reference,
+                ..latr
+            };
+            let mut machine = Machine::new(config);
+            machine.run(
+                Box::new(SweepStorm::new(8, 20).with_sleep(0)),
+                PolicyKind::Latr(latr).build(),
+                SECOND,
+            );
+            machine
+        };
+        let fast = run(EngineBackend::Fast);
+        let reference = run(EngineBackend::Reference);
+        let parallel = run(EngineBackend::Parallel(workers));
+        assert_fingerprints_equal(
+            "fast",
+            &fast.fingerprint(),
+            "reference",
+            &reference.fingerprint(),
+            "pressure soup",
+        );
+        assert_fingerprints_equal(
+            "fast",
+            &fast.fingerprint(),
+            &format!("parallel:{workers}"),
+            &parallel.fingerprint(),
+            "pressure soup",
         );
     }
 }
 
 #[test]
-fn watchdog_escalation_is_identical_on_both_engines() {
+fn watchdog_escalation_is_identical_across_the_engine_matrix() {
     // A stalled core forces the watchdog's targeted-IPI escalation — a
     // sweep-adjacent path with its own cost accounting.
     let plan = FaultPlan::default().with_stall(1, MILLISECOND, 8 * MILLISECOND);
@@ -270,19 +399,22 @@ fn watchdog_escalation_is_identical_on_both_engines() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(100))]
 
-    /// The acceptance bar: 100 random (seed, shape, plan) triples, each
-    /// run on both engines, all bit-identical. Plans round-trip through
-    /// their config-string form first so the comparison also covers the
-    /// parser the chaos suite relies on.
+    /// The acceptance bar: 100 random (seed, shape, plan, workers)
+    /// 4-tuples, each run on all three engines, all bit-identical. Plans
+    /// round-trip through their config-string form first so the
+    /// comparison also covers the parser the chaos suite relies on.
     #[test]
     fn engines_agree_on_random_storms_and_plans(
         seed in any::<u64>(),
         cores in 2u16..10,
         rounds in 1u16..6,
-        fault_mix in 0u16..900,
+        fault_mix_and_workers in 0u16..3600,
     ) {
-        // One draw decodes into two independent 0..30% probabilities
-        // (the vendored proptest caps strategy tuples at four slots).
+        // One draw decodes into two independent 0..30% probabilities and
+        // a worker count from {1,2,4,8} (the vendored proptest caps
+        // strategy tuples at four slots).
+        let fault_mix = fault_mix_and_workers % 900;
+        let workers = 1usize << (fault_mix_and_workers / 900);
         let (drop_pct, miss_pct) = (fault_mix % 30, fault_mix / 30);
         let plan = FaultPlan::default()
             .with_ipi_drop(f64::from(drop_pct) / 100.0)
@@ -290,22 +422,18 @@ proptest! {
         let plan = FaultPlan::parse(&plan.to_config_string()).expect("round-trip");
         let cores = usize::from(cores);
         let rounds = u32::from(rounds);
-        let fast = run_engine(
-            true,
+        let run = |backend| run_engine(
+            backend,
             commodity16(),
             seed,
             Some(plan.clone()),
             LatrConfig::default(),
             Box::new(SweepStorm::new(cores, rounds)),
         );
-        let reference = run_engine(
-            false,
-            commodity16(),
-            seed,
-            Some(plan),
-            LatrConfig::default(),
-            Box::new(SweepStorm::new(cores, rounds)),
-        );
+        let fast = run(EngineBackend::Fast);
+        let reference = run(EngineBackend::Reference);
+        let parallel = run(EngineBackend::Parallel(workers));
         prop_assert_eq!(fast.fingerprint(), reference.fingerprint());
+        prop_assert_eq!(fast.fingerprint(), parallel.fingerprint());
     }
 }

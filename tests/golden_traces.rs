@@ -21,7 +21,7 @@ use std::path::PathBuf;
 use latr_arch::{MachinePreset, Topology};
 use latr_core::LatrConfig;
 use latr_faults::FaultPlan;
-use latr_kernel::{Machine, MachineConfig, Workload};
+use latr_kernel::{EngineBackend, Machine, MachineConfig, Workload};
 use latr_sim::{MILLISECOND, SECOND};
 use latr_workloads::{
     ChaosShare, MigrationProfile, MigrationWorkload, MunmapMicrobench, PolicyKind, SweepStorm,
@@ -71,18 +71,35 @@ fn check_golden(name: &str, machine: &Machine) {
 }
 
 /// Runs one golden scenario: fixed topology, seed, plan and workload.
+/// Every scenario runs on the default engine *and* the lane-sharded
+/// parallel engine; their fingerprints must be bit-identical, so the one
+/// committed golden file pins all engines (the differential suite covers
+/// the rest of the matrix). The default-engine machine is returned for
+/// the byte-for-byte golden comparison.
 fn run_scenario(
-    mut config: MachineConfig,
+    config: MachineConfig,
     seed: u64,
     plan: Option<FaultPlan>,
     latr: LatrConfig,
-    workload: Box<dyn Workload>,
+    workload: &dyn Fn() -> Box<dyn Workload>,
 ) -> Machine {
-    config.seed = seed;
-    config.trace_capacity = 4096;
-    config.faults = plan;
-    let mut machine = Machine::new(config);
-    machine.run(workload, PolicyKind::Latr(latr).build(), SECOND);
+    let run_one = |engine: EngineBackend| {
+        let mut config = config.clone();
+        config.seed = seed;
+        config.trace_capacity = 4096;
+        config.faults = plan.clone();
+        config.engine = engine;
+        let mut machine = Machine::new(config);
+        machine.run(workload(), PolicyKind::Latr(latr).build(), SECOND);
+        machine
+    };
+    let machine = run_one(EngineBackend::default());
+    let parallel = run_one(EngineBackend::Parallel(2));
+    assert_eq!(
+        machine.fingerprint(),
+        parallel.fingerprint(),
+        "parallel engine diverged from the default engine on a golden scenario"
+    );
     machine
 }
 
@@ -97,7 +114,7 @@ fn golden_sweep_storm() {
         0x601D_0001,
         None,
         LatrConfig::default(),
-        Box::new(SweepStorm::new(8, 5)),
+        &|| Box::new(SweepStorm::new(8, 5)),
     );
     check_golden("sweep_storm", &m);
 }
@@ -109,7 +126,7 @@ fn golden_munmap_storm() {
         0x601D_0002,
         None,
         LatrConfig::default(),
-        Box::new(MunmapMicrobench::new(8, 16, 20)),
+        &|| Box::new(MunmapMicrobench::new(8, 16, 20)),
     );
     check_golden("munmap_storm", &m);
 }
@@ -122,7 +139,7 @@ fn golden_migration() {
         0x601D_0003,
         None,
         LatrConfig::default(),
-        Box::new(MigrationWorkload::new(profile, 8, 30)),
+        &|| Box::new(MigrationWorkload::new(profile, 8, 30)),
     );
     check_golden("migration", &m);
 }
@@ -135,13 +152,9 @@ fn golden_overflow_fallback() {
         states_per_core: 4,
         ..LatrConfig::default()
     };
-    let m = run_scenario(
-        commodity16(),
-        0x601D_0004,
-        None,
-        latr,
-        Box::new(SweepStorm::new(8, 12).with_sleep(0)),
-    );
+    let m = run_scenario(commodity16(), 0x601D_0004, None, latr, &|| {
+        Box::new(SweepStorm::new(8, 12).with_sleep(0))
+    });
     check_golden("overflow_fallback", &m);
 }
 
@@ -152,7 +165,7 @@ fn golden_chaos_drop() {
         0x601D_0005,
         Some(FaultPlan::default().with_ipi_drop(0.30)),
         LatrConfig::default(),
-        Box::new(ChaosShare::new(4, 12)),
+        &|| Box::new(ChaosShare::new(4, 12)),
     );
     check_golden("chaos_drop", &m);
 }
@@ -171,7 +184,7 @@ fn golden_chaos_soup() {
         0x601D_0006,
         Some(plan),
         LatrConfig::default(),
-        Box::new(ChaosShare::new(4, 12)),
+        &|| Box::new(ChaosShare::new(4, 12)),
     );
     check_golden("chaos_soup", &m);
 }

@@ -5,7 +5,7 @@
 
 use latr_arch::{CpuId, MachinePreset, Topology};
 use latr_core::LatrConfig;
-use latr_kernel::{metrics, Machine, MachineConfig, Op, TaskId, Workload};
+use latr_kernel::{metrics, EngineBackend, Machine, MachineConfig, Op, TaskId, Workload};
 use latr_sim::{MILLISECOND, SECOND};
 use latr_workloads::PolicyKind;
 
@@ -53,9 +53,10 @@ fn machine_last(machine: &Machine, task: TaskId) -> Option<latr_mem::VaRange> {
     machine.task(task).last_mmap
 }
 
-fn run(tickless: bool) -> Machine {
+fn run_on(tickless: bool, engine: EngineBackend) -> Machine {
     let mut config = MachineConfig::new(Topology::preset(MachinePreset::Commodity2S16C));
     config.tickless = tickless;
+    config.engine = engine;
     let mut machine = Machine::new(config);
     machine.run(
         Box::new(FourBusyCores { remaining: vec![] }),
@@ -63,6 +64,27 @@ fn run(tickless: bool) -> Machine {
         SECOND,
     );
     machine
+}
+
+fn run(tickless: bool) -> Machine {
+    run_on(tickless, EngineBackend::default())
+}
+
+/// Tickless mode interacts with the engine's epoch machinery — idle cores
+/// produce long event-free stretches the parallel engine must skip across
+/// without drifting — so the whole matrix must agree in both modes.
+#[test]
+fn tickless_is_identical_across_the_engine_matrix() {
+    for tickless in [false, true] {
+        let baseline = run_on(tickless, EngineBackend::Fast).fingerprint();
+        for engine in [EngineBackend::Reference, EngineBackend::Parallel(4)] {
+            assert_eq!(
+                run_on(tickless, engine).fingerprint(),
+                baseline,
+                "{engine:?} diverged with tickless={tickless}"
+            );
+        }
+    }
 }
 
 #[test]

@@ -215,5 +215,5 @@ pub mod sync {
         }
     }
 
-    pub use super::sched::{Mutex, MutexGuard};
+    pub use super::sched::{Condvar, Mutex, MutexGuard};
 }

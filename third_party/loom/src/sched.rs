@@ -12,7 +12,7 @@
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, OnceLock};
 
 /// One logical thread's scheduler-visible state.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -20,6 +20,7 @@ enum TState {
     Runnable,
     BlockedJoin(usize),
     BlockedMutex(usize),
+    BlockedCondvar(usize),
     Finished,
 }
 
@@ -49,7 +50,7 @@ struct Inner {
 /// Shared scheduler state for one execution.
 pub(crate) struct Sched {
     inner: StdMutex<Inner>,
-    cv: Condvar,
+    cv: StdCondvar,
     os_handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
@@ -408,6 +409,14 @@ impl<T> Mutex<T> {
     }
 }
 
+impl<T> MutexGuard<'_, T> {
+    /// Drops the real inner lock without touching the modeled hold flag;
+    /// [`Condvar::wait`] handles the flag itself under the scheduler lock.
+    fn release_inner(&mut self) {
+        self.inner.take();
+    }
+}
+
 impl<T> std::ops::Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
@@ -449,6 +458,115 @@ impl<T> Drop for MutexGuard<'_, T> {
     }
 }
 
+// ---- Condvar ---------------------------------------------------------------
+
+static CONDVAR_IDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Model-checked condition variable with a parking_lot-style API:
+/// [`Condvar::wait`] takes the guard by value and returns it re-acquired
+/// (no poisoning `Result`).
+///
+/// Waiting releases the mutex and parks the thread *atomically under the
+/// scheduler lock*, so the model has no lost-wakeup window of its own —
+/// if the code under test can miss a notification, the explorer reports
+/// it as a deadlock with the full schedule. Spurious wakeups are not
+/// modeled; condition loops remain correct either way.
+#[derive(Default, Debug)]
+pub struct Condvar {
+    id: OnceLock<usize>,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Condvar {
+            id: OnceLock::new(),
+        }
+    }
+
+    fn id(&self) -> usize {
+        *self
+            .id
+            .get_or_init(|| CONDVAR_IDS.fetch_add(1, AtomicOrdering::Relaxed))
+    }
+
+    /// Releases `guard`'s mutex, blocks until a notification, and
+    /// re-acquires the mutex before returning.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let cid = self.id();
+        let mutex = guard.mutex;
+        let (sched, tid) = with_ctx(|c| (Arc::clone(&c.sched), c.tid))
+            .expect("loom: Condvar::wait outside loom::model");
+        {
+            let mut g = sched.inner.lock().expect("scheduler lock");
+            bail_if_panicked(&g);
+            // Atomically (under the scheduler lock): release the mutex,
+            // wake its waiters, park this thread on the condvar.
+            guard.release_inner();
+            let mid = mutex.id();
+            if g.mutexes_held.len() > mid {
+                g.mutexes_held[mid] = false;
+            }
+            for t in g.threads.iter_mut() {
+                if *t == TState::BlockedMutex(mid) {
+                    *t = TState::Runnable;
+                }
+            }
+            g.threads[tid] = TState::BlockedCondvar(cid);
+            decide(&mut g);
+            sched.cv.notify_all();
+            let g = wait_for_turn(&sched, g, tid);
+            bail_if_panicked(&g);
+        }
+        // The guard's inner lock and modeled hold are already released;
+        // forget it so its Drop does not release someone else's hold.
+        std::mem::forget(guard);
+        mutex.lock()
+    }
+
+    /// Wakes all threads parked on this condition variable. A scheduling
+    /// point, so the explorer covers notify-then-preempt interleavings.
+    pub fn notify_all(&self) {
+        let cid = self.id();
+        let Some(sched) = with_ctx(|c| Arc::clone(&c.sched)) else {
+            return;
+        };
+        {
+            let mut g = sched.inner.lock().expect("scheduler lock");
+            for t in g.threads.iter_mut() {
+                if *t == TState::BlockedCondvar(cid) {
+                    *t = TState::Runnable;
+                }
+            }
+            sched.cv.notify_all();
+        }
+        yield_point();
+    }
+
+    /// Wakes one parked thread. The mini-loom explorer wakes the
+    /// lowest-id waiter — which waiter wins is a scheduling decision in
+    /// real loom, but the protocols under test here only use wake-all
+    /// semantics plus condition re-checks, where the choice is invisible.
+    pub fn notify_one(&self) {
+        let cid = self.id();
+        let Some(sched) = with_ctx(|c| Arc::clone(&c.sched)) else {
+            return;
+        };
+        {
+            let mut g = sched.inner.lock().expect("scheduler lock");
+            if let Some(t) = g
+                .threads
+                .iter_mut()
+                .find(|t| **t == TState::BlockedCondvar(cid))
+            {
+                *t = TState::Runnable;
+            }
+            sched.cv.notify_all();
+        }
+        yield_point();
+    }
+}
+
 // ---- Driver ----------------------------------------------------------------
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -487,7 +605,7 @@ pub(crate) fn run_model(f: Arc<dyn Fn() + Send + Sync + 'static>) {
                 done: false,
                 mutexes_held: Vec::new(),
             }),
-            cv: Condvar::new(),
+            cv: StdCondvar::new(),
             os_handles: StdMutex::new(Vec::new()),
         });
 
