@@ -87,27 +87,67 @@ struct SetAssoc {
     slots: Vec<Slot>,
     sets: usize,
     ways: usize,
+    /// `sets - 1` when `sets` is a power of two (every real TLB shape),
+    /// letting `set_range` mask instead of paying a division per probe;
+    /// 0 otherwise, falling back to the modulo.
+    set_mask: usize,
+    /// Valid-entry count per PCID, grown on demand. `count(p) == 0`
+    /// proves no valid slot is tagged `p`, which lets lookups,
+    /// invalidations and PCID flushes for an uncached address space skip
+    /// the set probe entirely — the common case for a sweeping core that
+    /// never touched the publisher's pages. Pure accounting: slot
+    /// contents, LRU state and statistics are unchanged by the skip.
+    pcid_count: Vec<u32>,
 }
 
 impl SetAssoc {
     fn new(entries: usize, ways: usize) -> Self {
         assert!(entries > 0 && ways > 0 && entries.is_multiple_of(ways));
+        let sets = entries / ways;
         SetAssoc {
             slots: vec![INVALID_SLOT; entries],
-            sets: entries / ways,
+            sets,
             ways,
+            set_mask: if sets.is_power_of_two() { sets - 1 } else { 0 },
+            pcid_count: Vec::new(),
         }
+    }
+
+    #[inline]
+    fn count(&self, pcid: u16) -> u32 {
+        self.pcid_count.get(pcid as usize).copied().unwrap_or(0)
+    }
+
+    #[inline]
+    fn count_inc(&mut self, pcid: u16) {
+        let i = pcid as usize;
+        if i >= self.pcid_count.len() {
+            self.pcid_count.resize(i + 1, 0);
+        }
+        self.pcid_count[i] += 1;
+    }
+
+    #[inline]
+    fn count_dec(&mut self, pcid: u16) {
+        self.pcid_count[pcid as usize] -= 1;
     }
 
     #[inline]
     fn set_range(&self, vpn: u64) -> std::ops::Range<usize> {
         // Simple hash to decorrelate strided workloads.
         let h = vpn.wrapping_mul(0x9E3779B97F4A7C15) >> 32;
-        let set = (h as usize) % self.sets;
+        let set = if self.set_mask != 0 {
+            h as usize & self.set_mask
+        } else {
+            (h as usize) % self.sets
+        };
         set * self.ways..(set + 1) * self.ways
     }
 
     fn lookup(&mut self, pcid: u16, vpn: u64, clock: u64) -> Option<TlbEntry> {
+        if self.count(pcid) == 0 {
+            return None;
+        }
         let range = self.set_range(vpn);
         for slot in &mut self.slots[range] {
             if slot.valid && slot.entry.vpn == vpn && slot.entry.pcid == pcid {
@@ -141,6 +181,11 @@ impl SetAssoc {
         let displaced = (slot.valid
             && (slot.entry.vpn != entry.vpn || slot.entry.pcid != entry.pcid))
             .then_some(slot.entry);
+        if slot.valid {
+            let old = slot.entry.pcid;
+            self.count_dec(old);
+        }
+        self.count_inc(entry.pcid);
         self.slots[victim] = Slot {
             entry,
             valid: true,
@@ -150,29 +195,38 @@ impl SetAssoc {
     }
 
     fn invalidate(&mut self, pcid: u16, vpn: u64) -> bool {
-        let mut any = false;
+        if self.count(pcid) == 0 {
+            return false;
+        }
+        let mut cleared = 0u32;
         let range = self.set_range(vpn);
         for slot in &mut self.slots[range] {
             if slot.valid && slot.entry.vpn == vpn && slot.entry.pcid == pcid {
                 slot.valid = false;
-                any = true;
+                cleared += 1;
             }
         }
-        any
+        self.pcid_count[pcid as usize] -= cleared;
+        cleared > 0
     }
 
     fn flush_all(&mut self) {
         for slot in &mut self.slots {
             slot.valid = false;
         }
+        self.pcid_count.fill(0);
     }
 
     fn flush_pcid(&mut self, pcid: u16) {
+        if self.count(pcid) == 0 {
+            return;
+        }
         for slot in &mut self.slots {
             if slot.valid && slot.entry.pcid == pcid {
                 slot.valid = false;
             }
         }
+        self.pcid_count[pcid as usize] = 0;
     }
 
     fn iter_valid(&self) -> impl Iterator<Item = &TlbEntry> {
@@ -275,6 +329,9 @@ impl Tlb {
     /// only the two sets `vpn` can live in, so it is O(associativity).
     pub fn peek(&self, pcid: u16, vpn: u64) -> Option<TlbEntry> {
         for level in [&self.l1, &self.l2] {
+            if level.count(pcid) == 0 {
+                continue;
+            }
             let found = level.slots[level.set_range(vpn)]
                 .iter()
                 .find(|s| s.valid && s.entry.vpn == vpn && s.entry.pcid == pcid);

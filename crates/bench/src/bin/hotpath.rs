@@ -11,19 +11,40 @@
 //! ```sh
 //! cargo run --release -p latr-bench --bin hotpath          # full run
 //! cargo run --release -p latr-bench --bin hotpath -- --quick
+//! cargo run --release -p latr-bench --bin hotpath -- --quick --guard BENCH_hotpath.json
 //! ```
 //!
 //! Exits non-zero if the engines' fingerprints diverge — a broken
-//! equivalence disqualifies any speedup number.
+//! equivalence disqualifies any speedup number. With `--guard <path>`,
+//! also exits non-zero if any freshly measured `fast` point's ticks/sec
+//! fell more than 20% below the committed file at `<path>` (read before
+//! the fresh results overwrite it) — the CI bench-regression guard.
 
 use latr_bench::hotpath::{
-    fingerprints_match, hotpath_json, hotpath_rounds, hotpath_shapes, run_hotpath_point, speedups,
+    committed_fast_ticks, fingerprints_match, guard_failures, hotpath_json, hotpath_rounds,
+    hotpath_shapes, run_hotpath_point, speedups,
 };
 use latr_bench::print_title;
 use latr_kernel::EngineBackend;
 
+/// Fractional ticks/sec drop below the committed file that fails the
+/// `--guard` check.
+const GUARD_TOLERANCE: f64 = 0.2;
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    // Read the committed baseline up front: the fresh run overwrites
+    // BENCH_hotpath.json, which is the usual `--guard` argument.
+    let committed: Option<Vec<(usize, f64)>> = std::env::args()
+        .skip_while(|a| a != "--guard")
+        .nth(1)
+        .map(|path| {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("read guard baseline {path}: {e}"));
+            let baseline = committed_fast_ticks(&text);
+            assert!(!baseline.is_empty(), "no fast points in {path}");
+            baseline
+        });
     // `--engines fast,reference,parallel:4` narrows the sweep; default
     // measures all three stacks so the parallel engine's fingerprint is
     // cross-checked here too, not just in the differential suite.
@@ -90,7 +111,22 @@ fn main() {
     std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
     println!("wrote BENCH_hotpath.json");
 
-    if !identical {
+    let mut failed = !identical;
+    if let Some(baseline) = committed {
+        let failures = guard_failures(&baseline, &points, GUARD_TOLERANCE);
+        if failures.is_empty() {
+            println!(
+                "regression guard: all fast points within {:.0}% of the committed baseline",
+                GUARD_TOLERANCE * 100.0
+            );
+        } else {
+            for f in &failures {
+                eprintln!("regression guard: {f}");
+            }
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
 }

@@ -61,7 +61,10 @@ pub struct LatrPolicy {
     expedited_at: HashMap<u64, Time>,
     /// Reusable arenas for the sweep hot path (no per-sweep allocation).
     scratch_relevant: Vec<(MmId, VaRange, StateKind, bool)>,
-    scratch_pages: Vec<Vpn>,
+    /// Reusable gate-id set for the reclaim paths (no per-tick allocation).
+    scratch_blocked: HashSet<u64>,
+    /// Reusable due-package vector for the reclaim paths.
+    scratch_due: Vec<crate::reclaim::DeferredReclaim>,
 }
 
 /// A live gated state picked up by `expedite_gated`: its publish time
@@ -95,7 +98,8 @@ impl LatrPolicy {
             pressure_sync_active: false,
             expedited_at: HashMap::new(),
             scratch_relevant: Vec::new(),
-            scratch_pages: Vec::new(),
+            scratch_blocked: HashSet::new(),
+            scratch_due: Vec::new(),
         }
     }
 
@@ -325,15 +329,21 @@ impl LatrPolicy {
     }
 
     /// Ids of states whose CPU bitmask has not cleared — exactly the
-    /// gates that must hold their packages.
-    fn blocked_ids(&self) -> HashSet<u64> {
-        self.queues
-            .iter()
-            .filter(|q| q.active_count() > 0)
-            .flat_map(StateQueue::iter_active)
-            .filter(|s| !s.cpus.is_empty())
-            .map(|s| s.id)
-            .collect()
+    /// gates that must hold their packages. Takes (and refills) the
+    /// pooled scratch set so the per-tick reclaim paths allocate nothing
+    /// in steady state; callers hand it back via `scratch_blocked`.
+    fn blocked_ids(&mut self) -> HashSet<u64> {
+        let mut blocked = std::mem::take(&mut self.scratch_blocked);
+        blocked.clear();
+        blocked.extend(
+            self.queues
+                .iter()
+                .filter(|q| q.active_count() > 0)
+                .flat_map(StateQueue::iter_active)
+                .filter(|s| !s.cpus.is_empty())
+                .map(|s| s.id),
+        );
+        blocked
     }
 
     /// Releases every parked package past its deadline whose gate (if
@@ -343,7 +353,11 @@ impl LatrPolicy {
     fn release_due(&mut self, machine: &mut Machine, blocked: &HashSet<u64>, who: &str) -> u64 {
         let now = machine.now();
         let mut released = 0u64;
-        for entry in self.reclaim.due(now, |id| blocked.contains(&id)) {
+        let mut due = std::mem::take(&mut self.scratch_due);
+        due.clear();
+        self.reclaim
+            .due_into(now, |id| blocked.contains(&id), &mut due);
+        for entry in due.drain(..) {
             machine.stats.record(
                 metrics::LATR_RECLAIM_LATENCY_NS,
                 now.saturating_since(entry.published),
@@ -373,6 +387,7 @@ impl LatrPolicy {
             }
             machine.release_reclaim_deferred(pkg);
         }
+        self.scratch_due = due;
         released
     }
 
@@ -384,58 +399,70 @@ impl LatrPolicy {
     fn sweep_queue(&mut self, machine: &mut Machine, cpu: CpuId, qi: usize) -> (Nanos, u64) {
         let mut relevant = std::mem::take(&mut self.scratch_relevant);
         relevant.clear();
-        for state in self.queues[qi].iter_active() {
+        // One fused pass: snapshot the fields the apply loop needs (in
+        // particular `pte_done` *before* this sweep marks it), clear our
+        // bit, and mark migration PTEs done. The machine-side apply loop
+        // below never reads the queues, so folding the old second
+        // clear-bits pass into the gather is invisible to it.
+        self.queues[qi].for_each_active_mut(|state| {
             if state.cpus.test(cpu) {
                 relevant.push((state.mm, state.range, state.kind, state.pte_done));
+                state.cpus.clear(cpu);
+                if state.kind == StateKind::Migration {
+                    state.pte_done = true;
+                }
             }
-        }
+        });
         if relevant.is_empty() {
             self.scratch_relevant = relevant;
             return (machine.costs().latr_sweep_empty, 0);
         }
         let mut cost = 0;
         let mut hits = 0u64;
-        let mut pages = std::mem::take(&mut self.scratch_pages);
-        for &(mm, range, kind, pte_done) in &relevant {
-            cost += machine.costs().latr_sweep_hit;
-            if kind == StateKind::Migration && !pte_done {
-                // First sweeper performs the page-table unmap (§4.3).
-                machine.apply_numa_hint(cpu, mm, range.start);
-                cost += machine.costs().pte_op;
-                if machine.trace.is_enabled() {
+        // Batch-apply per `(mm, tick)` group: consecutive states from the
+        // same address space — the common shape when one hot mm published
+        // a burst of ops inside a tick window — share a single PCID
+        // resolution and skip the per-state scratch page vector. Per-state
+        // cost, trace, and oracle calls are unchanged, so a grouped sweep
+        // is bit-identical to the one-call-per-state form.
+        let mut gi = 0;
+        while gi < relevant.len() {
+            let mm = relevant[gi].0;
+            let mut ge = gi + 1;
+            while ge < relevant.len() && relevant[ge].0 == mm {
+                ge += 1;
+            }
+            let pcid = machine.sweep_pcid(mm);
+            for &(_, range, kind, pte_done) in &relevant[gi..ge] {
+                cost += machine.costs().latr_sweep_hit;
+                if kind == StateKind::Migration && !pte_done {
+                    // First sweeper performs the page-table unmap (§4.3).
+                    machine.apply_numa_hint(cpu, mm, range.start);
+                    cost += machine.costs().pte_op;
+                    if machine.trace.is_enabled() {
+                        let now = machine.now();
+                        machine.trace.push(
+                            now,
+                            "latr",
+                            format!("{cpu} sweeps {range:?}: first core, clears PTE"),
+                        );
+                    }
+                } else if machine.trace.is_enabled() {
                     let now = machine.now();
                     machine.trace.push(
                         now,
                         "latr",
-                        format!("{cpu} sweeps {range:?}: first core, clears PTE"),
+                        format!("{cpu} sweeps {range:?}: local TLB invalidation"),
                     );
                 }
-            } else if machine.trace.is_enabled() {
-                let now = machine.now();
-                machine.trace.push(
-                    now,
-                    "latr",
-                    format!("{cpu} sweeps {range:?}: local TLB invalidation"),
-                );
+                machine.invalidate_tlb_range_pcid(cpu, pcid, range);
+                machine.oracle_note_sweep(cpu, mm, range);
+                cost += machine.costs().local_invalidation(range.pages as u32);
+                hits += 1;
             }
-            pages.clear();
-            pages.extend(range.iter());
-            machine.invalidate_tlb_pages(cpu, mm, &pages);
-            machine.oracle_note_sweep(cpu, mm, range);
-            cost += machine.costs().local_invalidation(pages.len() as u32);
-            hits += 1;
+            gi = ge;
         }
-        self.scratch_pages = pages;
         self.scratch_relevant = relevant;
-        // Clear our bit and mark PTEs done.
-        for state in self.queues[qi].iter_active_mut() {
-            if state.cpus.test(cpu) {
-                state.cpus.clear(cpu);
-                if state.kind == StateKind::Migration {
-                    state.pte_done = true;
-                }
-            }
-        }
         self.queues[qi].retire_completed();
         (cost, hits)
     }
@@ -679,6 +706,7 @@ impl TlbPolicy for LatrPolicy {
             machine.stats.add(metrics::LATR_GATE_HELD, held as u64);
         }
         self.release_due(machine, &blocked, "background reclaim");
+        self.scratch_blocked = blocked;
         // Sustained pressure keeps expediting: `on_memory_pressure` only
         // fires on watermark *edges*, so a node camped below its low
         // watermark would otherwise get exactly one batch. Each tick under
@@ -732,6 +760,7 @@ impl TlbPolicy for LatrPolicy {
         // states so the *next* stall (or tick) can make progress.
         let blocked = self.blocked_ids();
         let released = self.release_due(machine, &blocked, "direct reclaim");
+        self.scratch_blocked = blocked;
         self.expedite_gated(machine, self.config.expedite_batch);
         released
     }

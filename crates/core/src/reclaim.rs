@@ -91,6 +91,19 @@ impl LazyReclaimQueue {
     /// queue is scanned past them up to the first not-yet-due deadline.
     pub fn due(&mut self, now: Time, is_blocked: impl Fn(u64) -> bool) -> Vec<DeferredReclaim> {
         let mut out = Vec::new();
+        self.due_into(now, is_blocked, &mut out);
+        out
+    }
+
+    /// [`due`](Self::due) appending to a caller-owned scratch vector —
+    /// the reclamation tick passes a pooled one so steady state parks and
+    /// releases packages without heap traffic.
+    pub fn due_into(
+        &mut self,
+        now: Time,
+        is_blocked: impl Fn(u64) -> bool,
+        out: &mut Vec<DeferredReclaim>,
+    ) {
         let mut i = 0;
         while i < self.entries.len() {
             if self.entries[i].deadline > now {
@@ -102,7 +115,6 @@ impl LazyReclaimQueue {
             }
             out.push(self.entries.remove(i).expect("index in bounds"));
         }
-        out
     }
 
     /// Packages past their deadline but still held by a blocked gate —

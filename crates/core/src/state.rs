@@ -171,6 +171,23 @@ impl StateQueue {
         self.slots.iter_mut().filter_map(|s| s.as_mut())
     }
 
+    /// Visits every active state mutably, walking the occupancy bitmap
+    /// instead of probing each slot's discriminant. A mostly-empty queue
+    /// costs one word read per 64 slots rather than a cache line per
+    /// slot — the shape a sweeping core sees on almost every tick.
+    pub fn for_each_active_mut(&mut self, mut f: impl FnMut(&mut LatrState)) {
+        for w in 0..self.occ.len() {
+            let mut bits = self.occ[w];
+            while bits != 0 {
+                let idx = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                f(self.slots[idx]
+                    .as_mut()
+                    .expect("occupancy bit names an active slot"));
+            }
+        }
+    }
+
     /// Iterates over active states.
     pub fn iter_active(&self) -> impl Iterator<Item = &LatrState> {
         self.slots.iter().filter_map(|s| s.as_ref())
@@ -180,8 +197,14 @@ impl StateQueue {
     /// resets the active flag" step). Returns how many were retired.
     pub fn retire_completed(&mut self) -> usize {
         let mut retired = 0;
-        for idx in 0..self.slots.len() {
-            if let Some(s) = &self.slots[idx] {
+        for w in 0..self.occ.len() {
+            let mut bits = self.occ[w];
+            while bits != 0 {
+                let idx = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let s = self.slots[idx]
+                    .as_ref()
+                    .expect("occupancy bit names an active slot");
                 if s.cpus.is_empty() {
                     let kind = s.kind;
                     self.slots[idx] = None;

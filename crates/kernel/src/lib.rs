@@ -149,4 +149,8 @@ pub mod metrics {
     /// every reclamation tick, watchdog or no watchdog, so the
     /// degradation counters stay honest when `watchdog_ticks = 0`.
     pub const LATR_GATE_HELD: &str = "latr_gate_held";
+    /// Open-loop request latency of the serving workload, arrival to
+    /// munmap completion (ns histogram; the `BENCH_serving.json` tail
+    /// curves are its p50/p99/p999).
+    pub const SERVING_REQUEST_NS: &str = "serving_request_ns";
 }

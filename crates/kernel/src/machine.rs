@@ -118,14 +118,88 @@ pub struct Core {
     pub tlb: Tlb,
     /// The task pinned here, if any.
     pub current: Option<TaskId>,
+}
+
+/// The per-core scalars touched on every event, in structure-of-arrays
+/// layout: `Core` carries the TLB model (kilobytes per core), so keeping
+/// these flags inside it strides each access across the whole `Core`
+/// array. Packed into four dense vectors they fit a handful of cache
+/// lines for all 120 cores of the large preset.
+#[derive(Debug, Default)]
+struct CoreHot {
     /// Whether an op is in flight.
-    pub busy: bool,
+    busy: Vec<bool>,
     /// Interrupt time injected into the in-flight op.
-    pub debt: Nanos,
+    debt: Vec<Nanos>,
     /// Guards stale `OpComplete` events after debt rescheduling.
-    pub op_generation: u64,
+    op_generation: Vec<u64>,
     /// When the in-flight op started (for op latency accounting).
-    pub op_started: Time,
+    op_started: Vec<Time>,
+}
+
+impl CoreHot {
+    fn new(ncpus: usize) -> CoreHot {
+        CoreHot {
+            busy: vec![false; ncpus],
+            debt: vec![0; ncpus],
+            op_generation: vec![0; ncpus],
+            op_started: vec![Time::ZERO; ncpus],
+        }
+    }
+}
+
+/// FNV-1a parameters for the incremental event-stream fingerprint.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fold_u64(h: &mut u64, x: u64) {
+    // Word-at-a-time polynomial accumulation: one multiply per word
+    // instead of the eight dependent byte rounds FNV-1a would cost on
+    // the per-event path. Each step is a bijection of the running state
+    // (odd multiplier, then add), so a differing word can never cancel
+    // out of the fold; `fold_finish` adds the avalanche when the value
+    // is rendered.
+    *h = h.wrapping_mul(FNV_PRIME).wrapping_add(x);
+}
+
+/// Finalizer applied when the running fold is *read*: two xor-shift
+/// multiply rounds (splitmix64's) so low-entropy tails still flip high
+/// and low digits of the rendered value.
+fn fold_finish(h: u64) -> u64 {
+    let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Folds one delivered event into the running fingerprint: the delivery
+/// time plus a compact `(tag, a, b, c)` encoding of the payload. Engines
+/// deliver the exact same `(time, id)` sequence, so the fold is
+/// bit-identical across `fast`/`reference`/`parallel:<n>`.
+fn fold_event(fold: &mut u64, time: Time, event: &Event) {
+    let (tag, a, b, c) = match *event {
+        Event::TaskStep(t) => (1, t.0 as u64, 0, 0),
+        Event::OpComplete {
+            cpu,
+            task,
+            generation,
+        } => (2, cpu.0 as u64, task.0 as u64, generation),
+        Event::SchedTick(cpu) => (3, cpu.0 as u64, 0, 0),
+        Event::IpiDeliver { target, txn } => (4, target.0 as u64, txn.0, 0),
+        Event::AckArrive { txn, from } => (5, txn.0, from.0 as u64, 0),
+        Event::TxnRetry(txn) => (6, txn.0, 0, 0),
+        Event::ReclaimTick => (7, 0, 0, 0),
+        Event::NumaScan(mm) => (8, mm.0 as u64, 0, 0),
+        Event::NumaFaultRetry { task, vpn } => (9, task.0 as u64, vpn, 0),
+        Event::PolicyTimer(token) => (10, token, 0, 0),
+        Event::LockGranted(t) => (11, t.0 as u64, 0, 0),
+    };
+    fold_u64(fold, time.as_ns());
+    fold_u64(fold, tag);
+    fold_u64(fold, a);
+    fold_u64(fold, b);
+    fold_u64(fold, c);
 }
 
 /// A deferred-release package: the frames and VA range whose reuse must
@@ -148,7 +222,17 @@ pub struct Machine {
     queue: SimQueue,
     /// Per-core state, indexed by CPU id.
     pub cores: Vec<Core>,
+    /// The per-event core scalars, in structure-of-arrays layout.
+    hot: CoreHot,
     mms: Vec<MmStruct>,
+    /// Dense copy of each mm's PCID (`mm_pcid[mm] == mms[mm].pcid`): the
+    /// TLB paths read a PCID on every access, and a `u16` array is
+    /// cache-dense where `MmStruct` is hundreds of bytes wide.
+    mm_pcid: Vec<u16>,
+    /// Persistent PCID → address-space index (slot per PCID value, which
+    /// is 12-bit). Maintained by `create_process`; replaces the per-call
+    /// map the coherence checker used to build.
+    pcid_mms: Vec<Vec<u32>>,
     /// The physical frame allocator.
     pub frames: FrameAllocator,
     /// The shared page cache.
@@ -186,6 +270,19 @@ pub struct Machine {
     lock_held: HashMap<u32, LockMode>,
     // Ops waiting for the mmap_sem.
     parked: HashMap<u32, Op>,
+    // Scratch vectors for the unmap/op-completion hot paths: taken with
+    // `mem::take`, cleared, filled, and put back, so their capacity
+    // survives across events and the steady state never allocates.
+    scratch_removed: Vec<(Vpn, latr_mem::Pte)>,
+    scratch_pages: Vec<(Vpn, Pfn)>,
+    scratch_vmas: Vec<latr_mem::Vma>,
+    scratch_granted: Vec<TaskId>,
+    // Recycled `ReclaimPackage::frames` vectors: `release_reclaim` parks
+    // the emptied vector here and the next unmap reuses it.
+    frame_vec_pool: Vec<Vec<Pfn>>,
+    // Running FNV-1a fold over the delivered event stream (time + payload
+    // per event) — the O(1) incremental fingerprint.
+    fold: u64,
     // The fault injector executing the configured plan, when one is active.
     injector: Option<FaultInjector>,
     // Last-signalled pressure per node (edge detection for watermark events).
@@ -218,10 +315,6 @@ impl Machine {
                     config.topology.l2_tlb_entries() as usize,
                 ),
                 current: None,
-                busy: false,
-                debt: 0,
-                op_generation: 0,
-                op_started: Time::ZERO,
             })
             .collect();
         let mut frames = FrameAllocator::new(config.topology.num_nodes(), config.frames_per_node);
@@ -236,7 +329,10 @@ impl Machine {
             fabric: IpiFabric::new(config.topology.clone(), config.costs.clone()),
             queue: SimQueue::new(config.engine, ncpus, config.costs.sched_tick_period),
             cores,
+            hot: CoreHot::new(ncpus),
             mms: Vec::new(),
+            mm_pcid: Vec::new(),
+            pcid_mms: vec![Vec::new(); 1 << 12],
             frames,
             page_cache: PageCache::new(),
             tasks: Vec::new(),
@@ -263,6 +359,12 @@ impl Machine {
             locks: Vec::new(),
             lock_held: HashMap::new(),
             parked: HashMap::new(),
+            scratch_removed: Vec::new(),
+            scratch_pages: Vec::new(),
+            scratch_vmas: Vec::new(),
+            scratch_granted: Vec::new(),
+            frame_vec_pool: Vec::new(),
+            fold: FNV_OFFSET,
             injector: config.faults.filter(FaultPlan::is_active).map(|plan| {
                 // The injector's randomness comes from a fork keyed off the
                 // machine seed, so attaching a plan never perturbs the main
@@ -884,9 +986,17 @@ impl Machine {
         if self.pcid_enabled {
             mm.pcid = (id.0 % 4094 + 1) as u16;
         }
+        self.mm_pcid.push(mm.pcid);
+        self.pcid_mms[mm.pcid as usize].push(id.0);
         self.mms.push(mm);
         self.locks.push(MmLock::new());
         id
+    }
+
+    /// Dense PCID lookup for the TLB hot paths.
+    #[inline]
+    fn pcid_of(&self, mm: MmId) -> u16 {
+        self.mm_pcid[mm.0 as usize]
     }
 
     /// Spawns a task of `mm` pinned to `core`.
@@ -958,7 +1068,8 @@ impl Machine {
             if next > self.end_time || self.live_tasks == 0 {
                 break;
             }
-            let (_, event) = self.queue.pop().expect("peeked");
+            let (time, event) = self.queue.pop().expect("peeked");
+            fold_event(&mut self.fold, time, &event);
             self.handle(event);
         }
 
@@ -1051,10 +1162,13 @@ impl Machine {
     fn release_mm_lock(&mut self, task: TaskId) {
         if self.lock_held.remove(&task.0).is_some() {
             let mm = self.tasks[task.index()].mm;
-            let granted = self.locks[mm.0 as usize].release(task);
-            for g in granted {
+            let mut granted = std::mem::take(&mut self.scratch_granted);
+            granted.clear();
+            self.locks[mm.0 as usize].release_into(task, &mut granted);
+            for &g in &granted {
                 self.queue.schedule_after(0, Event::LockGranted(g));
             }
+            self.scratch_granted = granted;
         }
     }
 
@@ -1062,10 +1176,13 @@ impl Machine {
         if !self.tasks[task.index()].is_live() {
             // The grantee exited while queued; pass the lock on.
             let mm = self.tasks[task.index()].mm;
-            let granted = self.locks[mm.0 as usize].release(task);
-            for g in granted {
+            let mut granted = std::mem::take(&mut self.scratch_granted);
+            granted.clear();
+            self.locks[mm.0 as usize].release_into(task, &mut granted);
+            for &g in &granted {
                 self.queue.schedule_after(0, Event::LockGranted(g));
             }
+            self.scratch_granted = granted;
             return;
         }
         let mode = if self.locks[self.tasks[task.index()].mm.0 as usize].writer() == Some(task) {
@@ -1175,8 +1292,8 @@ impl Machine {
                     AccessOutcome::BlockedOnNuma => {
                         // Op stays in flight; a NumaFaultRetry will finish it.
                         self.blocked_faults.insert(task_id.0, (vpn, write));
-                        self.cores[cpu.index()].busy = true;
-                        self.cores[cpu.index()].op_started = self.now();
+                        self.hot.busy[cpu.index()] = true;
+                        self.hot.op_started[cpu.index()] = self.now();
                         let retry = self.numa.config().fault_retry;
                         self.queue.schedule_after(
                             retry,
@@ -1262,11 +1379,11 @@ impl Machine {
     /// be delayed by interrupt debt.
     fn begin_op(&mut self, cpu: CpuId, task: TaskId, _op: Op, cost: Nanos) {
         let now = self.now();
-        let core = &mut self.cores[cpu.index()];
-        core.busy = true;
-        core.op_started = now;
-        core.op_generation += 1;
-        let generation = core.op_generation;
+        let i = cpu.index();
+        self.hot.busy[i] = true;
+        self.hot.op_started[i] = now;
+        self.hot.op_generation[i] += 1;
+        let generation = self.hot.op_generation[i];
         self.queue.schedule_after(
             cost,
             Event::OpComplete {
@@ -1281,15 +1398,15 @@ impl Machine {
 
     fn op_complete(&mut self, cpu: CpuId, task: TaskId, generation: u64) {
         let now = self.now();
-        let core = &mut self.cores[cpu.index()];
-        if generation != core.op_generation {
+        let i = cpu.index();
+        if generation != self.hot.op_generation[i] {
             return; // superseded by a debt extension
         }
-        if core.debt > 0 {
-            let debt = core.debt;
-            core.debt = 0;
-            core.op_generation += 1;
-            let generation = core.op_generation;
+        if self.hot.debt[i] > 0 {
+            let debt = self.hot.debt[i];
+            self.hot.debt[i] = 0;
+            self.hot.op_generation[i] += 1;
+            let generation = self.hot.op_generation[i];
             self.queue.schedule_after(
                 debt,
                 Event::OpComplete {
@@ -1300,8 +1417,8 @@ impl Machine {
             );
             return;
         }
-        core.busy = false;
-        let latency = now - core.op_started;
+        self.hot.busy[i] = false;
+        let latency = now - self.hot.op_started[i];
         let op = self
             .in_flight
             .remove(&task.0)
@@ -1325,7 +1442,7 @@ impl Machine {
         let task = &self.tasks[task_id.index()];
         let cpu = task.core;
         let mm_id = task.mm;
-        let pcid = self.mms[mm_id.0 as usize].pcid;
+        let pcid = self.pcid_of(mm_id);
         self.llc.charge_app_accesses(1);
 
         if let Some(entry) = self.tlb_lookup(cpu, pcid, vpn) {
@@ -1426,15 +1543,16 @@ impl Machine {
             p.flags.writable = true;
         });
         cost += self.costs.pte_op;
-        let pcid = self.mms[mm_id.0 as usize].pcid;
+        let pcid = self.pcid_of(mm_id);
         self.tlb_invalidate(cpu, pcid, vpn);
         // Remote read-only translations of the old frame must go before
-        // the writer proceeds.
-        let sharers: Vec<CpuId> = self.mms[mm_id.0 as usize].cpumask.iter().collect();
-        let remote = sharers.len().saturating_sub(1);
+        // the writer proceeds. (`CpuMask` is `Copy`; iterating a snapshot
+        // avoids collecting the sharers into a heap vector.)
+        let sharers = self.mms[mm_id.0 as usize].cpumask;
+        let remote = sharers.count().saturating_sub(1);
         if remote > 0 {
             cost += self.costs.estimate_linux_shootdown(&self.topology, remote);
-            for sharer in sharers {
+            for sharer in sharers.iter() {
                 if sharer != cpu {
                     self.invalidate_tlb_pages(sharer, mm_id, &[vpn]);
                 }
@@ -1538,12 +1656,24 @@ impl Machine {
         let cpu = task.core;
         let mm_id = task.mm;
 
+        // The unmap hot path runs on scratch vectors (capacity retained
+        // across calls) and a recycled frames vector: in steady state it
+        // performs no heap allocation, which `tests/zero_alloc.rs` gates.
         // VMA bookkeeping (munmap removes VMAs; madvise keeps them).
         if kind == FlushKind::Unmap {
-            self.mms[mm_id.0 as usize].munmap_vmas(&range);
+            let mut vmas = std::mem::take(&mut self.scratch_vmas);
+            vmas.clear();
+            self.mms[mm_id.0 as usize].munmap_vmas_into(&range, &mut vmas);
+            self.scratch_vmas = vmas;
         }
-        let removed = self.mms[mm_id.0 as usize].page_table.unmap_range(&range);
-        let pages: Vec<(Vpn, Pfn)> = removed.iter().map(|&(v, pte)| (v, pte.pfn)).collect();
+        let mut removed = std::mem::take(&mut self.scratch_removed);
+        removed.clear();
+        self.mms[mm_id.0 as usize]
+            .page_table
+            .unmap_range_into(&range, &mut removed);
+        let mut pages = std::mem::take(&mut self.scratch_pages);
+        pages.clear();
+        pages.extend(removed.iter().map(|&(v, pte)| (v, pte.pfn)));
         // Unmapping cancels any swap/compaction bookkeeping for the range.
         for vpn in range.iter() {
             self.swapped.remove(&(mm_id.0, vpn.0));
@@ -1563,7 +1693,7 @@ impl Machine {
             }
         }
         local += self.costs.local_invalidation(removed.len() as u32);
-        let pcid = self.mms[mm_id.0 as usize].pcid;
+        let pcid = self.pcid_of(mm_id);
         if removed.len() as u32 > self.costs.full_flush_threshold {
             self.tlb_flush_all(cpu);
         } else {
@@ -1580,15 +1710,19 @@ impl Machine {
         } else {
             None
         };
+        let mut frames = self.frame_vec_pool.pop().unwrap_or_default();
+        frames.extend(pages.iter().map(|&(_, p)| p));
         self.pending_reclaim = Some(ReclaimPackage {
             mm: mm_id,
-            frames: pages.iter().map(|&(_, p)| p).collect(),
+            frames,
             va: blocked_va,
         });
 
         let outcome = self.with_policy(|p, m| {
             p.flush_others(m, cpu, Some(task_id), mm_id, range, &pages, kind, local)
         });
+        self.scratch_removed = removed;
+        self.scratch_pages = pages;
         self.finish_flush(task_id, cpu, op, local, outcome);
     }
 
@@ -1611,7 +1745,7 @@ impl Machine {
         let mut local = self.costs.syscall_overhead + self.costs.vma_op;
         local += self.costs.pte_op * count as u64;
         local += self.costs.local_invalidation(count);
-        let pcid = self.mms[mm_id.0 as usize].pcid;
+        let pcid = self.pcid_of(mm_id);
         for &(vpn, _) in &pages {
             self.tlb_invalidate(cpu, pcid, vpn);
         }
@@ -1664,8 +1798,8 @@ impl Machine {
                     .expect("sync outcome with unknown txn");
                 t.blocked_task = Some(task_id);
                 t.wait_started = wait_start;
-                self.cores[cpu.index()].busy = true;
-                self.cores[cpu.index()].op_started = self.now();
+                self.hot.busy[cpu.index()] = true;
+                self.hot.op_started[cpu.index()] = self.now();
                 self.in_flight.insert(task_id.0, op);
                 // Completion comes from the last ACK.
             }
@@ -1693,7 +1827,7 @@ impl Machine {
         let task = &self.tasks[task_id.index()];
         let cpu = task.core;
         let mm_id = task.mm;
-        let pcid = self.mms[mm_id.0 as usize].pcid;
+        let pcid = self.pcid_of(mm_id);
 
         let pieces = self.mms[mm_id.0 as usize].munmap_vmas(&range);
         let moved = self.mms[mm_id.0 as usize].page_table.unmap_range(&range);
@@ -1757,7 +1891,7 @@ impl Machine {
         let task = &self.tasks[task_id.index()];
         let cpu = task.core;
         let mm_id = task.mm;
-        let pcid = self.mms[mm_id.0 as usize].pcid;
+        let pcid = self.pcid_of(mm_id);
 
         let removed = self.mms[mm_id.0 as usize].page_table.unmap_range(&range);
         for &(vpn, _) in &removed {
@@ -1805,7 +1939,7 @@ impl Machine {
         let task = &self.tasks[task_id.index()];
         let cpu = task.core;
         let mm_id = task.mm;
-        let pcid = self.mms[mm_id.0 as usize].pcid;
+        let pcid = self.pcid_of(mm_id);
 
         let mut local = self.costs.syscall_overhead;
         let mut lazy_pages: Vec<(Vpn, Pfn)> = Vec::new();
@@ -1923,7 +2057,7 @@ impl Machine {
         let task = &self.tasks[task_id.index()];
         let cpu = task.core;
         let parent = task.mm;
-        let pcid = self.mms[parent.0 as usize].pcid;
+        let pcid = self.pcid_of(parent);
         let child = self.create_process();
         self.stats.inc("forks");
 
@@ -2146,8 +2280,14 @@ impl Machine {
     }
 
     fn ipi_deliver(&mut self, target: CpuId, txn_id: TxnId) {
-        let (initiator, pages, pcid) = match self.txns.get(&txn_id.0) {
-            Some(t) => (t.initiator, t.pages.clone(), self.mms[t.mm.0 as usize].pcid),
+        // Take the page list out of the transaction instead of cloning it
+        // (one heap allocation per IPI otherwise); it is restored before
+        // this handler returns.
+        let (initiator, pages, pcid) = match self.txns.get_mut(&txn_id.0) {
+            Some(t) => {
+                let pcid = self.mm_pcid[t.mm.0 as usize];
+                (t.initiator, std::mem::take(&mut t.pages), pcid)
+            }
             None => return, // already completed (shouldn't happen)
         };
         self.stats.inc(crate::metrics::IPIS_HANDLED);
@@ -2156,7 +2296,7 @@ impl Machine {
         // "Handling interrupts on remote cores ... might be delayed due
         // to temporarily disabled interrupts" (§2.1): a busy core defers
         // the handler by a uniformly random disabled window.
-        let busy = self.cores[target.index()].busy;
+        let busy = self.hot.busy[target.index()];
         let irq_delay = if busy {
             self.rng.below(self.costs.irq_disabled_max)
         } else {
@@ -2181,9 +2321,8 @@ impl Machine {
         let handler =
             self.costs.interrupt_overhead + self.costs.local_invalidation(pages.len() as u32);
         // The handler steals time from whatever the core was doing.
-        let core = &mut self.cores[target.index()];
-        if core.busy {
-            core.debt += handler;
+        if self.hot.busy[target.index()] {
+            self.hot.debt[target.index()] += handler;
         }
         let ack_latency = self.fabric.ack_latency(initiator, target);
         self.queue.schedule_after(
@@ -2199,6 +2338,9 @@ impl Machine {
                 "ipi",
                 format!("{target} handles shootdown IPI ({} pages)", pages.len()),
             );
+        }
+        if let Some(t) = self.txns.get_mut(&txn_id.0) {
+            t.pages = pages;
         }
     }
 
@@ -2244,9 +2386,8 @@ impl Machine {
         if let Some(task_id) = txn.blocked_task {
             self.tasks[task_id.index()].state = TaskState::Running;
             let cpu = txn.initiator;
-            let core = &mut self.cores[cpu.index()];
-            core.op_generation += 1;
-            let generation = core.op_generation;
+            self.hot.op_generation[cpu.index()] += 1;
+            let generation = self.hot.op_generation[cpu.index()];
             self.queue.schedule_after(
                 0,
                 Event::OpComplete {
@@ -2299,9 +2440,14 @@ impl Machine {
 
     /// [`release_reclaim`](Self::release_reclaim) with an explicit
     /// releasing core (`None` = the reclamation kthread).
-    fn release_reclaim_on(&mut self, on: Option<CpuId>, pkg: ReclaimPackage) {
-        for pfn in pkg.frames {
+    fn release_reclaim_on(&mut self, on: Option<CpuId>, mut pkg: ReclaimPackage) {
+        for pfn in pkg.frames.drain(..) {
             self.frame_dec_ref(on, pfn);
+        }
+        // Park the emptied frames vector for the next unmap to reuse (the
+        // pool is bounded by the number of packages concurrently staged).
+        if pkg.frames.capacity() > 0 && self.frame_vec_pool.len() < 64 {
+            self.frame_vec_pool.push(pkg.frames);
         }
         if let Some(va) = pkg.va {
             self.mms[pkg.mm.0 as usize].unblock_va(&va);
@@ -2312,7 +2458,7 @@ impl Machine {
     /// threshold. Returns how many entries were actually present. Used by
     /// Latr's state sweep.
     pub fn invalidate_tlb_pages(&mut self, cpu: CpuId, mm: MmId, pages: &[Vpn]) -> usize {
-        let pcid = self.mms[mm.0 as usize].pcid;
+        let pcid = self.pcid_of(mm);
         if pages.len() as u32 > self.costs.full_flush_threshold {
             self.tlb_flush_all(cpu);
             pages.len()
@@ -2324,11 +2470,36 @@ impl Machine {
         }
     }
 
+    /// The PCID a sweep burst invalidates under — resolved once per
+    /// `(mm, tick)` group by the policy's batch-apply path and fed to
+    /// [`invalidate_tlb_range_pcid`](Self::invalidate_tlb_range_pcid)
+    /// for every state in the group.
+    pub fn sweep_pcid(&self, mm: MmId) -> u16 {
+        self.pcid_of(mm)
+    }
+
+    /// [`invalidate_tlb_pages`](Self::invalidate_tlb_pages) for one
+    /// contiguous state range with the PCID already resolved. The
+    /// full-flush threshold still applies per range, and the oracle sees
+    /// the same per-page stream, so a grouped sweep is bit-identical to
+    /// the one-call-per-state form — it just skips the per-state
+    /// `mm → pcid` lookup and the scratch page vector.
+    pub fn invalidate_tlb_range_pcid(&mut self, cpu: CpuId, pcid: u16, range: VaRange) -> usize {
+        if range.pages as u32 > self.costs.full_flush_threshold {
+            self.tlb_flush_all(cpu);
+            range.pages as usize
+        } else {
+            range
+                .iter()
+                .filter(|&vpn| self.tlb_invalidate(cpu, pcid, vpn))
+                .count()
+        }
+    }
+
     /// Adds interrupt-style time debt to whatever `cpu` is executing.
     pub fn charge_debt(&mut self, cpu: CpuId, ns: Nanos) {
-        let core = &mut self.cores[cpu.index()];
-        if core.busy {
-            core.debt += ns;
+        if self.hot.busy[cpu.index()] {
+            self.hot.debt[cpu.index()] += ns;
         }
     }
 
@@ -2431,7 +2602,7 @@ impl Machine {
     /// CPU's own TLB entry. Shared by the sync path and Latr's first
     /// sweeper (§4.3: "the first core performs the page table unmap").
     pub fn apply_numa_hint(&mut self, cpu: CpuId, mm_id: MmId, vpn: Vpn) {
-        let pcid = self.mms[mm_id.0 as usize].pcid;
+        let pcid = self.pcid_of(mm_id);
         self.mms[mm_id.0 as usize]
             .page_table
             .update(vpn, |p| p.flags.numa_hint = true);
@@ -2462,9 +2633,8 @@ impl Machine {
         self.blocked_faults.remove(&task_id.0);
         let cost = self.numa_hint_fault(task_id, vpn, write);
         let cpu = self.tasks[task_id.index()].core;
-        let core = &mut self.cores[cpu.index()];
-        core.op_generation += 1;
-        let generation = core.op_generation;
+        self.hot.op_generation[cpu.index()] += 1;
+        let generation = self.hot.op_generation[cpu.index()];
         self.queue.schedule_after(
             cost.max(1),
             Event::OpComplete {
@@ -2536,7 +2706,7 @@ impl Machine {
                 .update(vpn, |p| p.flags.numa_hint = false);
         }
         let pte = self.mms[mm_id.0 as usize].page_table.lookup(vpn).unwrap();
-        let pcid = self.mms[mm_id.0 as usize].pcid;
+        let pcid = self.pcid_of(mm_id);
         self.tlb_insert(
             cpu,
             TlbEntry {
@@ -2580,19 +2750,13 @@ impl Machine {
     /// are still referenced (that is the Latr relaxation), but a *present*
     /// PTE must never be cached with a different frame.
     pub fn check_mapping_coherence(&self) -> Option<InvariantViolation> {
-        // Intern the pcid → address-space relation once instead of walking
-        // every mm per TLB entry (entries × mms blows up on 120-core runs
+        // The pcid → address-space relation is maintained persistently by
+        // `create_process` (entries × mms would blow up on 120-core runs
         // where the checkers execute inside test loops).
-        let mut by_pcid: HashMap<u16, Vec<usize>> = HashMap::new();
-        for (i, mm) in self.mms.iter().enumerate() {
-            by_pcid.entry(mm.pcid).or_default().push(i);
-        }
         for core in &self.cores {
             for entry in core.tlb.iter_entries() {
-                let Some(mms) = by_pcid.get(&entry.pcid) else {
-                    continue;
-                };
-                for &i in mms {
+                for &i in &self.pcid_mms[entry.pcid as usize] {
+                    let i = i as usize;
                     if let Some(pte) = self.mms[i].page_table.lookup(Vpn(entry.vpn)) {
                         if !pte.flags.numa_hint && pte.pfn.0 != entry.pfn {
                             return Some(InvariantViolation::MappingMismatch {
@@ -2630,11 +2794,23 @@ impl Machine {
     /// event-identical iff their fingerprints are byte-identical — counters
     /// and histograms live in ordered maps, so the rendering is stable
     /// across processes and builds.
+    /// The incremental event-stream fingerprint: a polynomial fold over
+    /// every delivered event's `(time, payload)`, updated in O(1) per
+    /// event and finalized on read. Two runs deliver identical event
+    /// streams iff their folds match — the determinism gate the benches
+    /// use without paying for the full [`fingerprint`](Self::fingerprint)
+    /// render. The fold is also a line of the rendered fingerprint, so
+    /// the differential suites gate it automatically.
+    pub fn fingerprint_fold(&self) -> u64 {
+        fold_finish(self.fold)
+    }
+
     pub fn fingerprint(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(out, "end={}", self.now().as_ns());
         let _ = writeln!(out, "events={}", self.queue.delivered());
+        let _ = writeln!(out, "fold={:016x}", fold_finish(self.fold));
         for (name, value) in self.stats.counters() {
             let _ = writeln!(out, "{name}={value}");
         }

@@ -97,6 +97,15 @@ impl MmLock {
     ///
     /// Panics if `task` holds nothing.
     pub fn release(&mut self, task: TaskId) -> Vec<TaskId> {
+        let mut granted = Vec::new();
+        self.release_into(task, &mut granted);
+        granted
+    }
+
+    /// [`release`](Self::release) appending the woken tasks to `out`
+    /// instead of allocating — the op-completion hot path passes a scratch
+    /// vector whose capacity survives across calls.
+    pub fn release_into(&mut self, task: TaskId, out: &mut Vec<TaskId>) {
         if self.writer == Some(task) {
             self.writer = None;
         } else if let Some(pos) = self.readers.iter().position(|&t| t == task) {
@@ -104,31 +113,30 @@ impl MmLock {
         } else {
             panic!("{task:?} released mmap_sem it does not hold");
         }
-        self.grant()
+        self.grant_into(out);
     }
 
-    fn grant(&mut self) -> Vec<TaskId> {
-        let mut granted = Vec::new();
+    /// Wakes whatever the queue's head admits, appending grants to `out`.
+    fn grant_into(&mut self, out: &mut Vec<TaskId>) {
         if self.writer.is_some() {
-            return granted;
+            return;
         }
         match self.queue.front() {
             Some(&(_, LockMode::Write)) if self.readers.is_empty() => {
                 let (t, _) = self.queue.pop_front().expect("front exists");
                 self.writer = Some(t);
-                granted.push(t);
+                out.push(t);
             }
             Some(&(_, LockMode::Write)) => {}
             Some(&(_, LockMode::Read)) => {
                 while let Some(&(t, LockMode::Read)) = self.queue.front() {
                     self.queue.pop_front();
                     self.readers.push(t);
-                    granted.push(t);
+                    out.push(t);
                 }
             }
             None => {}
         }
-        granted
     }
 }
 

@@ -106,6 +106,12 @@ impl MmStruct {
         self.vmas.remove_range(range)
     }
 
+    /// [`munmap_vmas`](Self::munmap_vmas) appending the removed pieces to
+    /// a caller-owned scratch vector (the allocation-free unmap path).
+    pub fn munmap_vmas_into(&mut self, range: &VaRange, out: &mut Vec<Vma>) {
+        self.vmas.remove_range_into(range, out);
+    }
+
     /// Marks `range` as blocked from reuse until
     /// [`unblock_va`](Self::unblock_va) — the lazy-reclamation list.
     pub fn block_va(&mut self, range: VaRange) {

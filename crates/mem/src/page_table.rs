@@ -81,6 +81,16 @@ impl Node {
 pub struct PageTable {
     root: Box<Node>,
     mapped: u64,
+    // Pruned (empty) nodes parked for reuse: a map/unmap steady state
+    // cycles tables through these pools instead of the heap, so the unmap
+    // hot path performs no allocation. Pool size is bounded by the peak
+    // tree size. The pools hold `Box<Node>` on purpose — tree children
+    // are boxed, and recycling the box is the whole point; `Vec<Node>`
+    // would re-box (allocate) on every reuse.
+    #[allow(clippy::vec_box)]
+    free_interiors: Vec<Box<Node>>,
+    #[allow(clippy::vec_box)]
+    free_leaves: Vec<Box<Node>>,
 }
 
 impl Default for PageTable {
@@ -95,6 +105,8 @@ impl PageTable {
         PageTable {
             root: Node::interior(),
             mapped: 0,
+            free_interiors: Vec::new(),
+            free_leaves: Vec::new(),
         }
     }
 
@@ -120,9 +132,9 @@ impl PageTable {
                 Node::Interior { children, live } => {
                     if children[idx].is_none() {
                         children[idx] = Some(if level == LEVELS - 2 {
-                            Node::leaf()
+                            self.free_leaves.pop().unwrap_or_else(Node::leaf)
                         } else {
-                            Node::interior()
+                            self.free_interiors.pop().unwrap_or_else(Node::interior)
                         });
                         *live += 1;
                     }
@@ -186,14 +198,27 @@ impl PageTable {
     /// Removes the mapping for `vpn`, returning the old PTE. Empty
     /// intermediate tables are pruned.
     pub fn unmap(&mut self, vpn: Vpn) -> Option<Pte> {
-        let removed = Self::unmap_rec(&mut self.root, vpn, 0);
+        let removed = Self::unmap_rec(
+            &mut self.root,
+            vpn,
+            0,
+            &mut self.free_interiors,
+            &mut self.free_leaves,
+        );
         if removed.is_some() {
             self.mapped -= 1;
         }
         removed
     }
 
-    fn unmap_rec(node: &mut Node, vpn: Vpn, level: u32) -> Option<Pte> {
+    #[allow(clippy::vec_box)] // recycles the boxes themselves; see the pool fields
+    fn unmap_rec(
+        node: &mut Node,
+        vpn: Vpn,
+        level: u32,
+        free_interiors: &mut Vec<Box<Node>>,
+        free_leaves: &mut Vec<Box<Node>>,
+    ) -> Option<Pte> {
         let idx = Self::index(vpn, level);
         match node {
             Node::Leaf { entries, live } => {
@@ -205,14 +230,20 @@ impl PageTable {
             }
             Node::Interior { children, live } => {
                 let child = children[idx].as_mut()?;
-                let prev = Self::unmap_rec(child, vpn, level + 1);
+                let prev = Self::unmap_rec(child, vpn, level + 1, free_interiors, free_leaves);
                 if prev.is_some() {
                     let empty = match child.as_ref() {
                         Node::Leaf { live, .. } => *live == 0,
                         Node::Interior { live, .. } => *live == 0,
                     };
                     if empty {
-                        children[idx] = None;
+                        // Park the pruned (already-empty) table for reuse
+                        // rather than freeing it.
+                        let pruned = children[idx].take().expect("child present above");
+                        match pruned.as_ref() {
+                            Node::Leaf { .. } => free_leaves.push(pruned),
+                            Node::Interior { .. } => free_interiors.push(pruned),
+                        }
                         *live -= 1;
                     }
                 }
@@ -233,10 +264,20 @@ impl PageTable {
     /// Unmaps every mapped page of `range`, returning the removed
     /// `(vpn, pte)` pairs in ascending order.
     pub fn unmap_range(&mut self, range: &VaRange) -> Vec<(Vpn, Pte)> {
-        range
-            .iter()
-            .filter_map(|vpn| self.unmap(vpn).map(|pte| (vpn, pte)))
-            .collect()
+        let mut out = Vec::new();
+        self.unmap_range_into(range, &mut out);
+        out
+    }
+
+    /// [`unmap_range`](Self::unmap_range) appending the removed pairs to
+    /// `out` instead of allocating — the unmap hot path passes a scratch
+    /// vector whose capacity survives across calls.
+    pub fn unmap_range_into(&mut self, range: &VaRange, out: &mut Vec<(Vpn, Pte)>) {
+        for vpn in range.iter() {
+            if let Some(pte) = self.unmap(vpn) {
+                out.push((vpn, pte));
+            }
+        }
     }
 }
 

@@ -10,7 +10,6 @@
 use crate::addr::{VaRange, Vpn};
 use crate::page_cache::FileId;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Mapping protection bits (a subset of `mmap`'s `PROT_*`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -109,8 +108,12 @@ impl Vma {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct VmaTree {
-    // Keyed by first page of each VMA.
-    vmas: BTreeMap<u64, Vma>,
+    // Sorted by first page. A flat vector beats a BTreeMap here: address
+    // spaces hold a handful of VMAs, binary search is cache-dense, and —
+    // unlike a BTreeMap, which frees its root when the map empties — the
+    // vector retains its capacity, so the map/unmap steady state performs
+    // no heap allocation.
+    vmas: Vec<Vma>,
 }
 
 impl VmaTree {
@@ -129,13 +132,27 @@ impl VmaTree {
         self.vmas.is_empty()
     }
 
+    /// Index of the first VMA starting at or after `vpn`.
+    fn lower_bound(&self, vpn: u64) -> usize {
+        self.vmas.partition_point(|v| v.range.start.0 < vpn)
+    }
+
+    /// The window `[lo, hi)` of VMAs overlapping `range` (every entry in
+    /// the window overlaps; `range` must be non-empty).
+    fn overlap_window(&self, range: &VaRange) -> (usize, usize) {
+        let mut lo = self.lower_bound(range.start.0);
+        // A VMA starting before the range may still reach into it.
+        if lo > 0 && self.vmas[lo - 1].range.overlaps(range) {
+            lo -= 1;
+        }
+        let hi = self.lower_bound(range.end().0);
+        (lo, hi)
+    }
+
     /// The VMA containing `vpn`, if any.
     pub fn find(&self, vpn: Vpn) -> Option<&Vma> {
-        self.vmas
-            .range(..=vpn.0)
-            .next_back()
-            .map(|(_, v)| v)
-            .filter(|v| v.range.contains(vpn))
+        let i = self.vmas.partition_point(|v| v.range.start.0 <= vpn.0);
+        self.vmas[..i].last().filter(|v| v.range.contains(vpn))
     }
 
     /// All VMAs overlapping `range`, in address order.
@@ -143,24 +160,17 @@ impl VmaTree {
         if range.is_empty() {
             return Vec::new();
         }
-        let mut out = Vec::new();
-        // A VMA starting before the range may still reach into it.
-        if let Some((_, v)) = self.vmas.range(..range.start.0).next_back() {
-            if v.range.overlaps(range) {
-                out.push(*v);
-            }
-        }
-        for (_, v) in self.vmas.range(range.start.0..range.end().0) {
-            if v.range.overlaps(range) {
-                out.push(*v);
-            }
-        }
-        out
+        let (lo, hi) = self.overlap_window(range);
+        self.vmas[lo..hi].to_vec()
     }
 
-    /// Whether any VMA overlaps `range`.
+    /// Whether any VMA overlaps `range`. Allocation-free.
     pub fn is_range_free(&self, range: &VaRange) -> bool {
-        self.overlapping(range).is_empty()
+        if range.is_empty() {
+            return true;
+        }
+        let (lo, hi) = self.overlap_window(range);
+        lo == hi
     }
 
     /// Inserts a VMA.
@@ -175,37 +185,67 @@ impl VmaTree {
             "VMA {:?} overlaps existing mapping",
             vma.range
         );
-        self.vmas.insert(vma.range.start.0, vma);
+        let pos = self.lower_bound(vma.range.start.0);
+        self.vmas.insert(pos, vma);
     }
 
     /// Removes `range` from the tree, splitting boundary VMAs as needed.
     /// Returns the removed pieces (each piece is the intersection of one
     /// VMA with `range`, with file offsets adjusted).
     pub fn remove_range(&mut self, range: &VaRange) -> Vec<Vma> {
-        let victims = self.overlapping(range);
-        let mut removed = Vec::with_capacity(victims.len());
-        for vma in victims {
-            self.vmas.remove(&vma.range.start.0);
-            // Left remainder.
+        let mut removed = Vec::new();
+        self.remove_range_into(range, &mut removed);
+        removed
+    }
+
+    /// [`remove_range`](Self::remove_range) appending the removed pieces
+    /// to `out` instead of allocating — the unmap hot path passes a scratch
+    /// vector whose capacity survives across calls.
+    pub fn remove_range_into(&mut self, range: &VaRange, out: &mut Vec<Vma>) {
+        if range.is_empty() {
+            return;
+        }
+        let (lo, hi) = self.overlap_window(range);
+        if lo == hi {
+            return;
+        }
+        // Boundary remainders: at most the leftmost victim keeps a left
+        // piece and the rightmost keeps a right piece.
+        let mut left: Option<Vma> = None;
+        let mut right: Option<Vma> = None;
+        for &vma in &self.vmas[lo..hi] {
             if vma.range.start < range.start {
-                let left = VaRange {
+                let keep = VaRange {
                     start: vma.range.start,
                     pages: range.start.0 - vma.range.start.0,
                 };
-                self.vmas.insert(left.start.0, vma.slice(left));
+                left = Some(vma.slice(keep));
             }
-            // Right remainder.
             if vma.range.end() > range.end() {
-                let right = VaRange {
+                let keep = VaRange {
                     start: range.end(),
                     pages: vma.range.end().0 - range.end().0,
                 };
-                self.vmas.insert(right.start.0, vma.slice(right));
+                right = Some(vma.slice(keep));
             }
             let cut = vma.range.intersection(range).expect("overlap checked");
-            removed.push(vma.slice(cut));
+            out.push(vma.slice(cut));
         }
-        removed
+        // Rewrite the window with the surviving remainders in place.
+        let mut write = lo;
+        for v in [left, right].into_iter().flatten() {
+            if write < hi {
+                self.vmas[write] = v;
+            } else {
+                // Hole punched in the middle of a single VMA: both
+                // remainders survive but the window held one slot.
+                self.vmas.insert(write, v);
+            }
+            write += 1;
+        }
+        if write < hi {
+            self.vmas.drain(write..hi);
+        }
     }
 
     /// Changes the protection of `range`, splitting boundary VMAs. Returns
@@ -225,13 +265,13 @@ impl VmaTree {
 
     /// Iterates over all VMAs in address order.
     pub fn iter(&self) -> impl Iterator<Item = &Vma> {
-        self.vmas.values()
+        self.vmas.iter()
     }
 
     /// Finds the lowest free gap of `pages` pages at or above `floor`.
     pub fn find_gap(&self, floor: Vpn, pages: u64) -> Vpn {
         let mut candidate = floor;
-        for vma in self.vmas.range(..).map(|(_, v)| v) {
+        for vma in &self.vmas {
             if vma.range.end() <= candidate {
                 continue;
             }

@@ -101,40 +101,96 @@ const BUCKET_SHIFT: u32 = 9;
 const NUM_BUCKETS: usize = 1 << 12;
 const BUCKET_MASK: u64 = NUM_BUCKETS as u64 - 1;
 const OCC_WORDS: usize = NUM_BUCKETS / 64;
+/// Entries each ring bucket holds without allocating (24 B apiece, so the
+/// warm ring costs 4096 × 16 × 24 B ≈ 1.5 MiB — constant per machine).
+const BUCKET_PREALLOC: usize = 16;
+
+/// A bucketed event's key plus the slab handle of its payload. Buckets
+/// and the far heap shuffle these 24-byte `Copy` records; the payload sits
+/// still in the arena until delivery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Entry {
+    time: Time,
+    id: EventId,
+    handle: u32,
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed, like `ScheduledEvent`: earliest-first out of a max-heap.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
 
 /// The calendar backend: a ring of time buckets over a far-future
-/// overflow heap.
+/// overflow heap, with payloads parked in a free-listed slab arena.
 ///
 /// Invariants (checked in debug builds):
 /// * every bucketed event's absolute bucket index lies in
 ///   `[cur, cur + NUM_BUCKETS)`, so ring slots are unambiguous;
 /// * every event in `far` was beyond that horizon when it was filed and is
 ///   migrated into the ring (at most once — `cur` is monotone while events
-///   are pending) as the cursor approaches it.
+///   are pending) as the cursor approaches it;
+/// * every `Entry::handle` in a bucket or the far heap names a `Some` slot
+///   in `slots`, and every `Some` slot is named by exactly one entry.
+///
+/// Steady state is allocation-free: delivered handles go on the free list
+/// and bucket `Vec`s keep their capacity across drains, so a stable
+/// pending-event population recycles storage instead of touching the
+/// allocator. Every ring bucket is pre-sized at construction — event
+/// phases drift across the ring over simulated time, so lazily-grown
+/// buckets would keep first-touching virgin slots arbitrarily deep into
+/// a run. Only a bucket holding more than [`BUCKET_PREALLOC`]
+/// same-512ns-window events (a wide same-instant broadcast) ever grows,
+/// and that growth is monotone per slot.
 #[derive(Debug)]
 pub(crate) struct Calendar<E> {
     /// Ring of buckets, each sorted *descending* by `(time, id)` so the
     /// minimum pops from the end in O(1).
-    buckets: Vec<Vec<ScheduledEvent<E>>>,
+    buckets: Vec<Vec<Entry>>,
     /// One occupancy bit per bucket: finding the next non-empty bucket is
     /// a word scan, not a ring walk.
     occ: [u64; OCC_WORDS],
+    /// Second occupancy level: bit `w` set iff `occ[w] != 0`. `OCC_WORDS`
+    /// is exactly 64, so one u64 summarises the whole ring and
+    /// `next_occupied` is O(1) instead of a word walk — the scan cost that
+    /// made sparse (few-core) runs slower than the reference heap.
+    summary: u64,
     /// Absolute index of the earliest possibly-occupied bucket.
     cur: u64,
     /// Events currently in the ring.
     near: usize,
-    /// Events beyond the ring horizon.
-    far: BinaryHeap<ScheduledEvent<E>>,
+    /// Events beyond the ring horizon (keys only; payloads in `slots`).
+    far: BinaryHeap<Entry>,
+    /// The payload arena. `free` lists the `None` slots for reuse.
+    slots: Vec<Option<E>>,
+    free: Vec<u32>,
 }
+
+const _: () = assert!(OCC_WORDS == 64, "summary word covers the whole ring");
 
 impl<E> Calendar<E> {
     pub(crate) fn new() -> Self {
         Calendar {
-            buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            buckets: (0..NUM_BUCKETS)
+                .map(|_| Vec::with_capacity(BUCKET_PREALLOC))
+                .collect(),
             occ: [0; OCC_WORDS],
+            summary: 0,
             cur: 0,
             near: 0,
             far: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
         }
     }
 
@@ -144,6 +200,44 @@ impl<E> Calendar<E> {
 
     fn bucket_of(time: Time) -> u64 {
         time.as_ns() >> BUCKET_SHIFT
+    }
+
+    /// Parks a payload in the arena, reusing a freed slot when one exists.
+    fn arena_alloc(&mut self, payload: E) -> u32 {
+        match self.free.pop() {
+            Some(h) => {
+                debug_assert!(self.slots[h as usize].is_none());
+                self.slots[h as usize] = Some(payload);
+                h
+            }
+            None => {
+                let h = u32::try_from(self.slots.len()).expect("arena handle overflow");
+                self.slots.push(Some(payload));
+                h
+            }
+        }
+    }
+
+    /// Takes a payload out of the arena and recycles its slot.
+    fn arena_take(&mut self, handle: u32) -> E {
+        let payload = self.slots[handle as usize].take().expect("live handle");
+        self.free.push(handle);
+        payload
+    }
+
+    #[inline]
+    fn occ_set(&mut self, slot: usize) {
+        self.occ[slot / 64] |= 1 << (slot % 64);
+        self.summary |= 1 << (slot / 64);
+    }
+
+    #[inline]
+    fn occ_clear(&mut self, slot: usize) {
+        let w = slot / 64;
+        self.occ[w] &= !(1 << (slot % 64));
+        if self.occ[w] == 0 {
+            self.summary &= !(1 << w);
+        }
     }
 
     pub(crate) fn insert(&mut self, ev: ScheduledEvent<E>, now: Time) {
@@ -156,21 +250,26 @@ impl<E> Calendar<E> {
             // the clock (see `pop_min`).
             self.cur = Self::bucket_of(now);
         }
+        let entry = Entry {
+            time: ev.time,
+            id: ev.id,
+            handle: self.arena_alloc(ev.payload),
+        };
         if b >= self.cur + NUM_BUCKETS as u64 {
-            self.far.push(ev);
+            self.far.push(entry);
             return;
         }
         debug_assert!(b >= self.cur, "event filed behind the cursor");
-        self.insert_near(b, ev);
+        self.insert_near(b, entry);
     }
 
-    fn insert_near(&mut self, b: u64, ev: ScheduledEvent<E>) {
+    fn insert_near(&mut self, b: u64, entry: Entry) {
         let slot = (b & BUCKET_MASK) as usize;
         let v = &mut self.buckets[slot];
-        let key = (ev.time, ev.id);
+        let key = (entry.time, entry.id);
         let pos = v.partition_point(|e| (e.time, e.id) > key);
-        v.insert(pos, ev);
-        self.occ[slot / 64] |= 1 << (slot % 64);
+        v.insert(pos, entry);
+        self.occ_set(slot);
         self.near += 1;
     }
 
@@ -180,29 +279,42 @@ impl<E> Calendar<E> {
             if Self::bucket_of(f.time) >= self.cur + NUM_BUCKETS as u64 {
                 break;
             }
-            let ev = self.far.pop().expect("peeked");
-            let b = Self::bucket_of(ev.time);
-            self.insert_near(b, ev);
+            let entry = self.far.pop().expect("peeked");
+            let b = Self::bucket_of(entry.time);
+            self.insert_near(b, entry);
         }
     }
 
     /// Absolute index of the first occupied bucket at or after `from`,
-    /// assuming at least one ring bucket is occupied.
+    /// assuming at least one ring bucket is occupied. O(1): one masked
+    /// probe of the starting word, then the one-word summary locates the
+    /// next non-empty word (cyclically) without walking the ring.
     fn next_occupied(&self, from: u64) -> u64 {
+        debug_assert!(self.summary != 0, "next_occupied on an empty ring");
         let start = (from & BUCKET_MASK) as usize;
-        let mut w = start / 64;
-        let mut mask = !0u64 << (start % 64);
-        for _ in 0..=OCC_WORDS {
-            let bits = self.occ[w] & mask;
-            if bits != 0 {
-                let slot = w * 64 + bits.trailing_zeros() as usize;
-                let dist = (slot as u64).wrapping_sub(start as u64) & BUCKET_MASK;
-                return from + dist;
-            }
-            mask = !0;
-            w = (w + 1) % OCC_WORDS;
-        }
-        unreachable!("next_occupied called on an empty ring");
+        let w0 = start / 64;
+        let mut bits = self.occ[w0] & (!0u64 << (start % 64));
+        let w = if bits != 0 {
+            w0
+        } else {
+            // Words strictly after `w0`, wrapping to the full summary when
+            // the tail is empty (ring distance arithmetic absorbs the wrap).
+            let above = if w0 == 63 {
+                0
+            } else {
+                self.summary & (!0u64 << (w0 + 1))
+            };
+            let w = if above != 0 {
+                above.trailing_zeros() as usize
+            } else {
+                self.summary.trailing_zeros() as usize
+            };
+            bits = self.occ[w];
+            w
+        };
+        let slot = w * 64 + bits.trailing_zeros() as usize;
+        let dist = (slot as u64).wrapping_sub(start as u64) & BUCKET_MASK;
+        from + dist
     }
 
     /// Removes and returns the minimum event. The cursor advances to its
@@ -218,12 +330,16 @@ impl<E> Calendar<E> {
         let nb = self.next_occupied(self.cur);
         self.cur = nb;
         let slot = (nb & BUCKET_MASK) as usize;
-        let ev = self.buckets[slot].pop().expect("occupied bucket");
+        let entry = self.buckets[slot].pop().expect("occupied bucket");
         if self.buckets[slot].is_empty() {
-            self.occ[slot / 64] &= !(1 << (slot % 64));
+            self.occ_clear(slot);
         }
         self.near -= 1;
-        Some(ev)
+        Some(ScheduledEvent {
+            time: entry.time,
+            id: entry.id,
+            payload: self.arena_take(entry.handle),
+        })
     }
 
     /// Drains every pending event with `time < horizon` into `out`,
@@ -256,24 +372,32 @@ impl<E> Calendar<E> {
                 // Whole bucket is below the horizon: buckets are sorted
                 // descending, so draining from the back yields ascending
                 // order.
-                while let Some(ev) = self.buckets[slot].pop() {
-                    debug_assert!(ev.time < horizon);
+                while let Some(entry) = self.buckets[slot].pop() {
+                    debug_assert!(entry.time < horizon);
                     self.near -= 1;
-                    out.push(ev);
+                    out.push(ScheduledEvent {
+                        time: entry.time,
+                        id: entry.id,
+                        payload: self.arena_take(entry.handle),
+                    });
                 }
-                self.occ[slot / 64] &= !(1 << (slot % 64));
+                self.occ_clear(slot);
             } else {
                 // Boundary bucket: only the sub-horizon prefix comes out.
                 while self.buckets[slot]
                     .last()
-                    .is_some_and(|ev| ev.time < horizon)
+                    .is_some_and(|entry| entry.time < horizon)
                 {
-                    let ev = self.buckets[slot].pop().expect("checked");
+                    let entry = self.buckets[slot].pop().expect("checked");
                     self.near -= 1;
-                    out.push(ev);
+                    out.push(ScheduledEvent {
+                        time: entry.time,
+                        id: entry.id,
+                        payload: self.arena_take(entry.handle),
+                    });
                 }
                 if self.buckets[slot].is_empty() {
-                    self.occ[slot / 64] &= !(1 << (slot % 64));
+                    self.occ_clear(slot);
                 }
                 break;
             }
@@ -288,18 +412,28 @@ impl<E> Calendar<E> {
         if self.far.peek().is_some_and(|f| f.time < horizon) {
             scratch.clear();
             scratch.extend(out.drain(start..));
+            let mut far_below: Vec<Entry> = Vec::new();
+            while self.far.peek().is_some_and(|f| f.time < horizon) {
+                far_below.push(self.far.pop().expect("peeked"));
+            }
             let mut ring = scratch.drain(..).peekable();
-            let far_next = |far: &mut BinaryHeap<ScheduledEvent<E>>| {
-                far.peek().is_some_and(|f| f.time < horizon)
-            };
-            while ring.peek().is_some() || far_next(&mut self.far) {
-                let take_far = match (ring.peek(), self.far.peek()) {
-                    (Some(r), Some(f)) if f.time < horizon => (f.time, f.id) < (r.time, r.id),
-                    (None, Some(f)) => f.time < horizon,
+            let mut far_it = far_below.into_iter().peekable();
+            loop {
+                let take_far = match (ring.peek(), far_it.peek()) {
+                    (Some(r), Some(f)) => (f.time, f.id) < (r.time, r.id),
+                    (None, Some(_)) => true,
                     _ => false,
                 };
                 if take_far {
-                    out.push(self.far.pop().expect("peeked"));
+                    let entry = far_it.next().expect("peeked");
+                    out.push(ScheduledEvent {
+                        time: entry.time,
+                        id: entry.id,
+                        payload: self.slots[entry.handle as usize]
+                            .take()
+                            .expect("live handle"),
+                    });
+                    self.free.push(entry.handle);
                 } else {
                     match ring.next() {
                         Some(ev) => out.push(ev),
@@ -319,11 +453,11 @@ impl<E> Calendar<E> {
         let near = if self.near > 0 {
             let nb = self.next_occupied(self.cur);
             let slot = (nb & BUCKET_MASK) as usize;
-            self.buckets[slot].last().map(|ev| (ev.time, ev.id))
+            self.buckets[slot].last().map(|e| (e.time, e.id))
         } else {
             None
         };
-        let far = self.far.peek().map(|ev| (ev.time, ev.id));
+        let far = self.far.peek().map(|e| (e.time, e.id));
         match (near, far) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -338,7 +472,8 @@ impl<E> Calendar<E> {
             if self.near == 0 {
                 let e = self.far.peek()?;
                 if cancelled.remove(&e.id) {
-                    self.far.pop();
+                    let entry = self.far.pop().expect("peeked");
+                    drop(self.arena_take(entry.handle));
                     continue;
                 }
                 return Some(e.time);
@@ -346,13 +481,14 @@ impl<E> Calendar<E> {
             self.drain_far();
             let nb = self.next_occupied(self.cur);
             let slot = (nb & BUCKET_MASK) as usize;
-            let front = self.buckets[slot].last().expect("occupied bucket");
+            let front = *self.buckets[slot].last().expect("occupied bucket");
             if cancelled.remove(&front.id) {
                 self.buckets[slot].pop();
                 if self.buckets[slot].is_empty() {
-                    self.occ[slot / 64] &= !(1 << (slot % 64));
+                    self.occ_clear(slot);
                 }
                 self.near -= 1;
+                drop(self.arena_take(front.handle));
                 continue;
             }
             return Some(front.time);

@@ -5,8 +5,9 @@
 //! tables and figures.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// A monotonically increasing event counter.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -196,6 +197,7 @@ impl Histogram {
             p50: self.percentile(0.50),
             p90: self.percentile(0.90),
             p99: self.percentile(0.99),
+            p999: self.percentile(0.999),
             max: self.max,
         }
     }
@@ -216,6 +218,8 @@ pub struct Summary {
     pub p90: u64,
     /// 99th percentile.
     pub p99: u64,
+    /// 99.9th percentile (the serving bench's tail headline).
+    pub p999: u64,
     /// Maximum sample.
     pub max: u64,
 }
@@ -224,21 +228,58 @@ impl fmt::Display for Summary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "n={} mean={:.1} min={} p50={} p90={} p99={} max={}",
-            self.count, self.mean, self.min, self.p50, self.p90, self.p99, self.max
+            "n={} mean={:.1} min={} p50={} p90={} p99={} p999={} max={}",
+            self.count, self.mean, self.min, self.p50, self.p90, self.p99, self.p999, self.max
         )
     }
 }
 
+/// FNV-1a over the key bytes: metric names are short static strings inside
+/// a single-process simulator, so a keyed DoS-resistant hash buys nothing
+/// and costs ~3× per lookup on the event hot path.
+#[derive(Debug)]
+pub struct FnvNameHasher(u64);
+
+impl Default for FnvNameHasher {
+    fn default() -> Self {
+        FnvNameHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvNameHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+type NameMap = HashMap<Box<str>, u32, BuildHasherDefault<FnvNameHasher>>;
+
 /// A named collection of counters and histograms.
 ///
 /// Experiment code records into well-known metric names; the harness reads
-/// them out after the run. Names are ordinary strings, kept sorted so output
-/// is deterministic.
+/// them out after the run. Readout iterates in name order so output is
+/// deterministic; the *write* path interns each name once and then runs on
+/// a hash probe plus an index — no per-record allocation, which is what the
+/// zero-steady-state-allocation contract of the fast engine requires
+/// (`tests/zero_alloc.rs`).
 #[derive(Debug, Default)]
 pub struct StatsRegistry {
-    counters: BTreeMap<String, Counter>,
-    histograms: BTreeMap<String, Histogram>,
+    counter_idx: NameMap,
+    counter_names: Vec<Box<str>>,
+    counter_vals: Vec<Counter>,
+    hist_idx: NameMap,
+    hist_names: Vec<Box<str>>,
+    hist_vals: Vec<Histogram>,
 }
 
 impl StatsRegistry {
@@ -247,48 +288,99 @@ impl StatsRegistry {
         Self::default()
     }
 
+    #[cold]
+    fn intern_counter(&mut self, name: &str) -> usize {
+        let i = self.counter_vals.len() as u32;
+        self.counter_idx.insert(name.into(), i);
+        self.counter_names.push(name.into());
+        self.counter_vals.push(Counter::new());
+        i as usize
+    }
+
+    #[cold]
+    fn intern_hist(&mut self, name: &str) -> usize {
+        let i = self.hist_vals.len() as u32;
+        self.hist_idx.insert(name.into(), i);
+        self.hist_names.push(name.into());
+        self.hist_vals.push(Histogram::new());
+        i as usize
+    }
+
     /// Increments the named counter by one, creating it if needed.
+    #[inline]
     pub fn inc(&mut self, name: &str) {
         self.add(name, 1);
     }
 
     /// Adds `n` to the named counter, creating it if needed.
+    #[inline]
     pub fn add(&mut self, name: &str, n: u64) {
-        self.counters.entry(name.to_owned()).or_default().add(n);
+        let i = match self.counter_idx.get(name) {
+            Some(&i) => i as usize,
+            None => self.intern_counter(name),
+        };
+        self.counter_vals[i].add(n);
     }
 
     /// Current value of the named counter (0 if never written).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).map_or(0, |c| c.get())
+        self.counter_idx
+            .get(name)
+            .map_or(0, |&i| self.counter_vals[i as usize].get())
     }
 
     /// Records a sample into the named histogram, creating it if needed.
+    #[inline]
     pub fn record(&mut self, name: &str, value: u64) {
-        self.histograms
-            .entry(name.to_owned())
-            .or_default()
-            .record(value);
+        let i = match self.hist_idx.get(name) {
+            Some(&i) => i as usize,
+            None => self.intern_hist(name),
+        };
+        self.hist_vals[i].record(value);
     }
 
     /// Returns the named histogram, if any samples were recorded.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
-        self.histograms.get(name)
+        self.hist_idx
+            .get(name)
+            .map(|&i| &self.hist_vals[i as usize])
+    }
+
+    /// Indices of `names` sorted by name (readout is cold; the write path
+    /// never pays for ordering).
+    fn name_order(names: &[Box<str>]) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..names.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| names[a as usize].cmp(&names[b as usize]));
+        order
     }
 
     /// Iterates over all counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (k.as_str(), v.get()))
+        Self::name_order(&self.counter_names)
+            .into_iter()
+            .map(move |i| {
+                (
+                    &*self.counter_names[i as usize],
+                    self.counter_vals[i as usize].get(),
+                )
+            })
     }
 
     /// Iterates over all histograms in name order.
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
-        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+        Self::name_order(&self.hist_names)
+            .into_iter()
+            .map(move |i| (&*self.hist_names[i as usize], &self.hist_vals[i as usize]))
     }
 
     /// Removes all recorded data while keeping the registry usable.
     pub fn clear(&mut self) {
-        self.counters.clear();
-        self.histograms.clear();
+        self.counter_idx.clear();
+        self.counter_names.clear();
+        self.counter_vals.clear();
+        self.hist_idx.clear();
+        self.hist_names.clear();
+        self.hist_vals.clear();
     }
 }
 

@@ -13,6 +13,9 @@
 //!   applications (graph500, pbzip2, metis, fluidanimate, ocean_cp);
 //! * [`SweepStorm`] — the sweep-heavy workload the hot-path benchmarks
 //!   and the fast-vs-reference differential suite run on;
+//! * [`ServingWorkload`] — the open-loop tail-latency workload behind
+//!   `BENCH_serving.json`: Poisson/bursty arrivals across many mms, one
+//!   mmap/touch/munmap cycle per request;
 //! * [`ChaosShare`] — the cross-core sharing workload the chaos and
 //!   differential suites drive under injected fault plans;
 //! * [`AllocStorm`] — the allocation-storm workload the memory-pressure
@@ -26,6 +29,7 @@ pub mod harness;
 pub mod microbench;
 pub mod migration;
 pub mod parsec;
+pub mod serving;
 pub mod storm;
 pub mod sweep_storm;
 
@@ -35,5 +39,6 @@ pub use harness::{run_experiment, ExperimentResult, PolicyKind};
 pub use microbench::MunmapMicrobench;
 pub use migration::{MigrationProfile, MigrationWorkload};
 pub use parsec::{ParsecProfile, ParsecWorkload};
+pub use serving::{ArrivalProcess, ServingWorkload};
 pub use storm::AllocStorm;
 pub use sweep_storm::SweepStorm;

@@ -24,7 +24,7 @@ use latr_core::LatrConfig;
 use latr_faults::FaultPlan;
 use latr_kernel::{EngineBackend, Machine, MachineConfig, Workload};
 use latr_sim::{MILLISECOND, SECOND};
-use latr_workloads::{ChaosShare, PolicyKind, SweepStorm};
+use latr_workloads::{ArrivalProcess, ChaosShare, PolicyKind, ServingWorkload, SweepStorm};
 use proptest::prelude::*;
 
 /// Runs one engine. `Reference` selects both reference paths (binary
@@ -393,6 +393,56 @@ fn watchdog_escalation_is_identical_across_the_engine_matrix() {
             .counter(latr_kernel::metrics::LATR_WATCHDOG_ESCALATIONS)
             > 0,
         "the comparison must actually have exercised the watchdog"
+    );
+}
+
+#[test]
+fn serving_is_identical_across_the_engine_matrix() {
+    // The open-loop serving workload behind `BENCH_serving.json`:
+    // Poisson arrivals across shared mms, one mmap/touch/munmap cycle
+    // per request. Requests straddle cores sharing an mm, so sweep
+    // relevance, PCID grouping and page-cache reuse all differ per
+    // engine if anything in the batched sweep path diverges.
+    let m = assert_engine_matrix_agrees(
+        &[1, 2, 4, 8],
+        commodity16(),
+        0x5EED_0005,
+        None,
+        LatrConfig::default(),
+        &|| Box::new(ServingWorkload::new(16, 4, 12)),
+    );
+    assert_eq!(
+        m.stats.counter(latr_kernel::metrics::WORK_UNITS),
+        16 * 12,
+        "every admitted request must complete on the matrix shape"
+    );
+}
+
+#[test]
+fn bursty_serving_under_chaos_is_identical_across_the_engine_matrix() {
+    // Bursty arrivals pile same-instant admissions onto shared mms
+    // while IPIs drop and an overflow storm forces the fallback path —
+    // the harshest serving shape the bench measures.
+    let plan = FaultPlan::default()
+        .with_ipi_drop(0.25)
+        .with_ipi_delay(0.25, 200_000)
+        .with_tick_miss(0.20)
+        .with_storm(2 * MILLISECOND, 10 * MILLISECOND);
+    let workload = || {
+        Box::new(
+            ServingWorkload::new(16, 4, 10).with_arrivals(ArrivalProcess::Bursty {
+                period: 4 * MILLISECOND,
+                on_pct: 25,
+                factor: 2.0,
+            }),
+        ) as Box<dyn Workload>
+    };
+    let _ = assert_engines_agree(
+        commodity16(),
+        0x5EED_0006,
+        Some(plan),
+        LatrConfig::default(),
+        workload,
     );
 }
 

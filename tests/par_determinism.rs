@@ -28,7 +28,7 @@ use latr_arch::{MachinePreset, Topology};
 use latr_core::LatrConfig;
 use latr_kernel::{EngineBackend, Machine, MachineConfig};
 use latr_sim::SECOND;
-use latr_workloads::{PolicyKind, SweepStorm};
+use latr_workloads::{ArrivalProcess, PolicyKind, ServingWorkload, SweepStorm};
 
 /// The pinned scenario: overflow pressure at 16 cores. Trace on, oracle
 /// default-on — the fingerprint covers both.
@@ -81,6 +81,57 @@ fn fingerprint_is_independent_of_worker_count() {
             m.fingerprint(),
             base_fp,
             "fingerprint diverged at {workers} workers"
+        );
+    }
+}
+
+/// The serving scenario: bursty open-loop arrivals across shared mms at
+/// 16 cores. Per-worker arrival streams admit requests independently, so
+/// same-instant admissions on different lanes are routine — and every
+/// request's latency sample lands in a histogram the fingerprint covers,
+/// so a merge-order slip shows up as a tail-percentile shift even when
+/// the trace would mask it.
+fn run_serving(backend: EngineBackend) -> Machine {
+    let mut config = MachineConfig::new(Topology::preset(MachinePreset::Commodity2S16C));
+    config.seed = 0xDE7E_12A2;
+    config.trace_capacity = 8192;
+    config.engine = backend;
+    let latr = LatrConfig {
+        reference_sweep: backend == EngineBackend::Reference,
+        ..LatrConfig::default()
+    };
+    let workload = ServingWorkload::new(16, 4, 15).with_arrivals(ArrivalProcess::Bursty {
+        period: 4 * latr_sim::MILLISECOND,
+        on_pct: 25,
+        factor: 2.0,
+    });
+    let mut machine = Machine::new(config);
+    machine.run(Box::new(workload), PolicyKind::Latr(latr).build(), SECOND);
+    machine
+}
+
+#[test]
+fn serving_fingerprint_is_independent_of_worker_count() {
+    let baseline = run_serving(EngineBackend::Fast);
+    let (base_fp, base_stats) = (baseline.fingerprint(), stats_text(&baseline));
+    assert!(
+        baseline
+            .stats
+            .histogram(latr_kernel::metrics::SERVING_REQUEST_NS)
+            .is_some_and(|h| h.summary().count == 16 * 15),
+        "every admitted request must complete and be sampled"
+    );
+    for workers in [1usize, 2, 4, 8] {
+        let m = run_serving(EngineBackend::Parallel(workers));
+        assert_eq!(
+            stats_text(&m),
+            base_stats,
+            "serving stats diverged at {workers} workers"
+        );
+        assert_eq!(
+            m.fingerprint(),
+            base_fp,
+            "serving fingerprint diverged at {workers} workers"
         );
     }
 }
